@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Extension evaluation: online threshold adaptation (the paper's
+ * Section 4.2 future work) vs the offline profiling procedure.
+ *
+ * For each application, three variants:
+ *  1. offline NMAP with the application's own profiled thresholds
+ *     (the paper's deployment),
+ *  2. offline NMAP with *stale* thresholds profiled for the other
+ *     application — the paper requires "resetting the values via the
+ *     profiling for running another application"; this row shows what
+ *     happens when that reset is skipped,
+ *  3. NMAP-adaptive, which needs no profiling pass at all.
+ *
+ * The dangerous stale direction is inheriting thresholds that are too
+ * *high* for the new application (NI_TH above anything its sessions
+ * reach): the Network Intensive trigger then fires late or never.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+void
+runApp(const AppProfile &app, double own_ni, double own_cu,
+       double stale_ni, double stale_cu)
+{
+    std::printf("\n--- %s (SLO %.0f ms; own NI_TH=%.1f CU_TH=%.2f, "
+                "stale NI_TH=%.1f CU_TH=%.2f) ---\n",
+                app.name.c_str(), toMilliseconds(app.slo), own_ni,
+                own_cu, stale_ni, stale_cu);
+
+    struct Variant
+    {
+        const char *name;
+        FreqPolicy policy;
+        double ni;
+        double cu;
+    };
+    const Variant variants[] = {
+        {"offline (correct)", FreqPolicy::kNmap, own_ni, own_cu},
+        {"offline (stale)", FreqPolicy::kNmap, stale_ni, stale_cu},
+        {"online adaptive", FreqPolicy::kNmapAdaptive, 0, 0},
+    };
+
+    Table table({"variant", "load", "P99 (us)", "xSLO", "> SLO (%)",
+                 "energy (J)", "NI_TH end", "CU_TH end"});
+    for (const Variant &v : variants) {
+        for (LoadLevel load :
+             {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
+            ExperimentConfig cfg = bench::cellConfig(app, load,
+                                                     v.policy);
+            if (v.policy == FreqPolicy::kNmap) {
+                cfg.nmap.niThreshold = v.ni;
+                cfg.nmap.cuThreshold = v.cu;
+            }
+            ExperimentResult r = Experiment(cfg).run();
+            table.addRow({
+                v.name,
+                loadLevelName(load),
+                Table::num(toMicroseconds(r.p99), 0),
+                Table::num(static_cast<double>(r.p99) /
+                               static_cast<double>(app.slo),
+                           2),
+                Table::num(r.fracOverSlo * 100.0, 2),
+                Table::num(r.energyJoules, 1),
+                Table::num(r.niThresholdUsed, 1),
+                Table::num(r.cuThresholdUsed, 2),
+            });
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "offline vs stale vs online NMAP thresholds");
+
+    ExperimentConfig mc_base;
+    mc_base.app = AppProfile::memcached();
+    auto [mc_ni, mc_cu] = Experiment::profileThresholds(mc_base);
+
+    ExperimentConfig ng_base;
+    ng_base.app = AppProfile::nginx();
+    auto [ng_ni, ng_cu] = Experiment::profileThresholds(ng_base);
+
+    runApp(AppProfile::memcached(), mc_ni, mc_cu, ng_ni, ng_cu);
+    runApp(AppProfile::nginx(), ng_ni, ng_cu, mc_ni, mc_cu);
+
+    std::cout
+        << "\nExpected: the adaptive variant meets the SLO on both "
+           "applications with no profiling pass (thresholds converge "
+           "during the run). Stale thresholds are harmless when they "
+           "are too low (over-eager NI trigger, slight energy cost) "
+           "but degrade the tail when too high for the application's "
+           "session sizes — the case the paper's per-application "
+           "re-profiling requirement exists for and the adaptive "
+           "variant eliminates.\n";
+    return 0;
+}

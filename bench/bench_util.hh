@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation: it runs the relevant experiments and prints the same
+ * rows/series the paper plots. Absolute values come from the simulator
+ * and will differ from the authors' testbed; the *shape* (who meets the
+ * SLO, who wins energy, where crossovers fall) is the reproduction
+ * target — see EXPERIMENTS.md.
+ */
+
+#ifndef NMAPSIM_BENCH_BENCH_UTIL_HH_
+#define NMAPSIM_BENCH_BENCH_UTIL_HH_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace nmapsim {
+namespace bench {
+
+/** Print a standard bench banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("==============================================================\n");
+}
+
+/**
+ * Duration scale: NMAPSIM_BENCH_SCALE (default 1.0) multiplies the
+ * measurement window of every bench so CI can run them fast and a
+ * paper-grade run can use longer windows.
+ */
+inline double
+durationScale()
+{
+    const char *env = std::getenv("NMAPSIM_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+}
+
+/** Default experiment config for one app/load/policy cell. */
+inline ExperimentConfig
+cellConfig(const AppProfile &app, LoadLevel load, FreqPolicy policy,
+           IdlePolicy idle = IdlePolicy::kMenu)
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.load = load;
+    cfg.freqPolicy = policy;
+    cfg.idlePolicy = idle;
+    cfg.warmup = milliseconds(200);
+    cfg.duration =
+        static_cast<Tick>(static_cast<double>(seconds(1)) *
+                          durationScale());
+    cfg.seed = 42;
+    return cfg;
+}
+
+/**
+ * Profile the Section 4.2 thresholds once per app and cache them so
+ * the matrix benches do not re-run the profiling simulation per cell.
+ */
+class NmapThresholdCache
+{
+  public:
+    std::pair<double, double>
+    get(const AppProfile &app)
+    {
+        if (app.name == "memcached") {
+            if (!haveMc_) {
+                mc_ = profileFor(app);
+                haveMc_ = true;
+            }
+            return mc_;
+        }
+        if (!haveNg_) {
+            ng_ = profileFor(app);
+            haveNg_ = true;
+        }
+        return ng_;
+    }
+
+  private:
+    static std::pair<double, double>
+    profileFor(const AppProfile &app)
+    {
+        ExperimentConfig cfg =
+            cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
+        return Experiment::profileThresholds(cfg);
+    }
+
+    bool haveMc_ = false;
+    bool haveNg_ = false;
+    std::pair<double, double> mc_{};
+    std::pair<double, double> ng_{};
+};
+
+} // namespace bench
+} // namespace nmapsim
+
+#endif // NMAPSIM_BENCH_BENCH_UTIL_HH_

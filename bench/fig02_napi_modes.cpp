@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Fig. 2: ksoftirqd wake-ups, the P-state chosen by the
+ * ondemand governor, and the number of packets processed in interrupt
+ * vs polling mode (1 ms samples) while serving memcached (750K RPS avg)
+ * and nginx (56K RPS avg) at high load.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+void
+printTrace(const AppProfile &app, FreqPolicy policy, Tick window)
+{
+    ExperimentConfig cfg =
+        bench::cellConfig(app, LoadLevel::kHigh, policy);
+    cfg.collectTraces = true;
+    cfg.duration = window + milliseconds(50);
+    ExperimentResult r = Experiment(cfg).run();
+
+    std::printf("\n--- %s, %s governor, high load ---\n",
+                app.name.c_str(), freqPolicyName(policy));
+    Table table({"t (ms)", "pkts intr", "pkts poll", "P-state(core0)",
+                 "ksoftirqd wakes"});
+    const TraceCollector &tc = *r.traces;
+    Tick start = cfg.warmup;
+    for (Tick t = start; t < start + window; t += milliseconds(1)) {
+        table.addRow({
+            Table::num(toMilliseconds(t - start), 0),
+            Table::num(tc.intrSeries().at(t), 0),
+            Table::num(tc.pollSeries().at(t), 0),
+            Table::num(tc.pstateSeries().at(t), 0),
+            std::to_string(tc.ksoftirqdWakes().countInWindow(
+                t, t + milliseconds(1))),
+        });
+    }
+    table.print(std::cout);
+
+    // Summary row: the paper's observation that interrupt-mode packet
+    // counts are capped while polling scales with the burst.
+    double max_intr = 0.0;
+    double max_poll = 0.0;
+    for (Tick t = start; t < start + window; t += milliseconds(1)) {
+        max_intr = std::max(max_intr, tc.intrSeries().at(t));
+        max_poll = std::max(max_poll, tc.pollSeries().at(t));
+    }
+    std::printf("peak pkts/ms: interrupt mode %.0f, polling mode %.0f "
+                "(paper: interrupt capped, polling tracks load)\n",
+                max_intr, max_poll);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 2",
+                  "NAPI mode transitions under the ondemand governor");
+    Tick window = static_cast<Tick>(
+        static_cast<double>(milliseconds(200)) * bench::durationScale());
+    printTrace(AppProfile::memcached(), FreqPolicy::kOndemand, window);
+    printTrace(AppProfile::nginx(), FreqPolicy::kOndemand, window);
+    std::cout << "\nPaper shape: polling-mode packets dominate at the "
+                 "burst peaks and ksoftirqd wakes there, while the "
+                 "ondemand governor raises the P-state only in the "
+                 "middle/late part of each burst.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Fig. 3: end-to-end response latency of every request over
+ * a 0.5 second interval, memcached and nginx at high load, ondemand vs
+ * performance governors. The full scatter is summarised per
+ * 10 ms bucket (count / median / max) so the burst-shaped latency
+ * spikes the paper plots are visible in text form.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+void
+printLatencyTrace(const AppProfile &app, FreqPolicy policy)
+{
+    ExperimentConfig cfg =
+        bench::cellConfig(app, LoadLevel::kHigh, policy);
+    cfg.collectLatencyTrace = true;
+    cfg.duration = milliseconds(500); // the paper's 0.5 s window
+    ExperimentResult r = Experiment(cfg).run();
+
+    std::printf("\n--- %s, %s governor (SLO %.0f ms) ---\n",
+                app.name.c_str(), freqPolicyName(policy),
+                toMilliseconds(app.slo));
+
+    // Bucket the scatter into 10 ms windows.
+    std::map<Tick, std::vector<Tick>> buckets;
+    for (const LatencySample &s : r.latencyTrace)
+        buckets[(s.completionTime - cfg.warmup) / milliseconds(10)]
+            .push_back(s.latency);
+
+    Table table({"t (ms)", "requests", "median (us)", "max (us)",
+                 "> SLO"});
+    for (auto &[bucket, lats] : buckets) {
+        std::sort(lats.begin(), lats.end());
+        std::size_t over = 0;
+        for (Tick l : lats)
+            if (l > app.slo)
+                ++over;
+        table.addRow({
+            std::to_string(bucket * 10),
+            std::to_string(lats.size()),
+            Table::num(toMicroseconds(lats[lats.size() / 2]), 0),
+            Table::num(toMicroseconds(lats.back()), 0),
+            std::to_string(over),
+        });
+    }
+    table.print(std::cout);
+    std::printf("window total: %zu requests, P99 %.0f us, %.2f%% over "
+                "SLO\n",
+                r.latencyTrace.size(), toMicroseconds(r.p99),
+                r.fracOverSlo * 100.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 3", "per-request response latency over 0.5 s, "
+                            "ondemand vs performance");
+    for (const AppProfile &app :
+         {AppProfile::memcached(), AppProfile::nginx()}) {
+        printLatencyTrace(app, FreqPolicy::kOndemand);
+        printLatencyTrace(app, FreqPolicy::kPerformance);
+    }
+    std::cout << "\nPaper shape: ondemand shows multi-millisecond "
+                 "latency spikes aligned with the bursts; performance "
+                 "keeps every burst's latency within the SLO.\n";
+    return 0;
+}

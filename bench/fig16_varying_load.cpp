@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Fig. 16: memcached with a load level chosen at random
+ * among {low, med, high} every period for 5 seconds — NMAP vs the
+ * long-term feedback controller Parties. The paper reports 0.18% of
+ * requests over the SLO for NMAP vs 26.62% for Parties.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/rng.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+std::vector<LoadChange>
+randomSchedule(const AppProfile &app, Tick start, Tick end, Tick step,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<LoadChange> schedule;
+    const LoadLevelSpec *levels[] = {&app.low, &app.med, &app.high};
+    for (Tick t = start; t < end; t += step) {
+        schedule.push_back(
+            {t, *levels[rng.uniformInt(0, 2)]});
+    }
+    return schedule;
+}
+
+void
+runPolicy(FreqPolicy policy, const bench::NmapThresholdCache &)
+{
+    AppProfile app = AppProfile::memcached();
+    ExperimentConfig cfg =
+        bench::cellConfig(app, LoadLevel::kLow, policy);
+    cfg.collectTraces = true;
+    cfg.collectLatencyTrace = true;
+    cfg.duration = seconds(5);
+    cfg.loadSchedule = randomSchedule(
+        app, cfg.warmup, cfg.warmup + cfg.duration, milliseconds(500),
+        /*seed=*/777);
+    ExperimentResult r = Experiment(cfg).run();
+
+    std::printf("\n--- %s, randomly varying load over 5 s ---\n",
+                freqPolicyName(policy));
+    // 250 ms summary buckets: median/max latency + P-state of core 0.
+    std::map<Tick, std::vector<Tick>> buckets;
+    for (const LatencySample &s : r.latencyTrace)
+        buckets[(s.completionTime - cfg.warmup) / milliseconds(250)]
+            .push_back(s.latency);
+    Table table({"t (ms)", "requests", "median (us)", "max (us)",
+                 "P-state(core0)"});
+    for (auto &[bucket, lats] : buckets) {
+        std::sort(lats.begin(), lats.end());
+        table.addRow({
+            std::to_string(bucket * 250),
+            std::to_string(lats.size()),
+            Table::num(toMicroseconds(lats[lats.size() / 2]), 0),
+            Table::num(toMicroseconds(lats.back()), 0),
+            Table::num(r.traces->pstateSeries().at(
+                           cfg.warmup + bucket * milliseconds(250) +
+                           milliseconds(125)),
+                       0),
+        });
+    }
+    table.print(std::cout);
+    std::printf("requests over the 1 ms SLO: %.2f%%  (P99 = %.0f us, "
+                "P-state transitions = %llu)\n",
+                r.fracOverSlo * 100.0, toMicroseconds(r.p99),
+                static_cast<unsigned long long>(r.pstateTransitions));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 16",
+                  "varying load: NMAP vs Parties (500 ms feedback)");
+    bench::NmapThresholdCache thresholds;
+    runPolicy(FreqPolicy::kNmap, thresholds);
+    runPolicy(FreqPolicy::kParties, thresholds);
+    std::cout
+        << "\nPaper shape: NMAP rides the load changes (only 0.18% of "
+           "requests over the SLO; thresholds need no re-tuning as "
+           "load changes) while Parties' 500 ms decisions leave it at "
+           "mid P-states during bursts (26.62% over the SLO).\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulation substrate: event
+ * queue throughput, NIC+NAPI packet processing rate, and full-rig
+ * simulation speed. These keep the harness honest — every figure bench
+ * is built on these paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harness/experiment.hh"
+#include "net/nic.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleProcess(benchmark::State &state)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "noop");
+    for (auto _ : state) {
+        eq.scheduleIn(&ev, 10);
+        eq.step();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleProcess);
+
+void
+BM_EventQueueRescheduleStorm(benchmark::State &state)
+{
+    // The hot pattern of the core scheduler: deschedule + reschedule.
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "noop");
+    Tick t = 100;
+    for (auto _ : state) {
+        eq.reschedule(&ev, t);
+        t += 1;
+    }
+    eq.deschedule(&ev);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueRescheduleStorm);
+
+void
+BM_RngLognormal(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.lognormal(8.0, 0.5));
+}
+BENCHMARK(BM_RngLognormal);
+
+void
+BM_NicReceiveSteer(benchmark::State &state)
+{
+    EventQueue eq;
+    NicConfig cfg;
+    cfg.numQueues = 8;
+    Nic nic(eq, cfg);
+    nic.setIrqHandler([&nic](int q) { nic.disableIrq(q); });
+    Packet p;
+    p.kind = Packet::Kind::kRequest;
+    p.sizeBytes = 128;
+    std::uint32_t flow = 0;
+    for (auto _ : state) {
+        p.flowHash = flow++;
+        nic.receive(p);
+        Packet out;
+        nic.popRx(nic.rssQueue(p.flowHash), out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NicReceiveSteer);
+
+void
+BM_FullRigSimulatedMillisecond(benchmark::State &state)
+{
+    // Wall-clock cost of simulating 1 ms of the full 8-core server at
+    // the paper's high load.
+    for (auto _ : state) {
+        state.PauseTiming();
+        ExperimentConfig cfg;
+        cfg.app = AppProfile::memcached();
+        cfg.load = LoadLevel::kHigh;
+        cfg.freqPolicy = FreqPolicy::kOndemand;
+        cfg.warmup = 0;
+        cfg.duration = milliseconds(1);
+        Experiment experiment(cfg);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(experiment.run());
+    }
+}
+BENCHMARK(BM_FullRigSimulatedMillisecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Table 2: sleep-state wake-up time (CC6->CC0 and
+ * CC1->CC0) for four processors, 100 experiments each (Section 5.2).
+ * Also reports the CC6 private-cache refill cost the paper measures
+ * separately (7 us for 256 KB L2, 26.4 us for 1 MB L2).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cpu/cstate.hh"
+#include "sim/rng.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+SummaryStats
+measureWake(const CpuProfile &profile, CState state, int reps)
+{
+    // The paper's method: a wake-up thread signals a sleeping thread
+    // and times the wake; here the controller's wake latency is
+    // sampled directly with no cache touch (the refill is reported
+    // separately, as in the paper).
+    Rng rng(99);
+    CStateController ctl(profile, rng.fork(), 0.0);
+    SummaryStats stats;
+    Tick t = 0;
+    for (int i = 0; i < reps; ++i) {
+        ctl.enterSleep(state, t);
+        t += milliseconds(1);
+        stats.add(toMicroseconds(ctl.wake(t)));
+        t += milliseconds(1);
+    }
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 2", "wake-up time, 100 experiments per row");
+
+    int reps = static_cast<int>(100 * bench::durationScale());
+    if (reps < 20)
+        reps = 20;
+
+    Table table({"Processor", "C state transition", "Mean (us)",
+                 "Stdev (us)"});
+    for (const CpuProfile *profile :
+         {&CpuProfile::i76700(), &CpuProfile::i77700(),
+          &CpuProfile::xeonE52620v4(), &CpuProfile::xeonGold6134()}) {
+        SummaryStats c6 = measureWake(*profile, CState::kC6, reps);
+        SummaryStats c1 = measureWake(*profile, CState::kC1, reps);
+        table.addRow({profile->name, "CC6->CC0",
+                      Table::num(c6.mean(), 2),
+                      Table::num(c6.stdev(), 2)});
+        table.addRow({profile->name, "CC1->CC0",
+                      Table::num(c1.mean(), 2),
+                      Table::num(c1.stdev(), 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nCC6 cache-refill worst case (Section 5.2):\n";
+    Table refill({"Processor", "L2 refill (us)"});
+    refill.addRow({CpuProfile::xeonE52620v4().name,
+                   Table::num(toMicroseconds(
+                                  CpuProfile::xeonE52620v4()
+                                      .cstates.c6CacheRefillWorst),
+                              1)});
+    refill.addRow({CpuProfile::xeonGold6134().name,
+                   Table::num(toMicroseconds(
+                                  CpuProfile::xeonGold6134()
+                                      .cstates.c6CacheRefillWorst),
+                              1)});
+    refill.print(std::cout);
+    std::cout << "\nPaper shape: ~27.5 us CC6 exits and sub-us CC1 "
+                 "exits on every part; total worst-case CC6 penalty "
+                 "(exit + refill) ~53.8 us on the Gold 6134 — "
+                 "negligible against millisecond SLOs.\n";
+    return 0;
+}

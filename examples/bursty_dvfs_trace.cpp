@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example: watch a governor ride a traffic burst, millisecond by
+ * millisecond — the NAPI mode counters, the ksoftirqd activity and the
+ * P-state, side by side (the view behind the paper's Fig. 2 and 9).
+ *
+ * Usage: ./build/examples/bursty_dvfs_trace [ondemand|nmap|nmap-simpl|
+ *        performance|ncap]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+FreqPolicy
+parsePolicy(const char *arg)
+{
+    if (std::strcmp(arg, "nmap") == 0)
+        return FreqPolicy::kNmap;
+    if (std::strcmp(arg, "nmap-simpl") == 0)
+        return FreqPolicy::kNmapSimpl;
+    if (std::strcmp(arg, "performance") == 0)
+        return FreqPolicy::kPerformance;
+    if (std::strcmp(arg, "ncap") == 0)
+        return FreqPolicy::kNcap;
+    return FreqPolicy::kOndemand;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FreqPolicy policy =
+        argc > 1 ? parsePolicy(argv[1]) : FreqPolicy::kOndemand;
+    AppProfile app = AppProfile::memcached();
+
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.freqPolicy = policy;
+    cfg.load = LoadLevel::kHigh;
+    cfg.collectTraces = true;
+    cfg.duration = milliseconds(120); // a full burst + the idle tail
+    ExperimentResult r = Experiment(cfg).run();
+
+    std::cout << "one burst under the " << freqPolicyName(policy)
+              << " governor (memcached, high load; P-state 0 = "
+                 "3.2 GHz, 15 = 1.2 GHz)\n\n";
+    Table table({"t (ms)", "pkts intr", "pkts poll", "ksoftirqd",
+                 "P-state(core0)"});
+    const TraceCollector &tc = *r.traces;
+    for (Tick t = cfg.warmup; t < cfg.warmup + milliseconds(110);
+         t += milliseconds(2)) {
+        table.addRow({
+            Table::num(toMilliseconds(t - cfg.warmup), 0),
+            Table::num(tc.intrSeries().at(t) +
+                           tc.intrSeries().at(t + milliseconds(1)),
+                       0),
+            Table::num(tc.pollSeries().at(t) +
+                           tc.pollSeries().at(t + milliseconds(1)),
+                       0),
+            std::to_string(tc.ksoftirqdWakes().countInWindow(
+                t, t + milliseconds(2))),
+            Table::num(tc.pstateSeries().at(t), 0),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nrun P99 = " << toMicroseconds(r.p99)
+              << " us; V/F transitions = " << r.pstateTransitions
+              << "\nTry: bursty_dvfs_trace nmap   (early-burst P0, "
+                 "quick fallback)\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Example: compare every frequency policy in the library on one
+ * workload — the library's governor zoo in a single table.
+ *
+ * Usage: ./build/examples/governor_shootout [memcached|nginx]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+int
+main(int argc, char **argv)
+{
+    AppProfile app = (argc > 1 && std::strcmp(argv[1], "nginx") == 0)
+                         ? AppProfile::nginx()
+                         : AppProfile::memcached();
+    std::cout << "governor shootout: " << app.name << " (SLO "
+              << toMilliseconds(app.slo) << " ms), high load, menu "
+              << "sleep policy\n\n";
+
+    ExperimentConfig base;
+    base.app = app;
+    auto [ni_th, cu_th] = Experiment::profileThresholds(base);
+
+    Table table({"policy", "P99 (us)", "xSLO", "> SLO (%)",
+                 "energy (J)", "avg power (W)", "V/F transitions"});
+    for (FreqPolicy policy :
+         {FreqPolicy::kPowersave, FreqPolicy::kIntelPowersave,
+          FreqPolicy::kOndemand, FreqPolicy::kConservative,
+          FreqPolicy::kPerformance, FreqPolicy::kParties,
+          FreqPolicy::kNcapMenu, FreqPolicy::kNcap,
+          FreqPolicy::kNmapSimpl, FreqPolicy::kNmap}) {
+        ExperimentConfig cfg = base;
+        cfg.freqPolicy = policy;
+        cfg.load = LoadLevel::kHigh;
+        cfg.duration = seconds(1);
+        cfg.nmap.niThreshold = ni_th;
+        cfg.nmap.cuThreshold = cu_th;
+        ExperimentResult r = Experiment(cfg).run();
+        table.addRow({
+            freqPolicyName(policy),
+            Table::num(toMicroseconds(r.p99), 0),
+            Table::num(static_cast<double>(r.p99) /
+                           static_cast<double>(app.slo),
+                       2),
+            Table::num(r.fracOverSlo * 100.0, 2),
+            Table::num(r.energyJoules, 1),
+            Table::num(r.avgPowerWatts, 1),
+            std::to_string(r.pstateTransitions),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading guide: a policy must keep xSLO <= 1.0; "
+                 "among those, lower energy wins. At high load NMAP "
+                 "ties the tuned NCAP variants; its energy advantage "
+                 "grows at lower loads (see bench/fig15).\n";
+    return 0;
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Command-line experiment driver: run any configuration of the
+ * simulator from flags, without writing C++.
+ *
+ * Usage examples:
+ *     run_experiment --policy nmap --app memcached --load high
+ *     run_experiment --policy ondemand --app nginx --load med \
+ *                    --idle c6only --duration-ms 2000 --seed 7
+ *     run_experiment --policy nmap-adaptive --rps 1.2e6 --duty 0.3 \
+ *                    --trains 16 --skew 2 --cores 8 --trace
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+const struct
+{
+    const char *name;
+    FreqPolicy policy;
+} kPolicies[] = {
+    {"performance", FreqPolicy::kPerformance},
+    {"powersave", FreqPolicy::kPowersave},
+    {"userspace", FreqPolicy::kUserspace},
+    {"ondemand", FreqPolicy::kOndemand},
+    {"conservative", FreqPolicy::kConservative},
+    {"intel-powersave", FreqPolicy::kIntelPowersave},
+    {"nmap", FreqPolicy::kNmap},
+    {"nmap-simpl", FreqPolicy::kNmapSimpl},
+    {"nmap-adaptive", FreqPolicy::kNmapAdaptive},
+    {"nmap-chipwide", FreqPolicy::kNmapChipWide},
+    {"ncap", FreqPolicy::kNcap},
+    {"ncap-menu", FreqPolicy::kNcapMenu},
+    {"parties", FreqPolicy::kParties},
+};
+
+const struct
+{
+    const char *name;
+    IdlePolicy policy;
+} kIdlePolicies[] = {
+    {"menu", IdlePolicy::kMenu},
+    {"disable", IdlePolicy::kDisable},
+    {"c6only", IdlePolicy::kC6Only},
+    {"teo", IdlePolicy::kTeo},
+};
+
+void
+usage()
+{
+    std::printf(
+        "run_experiment — drive one nmapsim experiment from flags\n\n"
+        "  --policy NAME      frequency policy (default nmap):\n"
+        "                     ");
+    for (const auto &p : kPolicies)
+        std::printf("%s ", p.name);
+    std::printf(
+        "\n"
+        "  --idle NAME        sleep policy: menu disable c6only teo\n"
+        "  --app NAME         memcached | nginx (default memcached)\n"
+        "  --load LEVEL       low | med | high (default high)\n"
+        "  --rps X            override burst height (RPS during burst)\n"
+        "  --duty X           override burst duty cycle (0..1]\n"
+        "  --trains X         override mean train size\n"
+        "  --skew X           connection skew (0 = even RSS)\n"
+        "  --cores N          number of cores (default 8)\n"
+        "  --duration-ms N    measurement window (default 1000)\n"
+        "  --seed N           RNG seed (default 42)\n"
+        "  --ni-th X          NMAP NI_TH (default: offline profiling)\n"
+        "  --cu-th X          NMAP CU_TH (default: offline profiling)\n"
+        "  --pstate N         userspace policy's pinned P-state\n"
+        "  --trace            print a 1 ms trace of the run\n"
+        "  --help             this text\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.freqPolicy = FreqPolicy::kNmap;
+    bool trace = false;
+
+    auto next_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            return 0;
+        } else if (std::strcmp(arg, "--policy") == 0) {
+            const char *v = next_value(i);
+            bool found = false;
+            for (const auto &p : kPolicies) {
+                if (std::strcmp(v, p.name) == 0) {
+                    cfg.freqPolicy = p.policy;
+                    found = true;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr, "unknown policy: %s\n", v);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--idle") == 0) {
+            const char *v = next_value(i);
+            bool found = false;
+            for (const auto &p : kIdlePolicies) {
+                if (std::strcmp(v, p.name) == 0) {
+                    cfg.idlePolicy = p.policy;
+                    found = true;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr, "unknown idle policy: %s\n", v);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--app") == 0) {
+            const char *v = next_value(i);
+            if (std::strcmp(v, "nginx") == 0) {
+                cfg.app = AppProfile::nginx();
+            } else if (std::strcmp(v, "memcached") == 0) {
+                cfg.app = AppProfile::memcached();
+            } else {
+                std::fprintf(stderr, "unknown app: %s\n", v);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--load") == 0) {
+            const char *v = next_value(i);
+            if (std::strcmp(v, "low") == 0)
+                cfg.load = LoadLevel::kLow;
+            else if (std::strcmp(v, "med") == 0)
+                cfg.load = LoadLevel::kMed;
+            else if (std::strcmp(v, "high") == 0)
+                cfg.load = LoadLevel::kHigh;
+            else {
+                std::fprintf(stderr, "unknown load: %s\n", v);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--rps") == 0) {
+            cfg.rpsOverride = std::atof(next_value(i));
+        } else if (std::strcmp(arg, "--duty") == 0) {
+            cfg.dutyOverride = std::atof(next_value(i));
+        } else if (std::strcmp(arg, "--trains") == 0) {
+            cfg.trainMeanOverride = std::atof(next_value(i));
+        } else if (std::strcmp(arg, "--skew") == 0) {
+            cfg.connectionSkew = std::atof(next_value(i));
+        } else if (std::strcmp(arg, "--cores") == 0) {
+            cfg.numCores = std::atoi(next_value(i));
+        } else if (std::strcmp(arg, "--duration-ms") == 0) {
+            cfg.duration = milliseconds(std::atof(next_value(i)));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            cfg.seed =
+                static_cast<std::uint64_t>(std::atoll(next_value(i)));
+        } else if (std::strcmp(arg, "--ni-th") == 0) {
+            cfg.nmap.niThreshold = std::atof(next_value(i));
+        } else if (std::strcmp(arg, "--cu-th") == 0) {
+            cfg.nmap.cuThreshold = std::atof(next_value(i));
+        } else if (std::strcmp(arg, "--pstate") == 0) {
+            cfg.userspacePState = std::atoi(next_value(i));
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            trace = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s (see --help)\n",
+                         arg);
+            return 2;
+        }
+    }
+    cfg.collectTraces = trace;
+
+    std::printf("app=%s policy=%s idle=%s load=%s cores=%d "
+                "duration=%.0fms seed=%llu\n",
+                cfg.app.name.c_str(), freqPolicyName(cfg.freqPolicy),
+                idlePolicyName(cfg.idlePolicy),
+                loadLevelName(cfg.load), cfg.numCores,
+                toMilliseconds(cfg.duration),
+                static_cast<unsigned long long>(cfg.seed));
+
+    ExperimentResult r = Experiment(cfg).run();
+
+    Table table({"metric", "value"});
+    table.addRow({"P50 latency (us)",
+                  Table::num(toMicroseconds(r.p50), 1)});
+    table.addRow({"P99 latency (us)",
+                  Table::num(toMicroseconds(r.p99), 1)});
+    table.addRow({"P99 / SLO", Table::num(static_cast<double>(r.p99) /
+                                              static_cast<double>(
+                                                  r.slo),
+                                          3)});
+    table.addRow({"requests over SLO (%)",
+                  Table::num(r.fracOverSlo * 100.0, 3)});
+    table.addRow({"energy (J)", Table::num(r.energyJoules, 2)});
+    table.addRow({"avg package power (W)",
+                  Table::num(r.avgPowerWatts, 2)});
+    table.addRow({"requests sent", std::to_string(r.requestsSent)});
+    table.addRow(
+        {"responses received", std::to_string(r.responsesReceived)});
+    table.addRow({"NIC drops", std::to_string(r.nicDrops)});
+    table.addRow(
+        {"pkts interrupt mode", std::to_string(r.pktsIntrMode)});
+    table.addRow({"pkts polling mode", std::to_string(r.pktsPollMode)});
+    table.addRow(
+        {"ksoftirqd wakes", std::to_string(r.ksoftirqdWakes)});
+    table.addRow(
+        {"V/F transitions", std::to_string(r.pstateTransitions)});
+    table.addRow({"CC6 wakes", std::to_string(r.cc6Wakes)});
+    table.addRow({"mean core busy fraction",
+                  Table::num(r.busyFraction, 3)});
+    if (r.niThresholdUsed > 0.0) {
+        table.addRow({"NI_TH used", Table::num(r.niThresholdUsed, 1)});
+        table.addRow({"CU_TH used", Table::num(r.cuThresholdUsed, 2)});
+    }
+    table.print(std::cout);
+
+    if (trace && r.traces) {
+        std::printf("\nper-ms trace (first 100 ms of measurement):\n");
+        Table tr({"t (ms)", "pkts intr", "pkts poll",
+                  "P-state(core0)"});
+        for (Tick t = cfg.warmup;
+             t < cfg.warmup + milliseconds(100) &&
+             t < cfg.warmup + cfg.duration;
+             t += milliseconds(1)) {
+            tr.addRow({
+                Table::num(toMilliseconds(t - cfg.warmup), 0),
+                Table::num(r.traces->intrSeries().at(t), 0),
+                Table::num(r.traces->pollSeries().at(t), 0),
+                Table::num(r.traces->pstateSeries().at(t), 0),
+            });
+        }
+        tr.print(std::cout);
+    }
+    return 0;
+}

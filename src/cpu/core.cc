@@ -1,0 +1,87 @@
+#include "cpu/core.hh"
+
+namespace nmapsim {
+
+Core::Core(int id, EventQueue &eq, const CpuProfile &profile, Rng &rng,
+           double cache_touch)
+    : id_(id), eq_(eq), profile_(profile),
+      dvfs_(eq, profile, rng.fork(), 0),
+      cstates_(profile, rng.fork(), cache_touch),
+      powerModel_(profile.power)
+{
+    dvfs_.setApplyCallback([this](int idx) { onPStateApplied(idx); });
+    updatePower();
+}
+
+void
+Core::onPStateApplied(int idx)
+{
+    updatePower();
+    double freq =
+        profile_.pstates.state(static_cast<std::size_t>(idx)).freqHz;
+    for (const auto &cb : freqListeners_)
+        cb(freq);
+}
+
+void
+Core::updatePower()
+{
+    meter_.setPower(eq_.now(),
+                    powerModel_.power(cstates_.state(), busy_, waking_,
+                                      pstate()));
+}
+
+void
+Core::setWaking(bool waking)
+{
+    if (waking == waking_)
+        return;
+    waking_ = waking;
+    updatePower();
+}
+
+void
+Core::enterSleep(CState s)
+{
+    cstates_.enterSleep(s, eq_.now());
+    updatePower();
+}
+
+void
+Core::deepenSleep(CState s)
+{
+    cstates_.deepen(s, eq_.now());
+    updatePower();
+}
+
+Tick
+Core::wake()
+{
+    Tick penalty = cstates_.wake(eq_.now());
+    updatePower();
+    return penalty;
+}
+
+void
+Core::setBusy(bool busy)
+{
+    if (busy == busy_)
+        return;
+    Tick now = eq_.now();
+    if (busy_)
+        busyAccum_ += now - lastBusyChange_;
+    lastBusyChange_ = now;
+    busy_ = busy;
+    updatePower();
+}
+
+Tick
+Core::busyTime() const
+{
+    Tick t = busyAccum_;
+    if (busy_)
+        t += eq_.now() - lastBusyChange_;
+    return t;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * One CPU core: frequency domain + sleep states + power accounting.
+ *
+ * Core is the hardware-facing facade the OS scheduler and the governors
+ * talk to. It owns the DVFS actuator (per-core DVFS as on the paper's
+ * Xeon Gold 6134), the C-state controller, and an integrating energy
+ * meter driven by the analytic power model. The OS layer reports
+ * busy/idle; governors read busy-time and C0-residency deltas and issue
+ * P-state requests through dvfs().
+ */
+
+#ifndef NMAPSIM_CPU_CORE_HH_
+#define NMAPSIM_CPU_CORE_HH_
+
+#include <functional>
+#include <vector>
+
+#include "cpu/cpu_profile.hh"
+#include "cpu/cstate.hh"
+#include "cpu/dvfs_actuator.hh"
+#include "cpu/power_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/energy_meter.hh"
+
+namespace nmapsim {
+
+/** A single core of the simulated processor. */
+class Core
+{
+  public:
+    /**
+     * @param id           core number (also the NIC queue it serves)
+     * @param eq           simulation event queue
+     * @param profile      processor calibration
+     * @param rng          parent stream; the core forks private streams
+     * @param cache_touch  CC6 refill fraction (see CStateController)
+     */
+    Core(int id, EventQueue &eq, const CpuProfile &profile, Rng &rng,
+         double cache_touch = 0.3);
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    int id() const { return id_; }
+    const CpuProfile &profile() const { return profile_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    /** @name Frequency domain */
+    /**@{*/
+    DvfsActuator &dvfs() { return dvfs_; }
+    int pstateIndex() const { return dvfs_.currentPState(); }
+    const PState &
+    pstate() const
+    {
+        return profile_.pstates.state(
+            static_cast<std::size_t>(dvfs_.currentPState()));
+    }
+    double freqHz() const { return pstate().freqHz; }
+
+    /** Register an observer invoked when the effective frequency
+     *  changes; listeners fire in registration order. */
+    void
+    addFreqListener(std::function<void(double)> cb)
+    {
+        freqListeners_.push_back(std::move(cb));
+    }
+    /**@}*/
+
+    /** @name Sleep states */
+    /**@{*/
+    CStateController &cstates() { return cstates_; }
+    const CStateController &cstates() const { return cstates_; }
+
+    /** Put the core to sleep (scheduler calls this when idle). */
+    void enterSleep(CState s);
+
+    /** Deepen an ongoing sleep (cpuidle promotion). */
+    void deepenSleep(CState s);
+
+    /** Wake the core; returns the wake-up penalty to charge. */
+    Tick wake();
+    /**@}*/
+
+    /** @name Busy accounting */
+    /**@{*/
+    /** Report whether the core is executing work right now. */
+    void setBusy(bool busy);
+    bool busy() const { return busy_; }
+
+    /** Report that the core is paying a C-state exit penalty. */
+    void setWaking(bool waking);
+    bool waking() const { return waking_; }
+
+    /** Cumulative busy time since boot. */
+    Tick busyTime() const;
+    /**@}*/
+
+    /** Energy meter integrating this core's power. */
+    EnergyMeter &meter() { return meter_; }
+    const EnergyMeter &meter() const { return meter_; }
+
+  private:
+    void onPStateApplied(int idx);
+    void updatePower();
+
+    int id_;
+    EventQueue &eq_;
+    const CpuProfile &profile_;
+    DvfsActuator dvfs_;
+    CStateController cstates_;
+    CorePowerModel powerModel_;
+    EnergyMeter meter_;
+    std::vector<std::function<void(double)>> freqListeners_;
+
+    bool busy_ = false;
+    bool waking_ = false;
+    Tick busyAccum_ = 0;
+    Tick lastBusyChange_ = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CPU_CORE_HH_

@@ -1,0 +1,162 @@
+#include "cpu/cpu_profile.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+namespace {
+
+constexpr double kGHz = 1e9;
+
+PowerParams
+desktopPower()
+{
+    return PowerParams{
+        /*dynCoeff=*/1.6,
+        /*staticCoeff=*/2.0,
+        /*c1StaticFactor=*/1.0,
+        /*c6Watts=*/0.05,
+        /*idleActivity=*/0.15,
+        /*busyActivity=*/1.0,
+        /*uncoreWatts=*/2.0,
+        /*uncoreVoltCoeff=*/5.0,
+    };
+}
+
+PowerParams
+serverPower()
+{
+    return PowerParams{
+        /*dynCoeff=*/1.75,
+        /*staticCoeff=*/2.5,
+        /*c1StaticFactor=*/1.0,
+        /*c6Watts=*/0.05,
+        /*idleActivity=*/0.15,
+        /*busyActivity=*/1.0,
+        /*uncoreWatts=*/2.0,
+        /*uncoreVoltCoeff=*/9.0,
+    };
+}
+
+CStateProfile
+makeCStates(TransitionAnchor c1, TransitionAnchor c6, Tick refill)
+{
+    return CStateProfile{
+        c1,
+        c6,
+        refill,
+        /*c1TargetResidency=*/microseconds(2),
+        /*c6TargetResidency=*/microseconds(600),
+    };
+}
+
+} // namespace
+
+const CpuProfile &
+CpuProfile::i76700()
+{
+    static const CpuProfile profile{
+        "i7-6700",
+        PStateTable::linear(4.0 * kGHz, 0.8 * kGHz, 1.25, 0.65, 16),
+        microseconds(10),
+        milliseconds(1),
+        ReTransitionProfile{
+            {21.0, 2.2}, {34.6, 2.2}, {27.2, 5.5},
+            {45.1, 6.5}, {25.3, 1.4}, {35.8, 2.2},
+        },
+        makeCStates({0.35, 0.48}, {27.70, 3.00}, microseconds(7)),
+        desktopPower(),
+    };
+    return profile;
+}
+
+const CpuProfile &
+CpuProfile::i77700()
+{
+    static const CpuProfile profile{
+        "i7-7700",
+        PStateTable::linear(4.2 * kGHz, 0.8 * kGHz, 1.25, 0.65, 16),
+        microseconds(10),
+        milliseconds(1),
+        ReTransitionProfile{
+            {21.7, 3.8}, {31.3, 2.1}, {25.9, 3.1},
+            {50.7, 6.6}, {26.3, 2.9}, {33.8, 2.3},
+        },
+        makeCStates({0.40, 0.49}, {27.56, 4.15}, microseconds(7)),
+        desktopPower(),
+    };
+    return profile;
+}
+
+const CpuProfile &
+CpuProfile::xeonE52620v4()
+{
+    static const CpuProfile profile{
+        "Xeon E5-2620v4",
+        PStateTable::linear(2.1 * kGHz, 1.2 * kGHz, 1.1, 0.75, 9),
+        microseconds(10),
+        milliseconds(1),
+        ReTransitionProfile{
+            {516.1, 3.4}, {516.2, 3.5}, {520.9, 5.6},
+            {520.3, 5.9}, {517.2, 4.3}, {517.2, 4.2},
+        },
+        // 256 KB L2: 7 us worst-case refill (Section 5.2).
+        makeCStates({0.50, 0.50}, {27.25, 4.77}, microseconds(7)),
+        serverPower(),
+    };
+    return profile;
+}
+
+const CpuProfile &
+CpuProfile::xeonGold6134()
+{
+    static const CpuProfile profile{
+        "Xeon Gold 6134",
+        // 16 P-states from 3.2 GHz (P0) down to 1.2 GHz (P15), 6.1.
+        PStateTable::linear(3.2 * kGHz, 1.2 * kGHz, 1.2, 0.7, 16),
+        microseconds(10),
+        milliseconds(1),
+        ReTransitionProfile{
+            {525.7, 5.7}, {525.6, 5.7}, {528.4, 7.0},
+            {527.3, 7.1}, {526.3, 6.4}, {526.9, 6.8},
+        },
+        // 1 MB L2: 26.4 us worst-case refill (Section 5.2).
+        makeCStates({0.56, 0.50}, {27.43, 4.05},
+                static_cast<Tick>(26.4 * kMicrosecond)),
+        serverPower(),
+    };
+    return profile;
+}
+
+const CpuProfile &
+CpuProfile::xeonGold6134FastVr()
+{
+    static const CpuProfile profile = [] {
+        CpuProfile p = xeonGold6134();
+        p.name = "Xeon Gold 6134 (fast VR)";
+        // No settle window: every request pays only the ACPI nominal
+        // latency, i.e. the idealised regulators prior short-term DVFS
+        // work assumes.
+        p.settleWindow = 0;
+        return p;
+    }();
+    return profile;
+}
+
+const CpuProfile &
+CpuProfile::byName(const std::string &name)
+{
+    if (name == "i7-6700")
+        return i76700();
+    if (name == "i7-7700")
+        return i77700();
+    if (name == "Xeon E5-2620v4")
+        return xeonE52620v4();
+    if (name == "Xeon Gold 6134")
+        return xeonGold6134();
+    if (name == "Xeon Gold 6134 (fast VR)")
+        return xeonGold6134FastVr();
+    fatal("unknown CPU profile: " + name);
+}
+
+} // namespace nmapsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Calibrated per-processor hardware profiles.
+ *
+ * Each profile bundles the P-state table, the re-transition latency
+ * anchors measured in the paper's Table 1, the C-state wake-up latencies
+ * of Table 2 (plus the Section 5.2 CC6 cache-refill penalty), and the
+ * power-model coefficients. The four processors the paper characterises
+ * are provided; Xeon Gold 6134 is the evaluation machine.
+ */
+
+#ifndef NMAPSIM_CPU_CPU_PROFILE_HH_
+#define NMAPSIM_CPU_CPU_PROFILE_HH_
+
+#include <string>
+
+#include "cpu/pstate.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** Mean/stdev (in microseconds) of one measured transition class. */
+struct TransitionAnchor
+{
+    double meanUs;
+    double stdevUs;
+};
+
+/**
+ * The six transition classes of Table 1. "High"/"low" refer to which end
+ * of the P-state range the one-step transition happens at; "far" is the
+ * full Pmax<->Pmin swing. Arbitrary transitions interpolate.
+ */
+struct ReTransitionProfile
+{
+    TransitionAnchor smallDownHigh; //!< Pmax -> Pmax-1
+    TransitionAnchor smallUpHigh;   //!< Pmax-1 -> Pmax
+    TransitionAnchor farDown;       //!< Pmax -> Pmin
+    TransitionAnchor farUp;         //!< Pmin -> Pmax
+    TransitionAnchor smallDownLow;  //!< Pmin+1 -> Pmin
+    TransitionAnchor smallUpLow;    //!< Pmin -> Pmin+1
+};
+
+/** C-state exit latencies (Table 2) and menu-governor residency targets. */
+struct CStateProfile
+{
+    TransitionAnchor c1Exit; //!< CC1 -> CC0 wake-up latency
+    TransitionAnchor c6Exit; //!< CC6 -> CC0 wake-up latency
+    Tick c6CacheRefillWorst; //!< worst-case private-cache refill (5.2)
+    Tick c1TargetResidency;  //!< menu: min idle span worth entering CC1
+    Tick c6TargetResidency;  //!< menu: min idle span worth entering CC6
+};
+
+/** Coefficients of the analytic core/package power model. */
+struct PowerParams
+{
+    double dynCoeff;       //!< W per (V^2 * GHz) at activity 1.0
+    double staticCoeff;    //!< W per V (leakage, present in C0/C1)
+    double c1StaticFactor; //!< fraction of static power left in CC1
+    double c6Watts;        //!< residual power in CC6
+    double idleActivity;   //!< activity factor when idling in C0
+    double busyActivity;   //!< activity factor when executing
+    double uncoreWatts;    //!< constant part of package/uncore power
+    double uncoreVoltCoeff; //!< uncore watts per volt of mean core V
+};
+
+/** Everything the simulator needs to know about one processor. */
+struct CpuProfile
+{
+    std::string name;
+    PStateTable pstates;
+    Tick nominalTransition; //!< ACPI-advertised V/F switch latency
+    Tick settleWindow;      //!< window after a switch in which another
+                            //!< request pays re-transition latency
+    ReTransitionProfile retrans;
+    CStateProfile cstates;
+    PowerParams power;
+
+    /** Intel i7-6700 desktop part (Table 1/2 row 1). */
+    static const CpuProfile &i76700();
+    /** Intel i7-7700 desktop part (Table 1/2 row 2). */
+    static const CpuProfile &i77700();
+    /** Intel Xeon E5-2620 v4 server part (256 KB L2). */
+    static const CpuProfile &xeonE52620v4();
+    /** Intel Xeon Gold 6134 — the paper's evaluation machine:
+     *  8 cores, per-core DVFS, 16 P-states 1.2-3.2 GHz, 1 MB L2. */
+    static const CpuProfile &xeonGold6134();
+
+    /**
+     * Hypothetical Gold 6134 with the fast on-chip regulators the
+     * short-term DVFS literature assumes (Section 5.1's discussion):
+     * every transition costs the nominal 10 us, no re-transition
+     * penalty. Used by bench/ablation_retransition to quantify how
+     * much of NMAP-simpl's high-load failure is the ~520 us
+     * re-transition latency.
+     */
+    static const CpuProfile &xeonGold6134FastVr();
+
+    /** Look up a profile by name(); fatal() on unknown names. */
+    static const CpuProfile &byName(const std::string &name);
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CPU_CPU_PROFILE_HH_

@@ -1,0 +1,117 @@
+#include "cpu/dvfs_actuator.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+namespace {
+
+/** Linear interpolation between anchors by a fraction in [0, 1]. */
+TransitionAnchor
+lerp(const TransitionAnchor &a, const TransitionAnchor &b, double t)
+{
+    return {a.meanUs + (b.meanUs - a.meanUs) * t,
+            a.stdevUs + (b.stdevUs - a.stdevUs) * t};
+}
+
+} // namespace
+
+DvfsActuator::DvfsActuator(EventQueue &eq, const CpuProfile &profile,
+                           Rng rng, int initial)
+    : eq_(eq), profile_(profile), rng_(rng),
+      current_(profile.pstates.clampIndex(initial)), target_(current_),
+      // Boot counts as a long-completed transition so the first request
+      // pays only the nominal latency.
+      lastCompletion_(-profile.settleWindow * 2),
+      transitionEvent_([this] { completeTransition(); },
+                       "dvfs.transition")
+{
+}
+
+DvfsActuator::~DvfsActuator()
+{
+    eq_.deschedule(&transitionEvent_);
+}
+
+bool
+DvfsActuator::inSettleWindow() const
+{
+    return eq_.now() - lastCompletion_ < profile_.settleWindow;
+}
+
+Tick
+DvfsActuator::sampleLatency(int from, int to, bool retransition)
+{
+    if (!retransition)
+        return profile_.nominalTransition;
+
+    const ReTransitionProfile &r = profile_.retrans;
+    int n = profile_.pstates.maxIndex();
+    if (n <= 0)
+        return profile_.nominalTransition;
+
+    bool up = to < from; // lower index means higher V/F
+    double dist = std::abs(to - from) / static_cast<double>(n);
+    // Position of the one-step anchor to blend with: 0 at the Pmin end
+    // of the table, 1 at the Pmax end.
+    double mid = (from + to) / 2.0 / static_cast<double>(n);
+    double pos_high = 1.0 - mid;
+
+    TransitionAnchor small =
+        up ? lerp(r.smallUpLow, r.smallUpHigh, pos_high)
+           : lerp(r.smallDownLow, r.smallDownHigh, pos_high);
+    TransitionAnchor far = up ? r.farUp : r.farDown;
+
+    // One-step transitions use the small anchor; the full swing uses the
+    // far anchor; everything between interpolates by distance.
+    double small_dist = 1.0 / static_cast<double>(n);
+    double t = dist <= small_dist
+                   ? 0.0
+                   : (dist - small_dist) / (1.0 - small_dist);
+    TransitionAnchor a = lerp(small, far, t);
+
+    double us = rng_.truncatedNormal(a.meanUs, a.stdevUs, 1.0);
+    return static_cast<Tick>(us * kMicrosecond);
+}
+
+void
+DvfsActuator::requestPState(int idx)
+{
+    idx = profile_.pstates.clampIndex(idx);
+    if (idx == target_)
+        return;
+    target_ = idx;
+    if (!transitionEvent_.scheduled()) {
+        startTransition();
+    }
+    // Otherwise the in-flight transition completes first and the chain
+    // continues toward the new target from completeTransition().
+}
+
+void
+DvfsActuator::startTransition()
+{
+    bool retrans = inSettleWindow();
+    Tick latency = sampleLatency(current_, target_, retrans);
+    inFlightTarget_ = target_;
+    lastLatency_ = latency;
+    eq_.scheduleIn(&transitionEvent_, latency);
+}
+
+void
+DvfsActuator::completeTransition()
+{
+    current_ = inFlightTarget_;
+    inFlightTarget_ = -1;
+    lastCompletion_ = eq_.now();
+    ++numTransitions_;
+    if (applyCb_)
+        applyCb_(current_);
+    // A request that arrived mid-flight re-targeted target_; chase it.
+    if (target_ != current_)
+        startTransition();
+}
+
+} // namespace nmapsim

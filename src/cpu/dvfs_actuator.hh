@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-core DVFS actuator with the paper's re-transition latency model.
+ *
+ * Section 5.1 of the paper shows that the latency between writing the
+ * P-state control register and the change taking effect is the ACPI
+ * nominal (~10 us) only for isolated writes; a write issued while the
+ * previous transition is still settling pays a much larger
+ * "re-transition" latency — hundreds of microseconds on server parts.
+ * The actuator reproduces exactly that: requests within settleWindow of
+ * the previous transition (or while one is in flight) sample their
+ * latency from the Table 1 anchors of the configured CpuProfile.
+ */
+
+#ifndef NMAPSIM_CPU_DVFS_ACTUATOR_HH_
+#define NMAPSIM_CPU_DVFS_ACTUATOR_HH_
+
+#include <functional>
+
+#include "cpu/cpu_profile.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** Applies P-state change requests after a modelled hardware latency. */
+class DvfsActuator
+{
+  public:
+    /** Called when a transition completes, with the new P-state index. */
+    using ApplyCallback = std::function<void(int)>;
+
+    /**
+     * @param eq       simulation event queue
+     * @param profile  processor calibration (latency anchors, table size)
+     * @param rng      private random stream for latency noise
+     * @param initial  P-state the core boots in
+     */
+    DvfsActuator(EventQueue &eq, const CpuProfile &profile, Rng rng,
+                 int initial = 0);
+
+    ~DvfsActuator();
+
+    DvfsActuator(const DvfsActuator &) = delete;
+    DvfsActuator &operator=(const DvfsActuator &) = delete;
+
+    /** Register the observer notified when a transition lands. */
+    void setApplyCallback(ApplyCallback cb) { applyCb_ = std::move(cb); }
+
+    /**
+     * Request a change to P-state @p idx (clamped). The latest request
+     * wins: a request issued while another is in flight re-targets the
+     * chain and pays re-transition latency. Requesting the currently
+     * effective state with nothing in flight is a no-op.
+     */
+    void requestPState(int idx);
+
+    /** Currently effective P-state (what the core actually runs at). */
+    int currentPState() const { return current_; }
+
+    /** Most recently requested target. */
+    int targetPState() const { return target_; }
+
+    /** True while a transition is in flight. */
+    bool transitionPending() const { return transitionEvent_.scheduled(); }
+
+    /** Latency of the most recently *completed* transition. */
+    Tick lastTransitionLatency() const { return lastLatency_; }
+
+    /** Number of transitions that have completed. */
+    std::uint64_t numTransitions() const { return numTransitions_; }
+
+    /**
+     * Latency a request from state @p from to state @p to would pay right
+     * now (exposed for the Table 1 micro-benchmark). @p retransition
+     * selects between the nominal and the re-transition model.
+     */
+    Tick sampleLatency(int from, int to, bool retransition);
+
+  private:
+    void startTransition();
+    void completeTransition();
+    bool inSettleWindow() const;
+
+    EventQueue &eq_;
+    const CpuProfile &profile_;
+    Rng rng_;
+    ApplyCallback applyCb_;
+
+    int current_;
+    int target_;
+    int inFlightTarget_ = -1;
+    Tick lastCompletion_;
+    Tick lastLatency_ = 0;
+    std::uint64_t numTransitions_ = 0;
+
+    EventFunctionWrapper transitionEvent_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CPU_DVFS_ACTUATOR_HH_

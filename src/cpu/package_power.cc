@@ -1,0 +1,30 @@
+#include "cpu/package_power.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+PackagePower::PackagePower(EventQueue &eq, std::vector<Core *> cores)
+    : eq_(eq), cores_(std::move(cores))
+{
+    if (cores_.empty())
+        fatal("PackagePower requires at least one core");
+    for (Core *core : cores_)
+        core->addFreqListener([this](double) { update(); });
+    update();
+}
+
+void
+PackagePower::update()
+{
+    double mean_v = 0.0;
+    for (Core *core : cores_)
+        mean_v += core->pstate().voltage;
+    mean_v /= static_cast<double>(cores_.size());
+
+    const PowerParams &p = cores_.front()->profile().power;
+    meter_.setPower(eq_.now(),
+                    p.uncoreWatts + p.uncoreVoltCoeff * mean_v);
+}
+
+} // namespace nmapsim

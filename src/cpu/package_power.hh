@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Package-shared (uncore) power model.
+ *
+ * Beyond the per-core power, a package draws power in the shared mesh,
+ * LLC, memory controller and voltage-regulation path. A large part of
+ * that tracks the core supply voltages: keeping any core's rail at
+ * V_max raises shared-rail leakage and VR losses even when the core
+ * itself idles. We model uncore power as
+ *
+ *     P_uncore = base + coeff * mean(core voltage)
+ *
+ * which reproduces the package-level RAPL behaviour the paper relies
+ * on: the performance governor's high voltage costs energy around the
+ * clock, while per-core DVFS policies recover it whenever they drop the
+ * V/F state.
+ */
+
+#ifndef NMAPSIM_CPU_PACKAGE_POWER_HH_
+#define NMAPSIM_CPU_PACKAGE_POWER_HH_
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "sim/event_queue.hh"
+#include "stats/energy_meter.hh"
+
+namespace nmapsim {
+
+/** Voltage-tracking uncore power, integrated into an EnergyMeter. */
+class PackagePower
+{
+  public:
+    /**
+     * @param cores the package's cores; subscribes to their frequency
+     *              changes. Borrowed, must outlive this object.
+     */
+    PackagePower(EventQueue &eq, std::vector<Core *> cores);
+
+    /** Meter integrating the uncore power. */
+    EnergyMeter &meter() { return meter_; }
+    const EnergyMeter &meter() const { return meter_; }
+
+    /** Current uncore power in watts. */
+    double watts() const { return meter_.power(); }
+
+  private:
+    void update();
+
+    EventQueue &eq_;
+    std::vector<Core *> cores_;
+    EnergyMeter meter_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CPU_PACKAGE_POWER_HH_

@@ -1,0 +1,30 @@
+#include "cpu/power_model.hh"
+
+namespace nmapsim {
+
+double
+CorePowerModel::power(CState s, bool busy, bool waking,
+                      const PState &p) const
+{
+    switch (s) {
+      case CState::kC6:
+        return params_.c6Watts;
+      case CState::kC1:
+        return params_.c1StaticFactor * params_.staticCoeff * p.voltage;
+      case CState::kC0:
+      default: {
+        if (waking)
+            return params_.c1StaticFactor * params_.staticCoeff *
+                   p.voltage;
+        double activity =
+            busy ? params_.busyActivity : params_.idleActivity;
+        double ghz = p.freqHz / 1e9;
+        double dyn = params_.dynCoeff * activity * p.voltage * p.voltage *
+                     ghz;
+        double stat = params_.staticCoeff * p.voltage;
+        return dyn + stat;
+      }
+    }
+}
+
+} // namespace nmapsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytic core power model.
+ *
+ * First-order CMOS model: dynamic power proportional to activity * V^2 *
+ * f, static (leakage) power proportional to V, gated by the C-state.
+ * CC1 stops the clock (no dynamic power), CC6 power-gates the core down
+ * to a small residual. Idling in C0 (the "disable" sleep policy) still
+ * burns a configurable activity fraction — that is what makes `disable`
+ * expensive in Fig. 8/13.
+ */
+
+#ifndef NMAPSIM_CPU_POWER_MODEL_HH_
+#define NMAPSIM_CPU_POWER_MODEL_HH_
+
+#include "cpu/cpu_profile.hh"
+#include "cpu/cstate.hh"
+#include "cpu/pstate.hh"
+
+namespace nmapsim {
+
+/** Computes instantaneous core power from (C-state, busy, P-state). */
+class CorePowerModel
+{
+  public:
+    explicit CorePowerModel(const PowerParams &params)
+        : params_(params)
+    {
+    }
+
+    /**
+     * Instantaneous power in watts.
+     *
+     * @param s      current C-state
+     * @param busy   true when the core is executing work (only
+     *               meaningful in C0)
+     * @param waking true while the core is paying a C-state exit
+     *               penalty: the clock is not yet running, so only
+     *               leakage-level power is drawn
+     * @param p      operating point of the core's frequency domain
+     */
+    double power(CState s, bool busy, bool waking,
+                 const PState &p) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CPU_POWER_MODEL_HH_

@@ -1,0 +1,65 @@
+#include "cpu/pstate.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+PStateTable::PStateTable(std::vector<PState> states)
+    : states_(std::move(states))
+{
+    if (states_.empty())
+        fatal("PStateTable requires at least one state");
+    for (std::size_t i = 1; i < states_.size(); ++i) {
+        if (states_[i].freqHz >= states_[i - 1].freqHz)
+            fatal("PStateTable frequencies must strictly descend");
+    }
+}
+
+PStateTable
+PStateTable::linear(double fmax_hz, double fmin_hz, double vmax,
+                    double vmin, int n)
+{
+    if (n < 2)
+        fatal("PStateTable::linear requires at least two states");
+    std::vector<PState> states;
+    states.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) / static_cast<double>(n - 1);
+        states.push_back({fmax_hz + (fmin_hz - fmax_hz) * t,
+                          vmax + (vmin - vmax) * t});
+    }
+    return PStateTable(std::move(states));
+}
+
+int
+PStateTable::clampIndex(int idx) const
+{
+    return std::clamp(idx, 0, maxIndex());
+}
+
+int
+PStateTable::indexForFreq(double freq_hz) const
+{
+    // States descend; find the slowest state still >= freq_hz.
+    int best = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].freqHz >= freq_hz)
+            best = static_cast<int>(i);
+        else
+            break;
+    }
+    return best;
+}
+
+int
+PStateTable::indexForUtil(double util, double up_threshold) const
+{
+    if (util >= up_threshold)
+        return 0;
+    double target = states_[0].freqHz * util / up_threshold;
+    return indexForFreq(target);
+}
+
+} // namespace nmapsim

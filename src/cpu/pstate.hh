@@ -1,0 +1,67 @@
+/**
+ * @file
+ * P-state (voltage/frequency operating point) tables.
+ *
+ * Index 0 is the highest-performance state (P0), matching Intel and the
+ * paper's convention; larger indices are slower and lower-voltage.
+ */
+
+#ifndef NMAPSIM_CPU_PSTATE_HH_
+#define NMAPSIM_CPU_PSTATE_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace nmapsim {
+
+/** One voltage/frequency operating point. */
+struct PState
+{
+    double freqHz;  //!< core clock frequency
+    double voltage; //!< supply voltage in volts
+};
+
+/** Ordered set of P-states, P0 (fastest) first. */
+class PStateTable
+{
+  public:
+    /** Build from explicit states; must be non-empty and descending. */
+    explicit PStateTable(std::vector<PState> states);
+
+    /**
+     * Build @p n evenly spaced states from (fmax, vmax) at P0 down to
+     * (fmin, vmin) at P(n-1). Voltage scales linearly with frequency,
+     * the usual first-order DVFS model.
+     */
+    static PStateTable linear(double fmax_hz, double fmin_hz, double vmax,
+                              double vmin, int n);
+
+    std::size_t numStates() const { return states_.size(); }
+    const PState &state(std::size_t idx) const { return states_[idx]; }
+
+    int maxIndex() const { return static_cast<int>(states_.size()) - 1; }
+
+    /** Clamp an index into the valid range. */
+    int clampIndex(int idx) const;
+
+    /**
+     * Smallest (fastest) index whose frequency is <= @p freq_hz; used by
+     * utilisation governors to map a target frequency to a state. Falls
+     * back to P0 if @p freq_hz exceeds the table maximum.
+     */
+    int indexForFreq(double freq_hz) const;
+
+    /**
+     * State a utilisation-proportional governor picks: target frequency
+     * is util / up_threshold of fmax (ondemand's scaling rule), then
+     * rounded up to the next faster state.
+     */
+    int indexForUtil(double util, double up_threshold) const;
+
+  private:
+    std::vector<PState> states_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CPU_PSTATE_HH_

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Sleep-state (cpuidle) policies: menu, disable, c6only.
+ *
+ * These are the three policies compared in Section 5.2 / Fig. 8 of the
+ * paper: Linux's default menu governor (history-based idle prediction),
+ * `disable` (never sleep — the core idles in C0), and `c6only` (always
+ * take the deepest state). The paper's finding — and this simulator
+ * reproduces it — is that with millisecond-scale SLOs the choice barely
+ * moves tail latency but moves energy a lot.
+ */
+
+#ifndef NMAPSIM_GOVERNORS_CPUIDLE_POLICIES_HH_
+#define NMAPSIM_GOVERNORS_CPUIDLE_POLICIES_HH_
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "cpu/cpu_profile.hh"
+#include "os/cpuidle.hh"
+
+namespace nmapsim {
+
+/** Never sleep: idle cores spin in C0. */
+class DisableIdleGovernor : public CpuIdleGovernor
+{
+  public:
+    CState
+    selectState(int core, Tick now) override
+    {
+        (void)core;
+        (void)now;
+        return CState::kC0;
+    }
+
+    std::string name() const override { return "disable"; }
+};
+
+/** Always take the deepest sleep state (CC6). */
+class C6OnlyIdleGovernor : public CpuIdleGovernor
+{
+  public:
+    CState
+    selectState(int core, Tick now) override
+    {
+        (void)core;
+        (void)now;
+        return CState::kC6;
+    }
+
+    std::string name() const override { return "c6only"; }
+};
+
+/**
+ * Linux menu governor (simplified): predicts the next idle span from a
+ * window of recent idle durations and picks the deepest C-state whose
+ * target residency fits the prediction.
+ */
+class MenuIdleGovernor : public CpuIdleGovernor
+{
+  public:
+    /**
+     * @param profile   supplies per-state target residencies
+     * @param num_cores history is tracked per core
+     */
+    MenuIdleGovernor(const CpuProfile &profile, int num_cores);
+
+    CState selectState(int core, Tick now) override;
+    void recordIdle(int core, Tick duration) override;
+
+    /** Tick re-evaluation: a C1 idle outlasting the CC6 target
+     *  residency is promoted into CC6. */
+    Tick
+    promoteToC6After(int core) const override
+    {
+        (void)core;
+        return profile_.cstates.c6TargetResidency;
+    }
+
+    std::string name() const override { return "menu"; }
+
+    /** Current idle-span prediction for @p core. */
+    Tick predictedIdle(int core) const;
+
+  private:
+    static constexpr std::size_t kWindow = 8;
+
+    struct History
+    {
+        std::array<Tick, kWindow> recent{};
+        std::size_t next = 0;
+        std::size_t filled = 0;
+    };
+
+    const CpuProfile &profile_;
+    std::vector<History> history_;
+};
+
+/**
+ * TEO-style (timer-events-oriented) governor, the modern Linux
+ * alternative to menu: instead of predicting a duration, it counts how
+ * many of the recent idle periods were long enough for the deep state
+ * ("hits") versus too short ("misses"), and picks CC6 only when hits
+ * dominate. More conservative than menu after bursty phases; an
+ * extension beyond the paper's three policies, compared in
+ * bench/ablation_idle_governors.
+ */
+class TeoIdleGovernor : public CpuIdleGovernor
+{
+  public:
+    TeoIdleGovernor(const CpuProfile &profile, int num_cores);
+
+    CState selectState(int core, Tick now) override;
+    void recordIdle(int core, Tick duration) override;
+
+    Tick
+    promoteToC6After(int core) const override
+    {
+        (void)core;
+        return profile_.cstates.c6TargetResidency;
+    }
+
+    std::string name() const override { return "teo"; }
+
+    /** Fraction of the recent window that would have fit CC6. */
+    double c6HitRate(int core) const;
+
+  private:
+    static constexpr std::size_t kWindow = 16;
+
+    struct History
+    {
+        std::array<bool, kWindow> fitC6{};
+        std::size_t next = 0;
+        std::size_t filled = 0;
+    };
+
+    const CpuProfile &profile_;
+    std::vector<History> history_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_GOVERNORS_CPUIDLE_POLICIES_HH_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Base interface for P-state (cpufreq) governors.
+ *
+ * A governor owns the policy for every core of the package (mirroring a
+ * cpufreq policy object per core in Linux, but kept together so
+ * chip-wide policies like NCAP fit the same interface). Governors issue
+ * requests through each core's DvfsActuator and therefore automatically
+ * pay the nominal/re-transition latencies of Section 5.1.
+ */
+
+#ifndef NMAPSIM_GOVERNORS_FREQ_GOVERNOR_HH_
+#define NMAPSIM_GOVERNORS_FREQ_GOVERNOR_HH_
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace nmapsim {
+
+/** Common tunables of the sampling (utilisation-based) governors. */
+struct GovernorConfig
+{
+    Tick samplePeriod = milliseconds(10); //!< 10 ms as in the paper
+    double upThreshold = 0.80;            //!< ondemand up_threshold
+    double downThreshold = 0.20;          //!< conservative down trigger
+    double ewmaAlpha = 0.35; //!< intel_powersave utilisation smoothing
+};
+
+/** Strategy that decides core P-states. */
+class FreqGovernor
+{
+  public:
+    virtual ~FreqGovernor() = default;
+
+    /** Begin operating (schedule sampling, set initial states). */
+    virtual void start() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_GOVERNORS_FREQ_GOVERNOR_HH_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The static cpufreq governors: performance, powersave, userspace.
+ *
+ * performance pins P0 (the paper's energy-hungry but SLO-safe baseline),
+ * powersave pins the lowest state, and userspace pins a user-chosen
+ * state — also the building block policies like NCAP use to force P0.
+ */
+
+#ifndef NMAPSIM_GOVERNORS_STATIC_GOVERNORS_HH_
+#define NMAPSIM_GOVERNORS_STATIC_GOVERNORS_HH_
+
+#include "governors/freq_governor.hh"
+
+namespace nmapsim {
+
+/** Pins every core at a fixed P-state index. */
+class UserspaceGovernor : public FreqGovernor
+{
+  public:
+    UserspaceGovernor(std::vector<Core *> cores, int pstate,
+                      std::string name = "userspace")
+        : cores_(std::move(cores)), pstate_(pstate),
+          name_(std::move(name))
+    {
+    }
+
+    void
+    start() override
+    {
+        for (Core *core : cores_)
+            core->dvfs().requestPState(pstate_);
+    }
+
+    /** Re-target all cores (the `userspace` set_speed knob). */
+    void
+    setPState(int pstate)
+    {
+        pstate_ = pstate;
+        start();
+    }
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::vector<Core *> cores_;
+    int pstate_;
+    std::string name_;
+};
+
+/** Always the highest V/F state (P0). */
+class PerformanceGovernor : public UserspaceGovernor
+{
+  public:
+    explicit PerformanceGovernor(std::vector<Core *> cores)
+        : UserspaceGovernor(std::move(cores), 0, "performance")
+    {
+    }
+};
+
+/** Always the lowest V/F state (Pmin). */
+class PowersaveGovernor : public UserspaceGovernor
+{
+  public:
+    explicit PowersaveGovernor(const std::vector<Core *> &cores)
+        : UserspaceGovernor(cores, pminOf(cores), "powersave")
+    {
+    }
+
+  private:
+    static int
+    pminOf(const std::vector<Core *> &cores)
+    {
+        return cores.empty()
+                   ? 0
+                   : cores.front()->profile().pstates.maxIndex();
+    }
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_GOVERNORS_STATIC_GOVERNORS_HH_

@@ -1,0 +1,217 @@
+#include "harness/colocation.hh"
+
+#include "cpu/core.hh"
+#include "cpu/cpu_profile.hh"
+#include "cpu/package_power.hh"
+#include "governors/cpuidle_policies.hh"
+#include "governors/ondemand.hh"
+#include "governors/static_governors.hh"
+#include "net/wire.hh"
+#include "nmap/adaptive.hh"
+#include "nmap/nmap_governor.hh"
+#include "os/server_os.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "stats/energy_meter.hh"
+#include "workload/client.hh"
+#include "workload/loadgen.hh"
+#include "workload/server_app.hh"
+
+namespace nmapsim {
+
+namespace {
+
+/** Disjoint flow spaces, both striped over every RSS queue. */
+constexpr std::uint32_t kFlowSpaceStride = 1024;
+
+} // namespace
+
+ColocationExperiment::ColocationExperiment(ColocationConfig config)
+    : config_(std::move(config))
+{
+    if (config_.tenants.empty() || config_.tenants.size() > 8)
+        fatal("ColocationExperiment supports 1-8 tenants");
+    if (config_.numCores < 1)
+        fatal("ColocationExperiment requires at least one core");
+    for (const TenantConfig &t : config_.tenants) {
+        if (t.numConnections < 1 ||
+            t.numConnections >=
+                static_cast<int>(kFlowSpaceStride))
+            fatal("tenant connection count out of range");
+    }
+}
+
+ColocationResult
+ColocationExperiment::run()
+{
+    const CpuProfile &profile = CpuProfile::byName(config_.cpuProfile);
+    EventQueue eq;
+    Rng rng(config_.seed);
+
+    // --- Hardware ---------------------------------------------------
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<Core *> core_ptrs;
+    for (int i = 0; i < config_.numCores; ++i) {
+        cores.push_back(std::make_unique<Core>(
+            i, eq, profile, rng,
+            config_.tenants.front().app.cacheTouch));
+        core_ptrs.push_back(cores.back().get());
+    }
+    NicConfig nic_config = config_.nic;
+    nic_config.numQueues = config_.numCores;
+    Nic nic(eq, nic_config);
+
+    Wire client_to_server(eq);
+    Wire server_to_client(eq);
+    client_to_server.setSink(
+        [&nic](const Packet &pkt) { nic.receive(pkt); });
+    nic.setTxWire(&server_to_client);
+
+    // --- OS ----------------------------------------------------------
+    ServerOs os(core_ptrs, nic, config_.os);
+
+    // --- Tenants -------------------------------------------------------
+    struct Tenant
+    {
+        std::unique_ptr<ServerApp> app;
+        std::unique_ptr<Client> client;
+        std::unique_ptr<LoadGenerator> gen;
+    };
+    std::vector<Tenant> tenants;
+    for (std::size_t i = 0; i < config_.tenants.size(); ++i) {
+        const TenantConfig &tc = config_.tenants[i];
+        Tenant t;
+        t.app = std::make_unique<ServerApp>(os, nic, tc.app,
+                                            rng.fork(),
+                                            /*attach_deliver=*/false);
+        t.client = std::make_unique<Client>(
+            eq, client_to_server, tc.app, tc.numConnections,
+            static_cast<std::uint32_t>(i) * kFlowSpaceStride);
+        t.gen = std::make_unique<LoadGenerator>(eq, *t.client,
+                                                BurstConfig{},
+                                                rng.fork());
+        tenants.push_back(std::move(t));
+    }
+
+    // Route request packets and responses by flow space.
+    os.setDeliver([&tenants](int core, const Packet &pkt) {
+        std::size_t idx = pkt.flowHash / kFlowSpaceStride;
+        if (idx < tenants.size())
+            tenants[idx].app->deliver(core, pkt);
+    });
+    server_to_client.setSink([&tenants](const Packet &pkt) {
+        std::size_t idx = pkt.flowHash / kFlowSpaceStride;
+        if (idx < tenants.size())
+            tenants[idx].client->onResponse(pkt);
+    });
+
+    // --- Policies ------------------------------------------------------
+    MenuIdleGovernor menu(profile, config_.numCores);
+    DisableIdleGovernor disable;
+    C6OnlyIdleGovernor c6only;
+    TeoIdleGovernor teo(profile, config_.numCores);
+    CpuIdleGovernor *idle = nullptr;
+    switch (config_.idlePolicy) {
+      case IdlePolicy::kMenu:
+        idle = &menu;
+        break;
+      case IdlePolicy::kDisable:
+        idle = &disable;
+        break;
+      case IdlePolicy::kC6Only:
+        idle = &c6only;
+        break;
+      case IdlePolicy::kTeo:
+        idle = &teo;
+        break;
+    }
+    os.setIdleGovernor(idle);
+
+    std::unique_ptr<FreqGovernor> governor;
+    switch (config_.freqPolicy) {
+      case FreqPolicy::kPerformance:
+        governor = std::make_unique<PerformanceGovernor>(core_ptrs);
+        break;
+      case FreqPolicy::kOndemand:
+        governor = std::make_unique<OndemandGovernor>(eq, core_ptrs,
+                                                      config_.gov);
+        break;
+      case FreqPolicy::kNmap: {
+        if (config_.nmap.niThreshold <= 0.0 ||
+            config_.nmap.cuThreshold <= 0.0)
+            fatal("colocated NMAP needs explicit thresholds (there is "
+                  "no single application to profile)");
+        auto nmap = std::make_unique<NmapGovernor>(
+            eq, core_ptrs, config_.nmap, config_.gov);
+        os.addObserver(nmap.get());
+        governor = std::move(nmap);
+        break;
+      }
+      case FreqPolicy::kNmapAdaptive: {
+        auto adaptive = std::make_unique<AdaptiveNmapGovernor>(
+            eq, core_ptrs, config_.adaptive, rng.fork(), config_.gov);
+        os.addObserver(adaptive.get());
+        governor = std::move(adaptive);
+        break;
+      }
+      default:
+        fatal("ColocationExperiment: unsupported frequency policy");
+    }
+
+    // --- Energy ----------------------------------------------------------
+    PackagePower uncore(eq, core_ptrs);
+    PackageEnergyMeter package(0.0);
+    package.addMeter(&uncore.meter());
+    for (Core *core : core_ptrs)
+        package.addMeter(&core->meter());
+
+    // --- Run ---------------------------------------------------------------
+    os.start();
+    governor->start();
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantConfig &tc = config_.tenants[i];
+        LoadLevelSpec spec = tc.app.level(tc.load);
+        if (tc.rpsOverride > 0.0)
+            spec.rps = tc.rpsOverride;
+        if (tc.dutyOverride > 0.0)
+            spec.duty = tc.dutyOverride;
+        if (tc.trainMeanOverride > 0.0)
+            spec.trainMean = tc.trainMeanOverride;
+        tenants[i].gen->setLoad(spec);
+        tenants[i].gen->start();
+    }
+
+    eq.runUntil(config_.warmup);
+    package.startMeasurement(eq.now());
+    for (Tenant &t : tenants)
+        t.client->latencies().clear();
+
+    Tick end = config_.warmup + config_.duration;
+    eq.runUntil(end);
+    for (Tenant &t : tenants)
+        t.gen->stop();
+
+    // --- Collect ---------------------------------------------------------
+    ColocationResult result;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const LatencyRecorder &lat = tenants[i].client->latencies();
+        TenantResult tr;
+        tr.appName = config_.tenants[i].app.name;
+        tr.slo = config_.tenants[i].app.slo;
+        tr.p99 = lat.percentile(99.0);
+        tr.fracOverSlo = lat.fractionAbove(tr.slo);
+        tr.requestsSent = tenants[i].client->requestsSent();
+        tr.responsesReceived = tenants[i].client->responsesReceived();
+        result.tenants.push_back(tr);
+    }
+    result.energyJoules = package.energyJoules(end);
+    result.avgPowerWatts =
+        result.energyJoules / toSeconds(config_.duration);
+    result.nicDrops = nic.packetsDropped();
+    for (Core *core : core_ptrs)
+        result.pstateTransitions += core->dvfs().numTransitions();
+    return result;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,383 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+
+#include "cpu/core.hh"
+#include "cpu/cpu_profile.hh"
+#include "cpu/package_power.hh"
+#include "governors/cpuidle_policies.hh"
+#include "governors/ondemand.hh"
+#include "governors/static_governors.hh"
+#include "net/wire.hh"
+#include "nmap/nmap_governor.hh"
+#include "nmap/profiler.hh"
+#include "os/server_os.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "stats/energy_meter.hh"
+#include "workload/client.hh"
+#include "workload/server_app.hh"
+
+namespace nmapsim {
+
+const char *
+freqPolicyName(FreqPolicy policy)
+{
+    switch (policy) {
+      case FreqPolicy::kPerformance:
+        return "performance";
+      case FreqPolicy::kPowersave:
+        return "powersave";
+      case FreqPolicy::kUserspace:
+        return "userspace";
+      case FreqPolicy::kOndemand:
+        return "ondemand";
+      case FreqPolicy::kConservative:
+        return "conservative";
+      case FreqPolicy::kIntelPowersave:
+        return "intel_powersave";
+      case FreqPolicy::kNmap:
+        return "NMAP";
+      case FreqPolicy::kNmapSimpl:
+        return "NMAP-simpl";
+      case FreqPolicy::kNmapAdaptive:
+        return "NMAP-adaptive";
+      case FreqPolicy::kNmapChipWide:
+        return "NMAP-chipwide";
+      case FreqPolicy::kNcap:
+        return "NCAP";
+      case FreqPolicy::kNcapMenu:
+        return "NCAP-menu";
+      case FreqPolicy::kParties:
+        return "Parties";
+    }
+    return "?";
+}
+
+const char *
+idlePolicyName(IdlePolicy policy)
+{
+    switch (policy) {
+      case IdlePolicy::kMenu:
+        return "menu";
+      case IdlePolicy::kDisable:
+        return "disable";
+      case IdlePolicy::kC6Only:
+        return "c6only";
+      case IdlePolicy::kTeo:
+        return "teo";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Counts ksoftirqd wake-ups across all cores. */
+class KsoftirqdCounter : public NapiObserver
+{
+  public:
+    void
+    onKsoftirqdWake(int core) override
+    {
+        (void)core;
+        ++wakes_;
+    }
+
+    std::uint64_t wakes() const { return wakes_; }
+
+  private:
+    std::uint64_t wakes_ = 0;
+};
+
+} // namespace
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config))
+{
+    if (config_.numCores < 1)
+        fatal("Experiment requires at least one core");
+    if (config_.duration <= 0)
+        fatal("Experiment duration must be positive");
+}
+
+std::pair<double, double>
+Experiment::profileThresholds(const ExperimentConfig &config)
+{
+    // Section 4.2: profile one request burst at the load used to set
+    // the SLO (the latency-load inflection point == the high load) with
+    // a fixed maximum V/F so the thresholds describe a healthy core.
+    ExperimentConfig pcfg = config;
+    pcfg.freqPolicy = FreqPolicy::kPerformance;
+    pcfg.idlePolicy = IdlePolicy::kMenu;
+    pcfg.load = LoadLevel::kHigh;
+    pcfg.rpsOverride = 0.0;
+    pcfg.trainMeanOverride = 0.0;
+    pcfg.loadSchedule.clear();
+    pcfg.warmup = 0;
+    pcfg.duration = pcfg.burst.period; // one burst + its drain
+    pcfg.collectTraces = false;
+    pcfg.collectLatencyTrace = false;
+
+    ThresholdProfiler profiler(pcfg.numCores);
+    profiler.beginBurst();
+    pcfg.extraObservers.push_back(&profiler);
+    Experiment(pcfg).run();
+    profiler.endBurst();
+    return {profiler.niThreshold(), profiler.cuThreshold()};
+}
+
+ExperimentResult
+Experiment::run()
+{
+    const CpuProfile &profile = CpuProfile::byName(config_.cpuProfile);
+    EventQueue eq;
+    Rng rng(config_.seed);
+
+    // --- Hardware -------------------------------------------------
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<Core *> core_ptrs;
+    for (int i = 0; i < config_.numCores; ++i) {
+        cores.push_back(std::make_unique<Core>(
+            i, eq, profile, rng, config_.app.cacheTouch));
+        core_ptrs.push_back(cores.back().get());
+    }
+
+    NicConfig nic_config = config_.nic;
+    nic_config.numQueues = config_.numCores;
+    Nic nic(eq, nic_config);
+
+    Wire client_to_server(eq);
+    Wire server_to_client(eq);
+    client_to_server.setSink(
+        [&nic](const Packet &pkt) { nic.receive(pkt); });
+    nic.setTxWire(&server_to_client);
+
+    // --- OS + application + client ---------------------------------
+    ServerOs os(core_ptrs, nic, config_.os);
+    ServerApp app(os, nic, config_.app, rng.fork());
+    Client client(eq, client_to_server, config_.app,
+                  config_.numConnections);
+    server_to_client.setSink(
+        [&client](const Packet &pkt) { client.onResponse(pkt); });
+    LoadGenerator gen(eq, client, config_.burst, rng.fork());
+
+    // --- Sleep policy ----------------------------------------------
+    MenuIdleGovernor menu(profile, config_.numCores);
+    DisableIdleGovernor disable;
+    C6OnlyIdleGovernor c6only;
+    TeoIdleGovernor teo(profile, config_.numCores);
+    CpuIdleGovernor *idle = nullptr;
+    switch (config_.idlePolicy) {
+      case IdlePolicy::kMenu:
+        idle = &menu;
+        break;
+      case IdlePolicy::kDisable:
+        idle = &disable;
+        break;
+      case IdlePolicy::kC6Only:
+        idle = &c6only;
+        break;
+      case IdlePolicy::kTeo:
+        idle = &teo;
+        break;
+    }
+    SwitchableIdleGovernor switchable(*idle);
+
+    // --- Frequency policy -------------------------------------------
+    ExperimentResult result;
+    std::unique_ptr<FreqGovernor> governor;
+    AdaptiveNmapGovernor *adaptiveGov = nullptr;
+    bool use_switchable_idle = false;
+    switch (config_.freqPolicy) {
+      case FreqPolicy::kPerformance:
+        governor = std::make_unique<PerformanceGovernor>(core_ptrs);
+        break;
+      case FreqPolicy::kPowersave:
+        governor = std::make_unique<PowersaveGovernor>(core_ptrs);
+        break;
+      case FreqPolicy::kUserspace:
+        governor = std::make_unique<UserspaceGovernor>(
+            core_ptrs, config_.userspacePState);
+        break;
+      case FreqPolicy::kOndemand:
+        governor = std::make_unique<OndemandGovernor>(eq, core_ptrs,
+                                                      config_.gov);
+        break;
+      case FreqPolicy::kConservative:
+        governor = std::make_unique<ConservativeGovernor>(
+            eq, core_ptrs, config_.gov);
+        break;
+      case FreqPolicy::kIntelPowersave:
+        governor = std::make_unique<IntelPowersaveGovernor>(
+            eq, core_ptrs, config_.gov);
+        break;
+      case FreqPolicy::kNmap:
+      case FreqPolicy::kNmapChipWide: {
+        NmapConfig nmap_config = config_.nmap;
+        nmap_config.chipWide =
+            config_.freqPolicy == FreqPolicy::kNmapChipWide;
+        if (nmap_config.niThreshold <= 0.0 && config_.autoProfileNmap) {
+            auto [ni, cu] = profileThresholds(config_);
+            nmap_config.niThreshold = ni;
+            nmap_config.cuThreshold = cu;
+        }
+        result.niThresholdUsed = nmap_config.niThreshold;
+        result.cuThresholdUsed = nmap_config.cuThreshold;
+        auto nmap = std::make_unique<NmapGovernor>(
+            eq, core_ptrs, nmap_config, config_.gov);
+        os.addObserver(nmap.get());
+        governor = std::move(nmap);
+        break;
+      }
+      case FreqPolicy::kNmapAdaptive: {
+        auto adaptive = std::make_unique<AdaptiveNmapGovernor>(
+            eq, core_ptrs, config_.adaptive, rng.fork(), config_.gov);
+        os.addObserver(adaptive.get());
+        AdaptiveNmapGovernor *raw = adaptive.get();
+        governor = std::move(adaptive);
+        // Report the converged thresholds after the run via a hack-free
+        // path: read them at collection time below.
+        adaptiveGov = raw;
+        break;
+      }
+      case FreqPolicy::kNmapSimpl: {
+        auto simpl = std::make_unique<NmapSimplGovernor>(eq, core_ptrs,
+                                                         config_.gov);
+        os.addObserver(simpl.get());
+        governor = std::move(simpl);
+        break;
+      }
+      case FreqPolicy::kNcap:
+      case FreqPolicy::kNcapMenu: {
+        NcapConfig ncap_config = config_.ncap;
+        ncap_config.disableSleepOnBurst =
+            config_.freqPolicy == FreqPolicy::kNcap;
+        auto ncap = std::make_unique<NcapGovernor>(
+            eq, core_ptrs, nic, ncap_config, config_.gov);
+        ncap->setIdleOverride(&switchable);
+        use_switchable_idle = true;
+        governor = std::move(ncap);
+        break;
+      }
+      case FreqPolicy::kParties: {
+        PartiesConfig parties_config = config_.parties;
+        if (parties_config.slo <= 0)
+            parties_config.slo = config_.app.slo;
+        governor = std::make_unique<PartiesGovernor>(
+            eq, core_ptrs, client, parties_config);
+        break;
+      }
+    }
+
+    os.setIdleGovernor(use_switchable_idle
+                           ? static_cast<CpuIdleGovernor *>(&switchable)
+                           : idle);
+
+    // --- Observers ---------------------------------------------------
+    KsoftirqdCounter ksoft_counter;
+    os.addObserver(&ksoft_counter);
+    for (NapiObserver *obs : config_.extraObservers)
+        os.addObserver(obs);
+
+    std::shared_ptr<TraceCollector> traces;
+    if (config_.collectTraces) {
+        traces = std::make_shared<TraceCollector>(
+            eq, config_.watchCore, config_.traceBucket);
+        traces->attachPStateTrace(*core_ptrs[static_cast<std::size_t>(
+            config_.watchCore)]);
+        os.addObserver(traces.get());
+    }
+
+    // --- Energy ------------------------------------------------------
+    PackagePower uncore(eq, core_ptrs);
+    PackageEnergyMeter package(0.0);
+    package.addMeter(&uncore.meter());
+    for (Core *core : core_ptrs)
+        package.addMeter(&core->meter());
+
+    // --- Load --------------------------------------------------------
+    LoadLevelSpec spec = config_.app.level(config_.load);
+    if (config_.rpsOverride > 0.0)
+        spec.rps = config_.rpsOverride;
+    if (config_.trainMeanOverride > 0.0)
+        spec.trainMean = config_.trainMeanOverride;
+    if (config_.dutyOverride > 0.0)
+        spec.duty = config_.dutyOverride;
+
+    std::vector<std::unique_ptr<EventFunctionWrapper>> load_events;
+    for (const LoadChange &change : config_.loadSchedule) {
+        load_events.push_back(std::make_unique<EventFunctionWrapper>(
+            [&gen, change] { gen.setLoad(change.spec); },
+            "experiment.loadChange"));
+        eq.schedule(load_events.back().get(), change.at);
+    }
+
+    // --- Run -----------------------------------------------------------
+    os.start();
+    governor->start();
+    gen.setConnectionSkew(config_.connectionSkew);
+    gen.setLoad(spec);
+    gen.start();
+
+    eq.runUntil(config_.warmup);
+    Tick measure_start = eq.now();
+    package.startMeasurement(measure_start);
+    client.latencies().clear();
+
+    Tick end = config_.warmup + config_.duration;
+    eq.runUntil(end);
+    gen.stop();
+    for (auto &ev : load_events)
+        eq.deschedule(ev.get());
+
+    // --- Collect ---------------------------------------------------------
+    const LatencyRecorder &lat = client.latencies();
+    result.slo = config_.app.slo;
+    result.p50 = lat.percentile(50.0);
+    result.p99 = lat.percentile(99.0);
+    result.maxLatency = lat.max();
+    result.meanLatency = lat.mean();
+    result.fracOverSlo = lat.fractionAbove(config_.app.slo);
+
+    result.energyJoules = package.energyJoules(end);
+    result.avgPowerWatts =
+        result.energyJoules / toSeconds(end - measure_start);
+
+    result.requestsSent = client.requestsSent();
+    result.responsesReceived = client.responsesReceived();
+    result.nicDrops = nic.packetsDropped();
+    result.ksoftirqdWakes = ksoft_counter.wakes();
+
+    for (int i = 0; i < config_.numCores; ++i) {
+        Core *core = core_ptrs[static_cast<std::size_t>(i)];
+        result.pktsIntrMode += os.napi(i).pktsInterruptMode();
+        result.pktsPollMode += os.napi(i).pktsPollingMode();
+        result.pstateTransitions += core->dvfs().numTransitions();
+        result.cc6Wakes += core->cstates().wakeCount(CState::kC6);
+        result.cc1Wakes += core->cstates().wakeCount(CState::kC1);
+        result.busyFraction += static_cast<double>(core->busyTime()) /
+                               static_cast<double>(end) /
+                               static_cast<double>(config_.numCores);
+    }
+
+    if (adaptiveGov) {
+        result.niThresholdUsed = adaptiveGov->currentNiThreshold();
+        result.cuThresholdUsed = adaptiveGov->currentCuThreshold();
+    }
+    result.traces = traces;
+    if (config_.collectTraces) {
+        const EventMarkSeries &cc6 =
+            core_ptrs[static_cast<std::size_t>(config_.watchCore)]
+                ->cstates()
+                .cc6Entries();
+        result.cc6Entries = cc6.marks();
+    }
+    if (config_.collectLatencyTrace)
+        result.latencyTrace = lat.trace();
+    result.cdf = lat.cdf(200);
+
+    return result;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * End-to-end experiment harness.
+ *
+ * An Experiment assembles the paper's full evaluation rig — Xeon Gold
+ * 6134 cores, 10 GbE wires, multi-queue NIC with RSS, the OS network
+ * stack, a server application, 20 client connections and the bursty
+ * load generator — applies one frequency policy and one sleep policy,
+ * runs it, and reports the metrics the paper's figures plot: P99
+ * latency, SLO violation fraction, package energy, NAPI mode counters
+ * and optional traces.
+ *
+ * Every bench binary and example is a thin wrapper over this class.
+ */
+
+#ifndef NMAPSIM_HARNESS_EXPERIMENT_HH_
+#define NMAPSIM_HARNESS_EXPERIMENT_HH_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/ncap.hh"
+#include "baselines/parties.hh"
+#include "governors/freq_governor.hh"
+#include "harness/trace_collector.hh"
+#include "net/nic.hh"
+#include "nmap/adaptive.hh"
+#include "nmap/decision_engine.hh"
+#include "os/hooks.hh"
+#include "os/os_config.hh"
+#include "stats/latency_recorder.hh"
+#include "stats/timeseries.hh"
+#include "workload/app_profile.hh"
+#include "workload/loadgen.hh"
+
+namespace nmapsim {
+
+/** Frequency (P-state) policy under test. */
+enum class FreqPolicy
+{
+    kPerformance,
+    kPowersave,
+    kUserspace,
+    kOndemand,
+    kConservative,
+    kIntelPowersave,
+    kNmap,
+    kNmapSimpl,
+    kNmapAdaptive, //!< NMAP with online threshold learning (extension)
+    kNmapChipWide, //!< NMAP on a chip-wide DVFS package (extension)
+    kNcap,
+    kNcapMenu,
+    kParties,
+};
+
+/** Sleep (C-state) policy under test. */
+enum class IdlePolicy
+{
+    kMenu,
+    kDisable,
+    kC6Only,
+    kTeo, //!< timer-events-oriented governor (extension)
+};
+
+const char *freqPolicyName(FreqPolicy policy);
+const char *idlePolicyName(IdlePolicy policy);
+
+/** A timed load change (Fig. 16's varying-load scenario). */
+struct LoadChange
+{
+    Tick at;            //!< absolute simulation time
+    LoadLevelSpec spec; //!< new in-burst rate / train size
+};
+
+/** Declarative description of one run. */
+struct ExperimentConfig
+{
+    std::string cpuProfile = "Xeon Gold 6134";
+    int numCores = 8;
+
+    AppProfile app = AppProfile::memcached();
+    LoadLevel load = LoadLevel::kHigh;
+    double rpsOverride = 0.0;       //!< >0 replaces the level's rate
+    double trainMeanOverride = 0.0; //!< >0 replaces the level's trains
+    double dutyOverride = 0.0;      //!< >0 replaces the level's duty
+    BurstConfig burst{};
+    double connectionSkew = 0.0; //!< >0 concentrates load on few cores
+    std::vector<LoadChange> loadSchedule; //!< optional varying load
+
+    FreqPolicy freqPolicy = FreqPolicy::kOndemand;
+    IdlePolicy idlePolicy = IdlePolicy::kMenu;
+    int userspacePState = 0;
+
+    GovernorConfig gov{};
+    NmapConfig nmap{};          //!< niThreshold<=0 requests profiling
+    AdaptiveConfig adaptive{};  //!< for kNmapAdaptive
+    bool autoProfileNmap = true;
+    NcapConfig ncap{};
+    PartiesConfig parties{};    //!< slo filled from the app when 0
+
+    OsConfig os{};
+    NicConfig nic{};            //!< numQueues forced to numCores
+    /** Client threads / RSS flows. The paper uses 20 client threads
+     *  and reports that RSS distributes load evenly; 24 (divisible by
+     *  the 8 queues) gives that even split exactly. */
+    int numConnections = 24;
+
+    Tick warmup = milliseconds(200);
+    Tick duration = seconds(1);
+    std::uint64_t seed = 42;
+
+    bool collectTraces = false;         //!< Fig. 2/7/9 time series
+    Tick traceBucket = milliseconds(1);
+    bool collectLatencyTrace = false;   //!< Fig. 3/10/16 scatter data
+    int watchCore = 0;
+
+    /** Extra NAPI observers (borrowed), e.g. a ThresholdProfiler. */
+    std::vector<NapiObserver *> extraObservers;
+};
+
+/** Everything a run produces. */
+struct ExperimentResult
+{
+    Tick p50 = 0;
+    Tick p99 = 0;
+    Tick maxLatency = 0;
+    double meanLatency = 0.0;
+    double fracOverSlo = 0.0;
+    Tick slo = 0;
+
+    double energyJoules = 0.0;
+    double avgPowerWatts = 0.0;
+
+    std::uint64_t requestsSent = 0;
+    std::uint64_t responsesReceived = 0;
+    std::uint64_t nicDrops = 0;
+
+    std::uint64_t pktsIntrMode = 0;
+    std::uint64_t pktsPollMode = 0;
+    std::uint64_t ksoftirqdWakes = 0;
+    std::uint64_t pstateTransitions = 0;
+    std::uint64_t cc6Wakes = 0;
+    std::uint64_t cc1Wakes = 0;
+    double busyFraction = 0.0; //!< mean core busy time / wall time
+
+    double niThresholdUsed = 0.0;
+    double cuThresholdUsed = 0.0;
+
+    /** Time-series traces (only with collectTraces). */
+    std::shared_ptr<TraceCollector> traces;
+    /** CC6 entry times on the watched core (with collectTraces). */
+    std::vector<Tick> cc6Entries;
+    /** Per-request latency trace (with collectLatencyTrace). */
+    std::vector<LatencySample> latencyTrace;
+    /** Empirical latency CDF, 200 points. */
+    std::vector<std::pair<Tick, double>> cdf;
+};
+
+/** Builds, runs and tears down one configured simulation. */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig config);
+
+    /** Execute the run and collect results. */
+    ExperimentResult run();
+
+    /**
+     * Offline NMAP threshold profiling (Section 4.2): observe one burst
+     * at the application's SLO-inflection (high) load under the
+     * performance governor and derive (NI_TH, CU_TH).
+     */
+    static std::pair<double, double>
+    profileThresholds(const ExperimentConfig &config);
+
+    const ExperimentConfig &config() const { return config_; }
+
+  private:
+    ExperimentConfig config_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_HARNESS_EXPERIMENT_HH_

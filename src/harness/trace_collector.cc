@@ -1,0 +1,43 @@
+#include "harness/trace_collector.hh"
+
+namespace nmapsim {
+
+TraceCollector::TraceCollector(EventQueue &eq, int watch_core,
+                               Tick bucket)
+    : eq_(eq), watchCore_(watch_core), intr_(bucket), poll_(bucket),
+      pstate_(bucket)
+{
+}
+
+void
+TraceCollector::attachPStateTrace(Core &core)
+{
+    pstate_.setLevel(eq_.now(),
+                     static_cast<double>(core.pstateIndex()));
+    const PStateTable &table = core.profile().pstates;
+    core.addFreqListener([this, &table](double freq_hz) {
+        pstate_.setLevel(eq_.now(),
+                         static_cast<double>(
+                             table.indexForFreq(freq_hz)));
+    });
+}
+
+void
+TraceCollector::onPollProcessed(int core, std::uint32_t intr_pkts,
+                                std::uint32_t poll_pkts)
+{
+    (void)core;
+    if (intr_pkts > 0)
+        intr_.add(eq_.now(), static_cast<double>(intr_pkts));
+    if (poll_pkts > 0)
+        poll_.add(eq_.now(), static_cast<double>(poll_pkts));
+}
+
+void
+TraceCollector::onKsoftirqdWake(int core)
+{
+    if (core == watchCore_)
+        wakes_.mark(eq_.now());
+}
+
+} // namespace nmapsim

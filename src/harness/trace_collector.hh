@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Collects the time-series data behind the paper's trace figures
+ * (Fig. 2, 7, 9): per-millisecond packet counts split by NAPI mode,
+ * the P-state of a watched core, and ksoftirqd wake-up marks.
+ */
+
+#ifndef NMAPSIM_HARNESS_TRACE_COLLECTOR_HH_
+#define NMAPSIM_HARNESS_TRACE_COLLECTOR_HH_
+
+#include "cpu/core.hh"
+#include "os/hooks.hh"
+#include "sim/event_queue.hh"
+#include "stats/timeseries.hh"
+
+namespace nmapsim {
+
+/** NapiObserver that builds the Fig. 2/7/9 style traces. */
+class TraceCollector : public NapiObserver
+{
+  public:
+    /**
+     * @param watch_core core whose P-state / ksoftirqd activity is
+     *                   traced; packet counts aggregate all cores
+     * @param bucket     sampling interval (paper: 1 ms)
+     */
+    TraceCollector(EventQueue &eq, int watch_core,
+                   Tick bucket = milliseconds(1));
+
+    /** Subscribe to @p core's frequency changes (call for the watched
+     *  core before the run starts). */
+    void attachPStateTrace(Core &core);
+
+    /** @name NapiObserver */
+    /**@{*/
+    void onPollProcessed(int core, std::uint32_t intr_pkts,
+                         std::uint32_t poll_pkts) override;
+    void onKsoftirqdWake(int core) override;
+    /**@}*/
+
+    /** Packets processed in interrupt mode per bucket (all cores). */
+    const TimeSeries &intrSeries() const { return intr_; }
+    /** Packets processed in polling mode per bucket (all cores). */
+    const TimeSeries &pollSeries() const { return poll_; }
+    /** P-state index of the watched core (level series). */
+    const TimeSeries &pstateSeries() const { return pstate_; }
+    /** ksoftirqd wake-up times on the watched core. */
+    const EventMarkSeries &ksoftirqdWakes() const { return wakes_; }
+
+  private:
+    EventQueue &eq_;
+    int watchCore_;
+    TimeSeries intr_;
+    TimeSeries poll_;
+    TimeSeries pstate_;
+    EventMarkSeries wakes_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_HARNESS_TRACE_COLLECTOR_HH_

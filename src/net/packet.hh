@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Network packet representation.
+ *
+ * One request maps to one request packet (client -> server) and one
+ * response packet (server -> client), the common case for memcached
+ * GET/SET and small nginx responses. The flow hash drives RSS steering.
+ */
+
+#ifndef NMAPSIM_NET_PACKET_HH_
+#define NMAPSIM_NET_PACKET_HH_
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** A single packet on the simulated wire. */
+struct Packet
+{
+    enum class Kind : std::uint8_t
+    {
+        kRequest,  //!< client -> server
+        kResponse, //!< server -> client
+    };
+
+    std::uint64_t requestId = 0; //!< app-level request this belongs to
+    Kind kind = Kind::kRequest;
+    std::uint32_t flowHash = 0;  //!< connection hash used by RSS
+    std::uint32_t sizeBytes = 0; //!< wire size incl. headers
+    Tick sendTime = 0;           //!< when the client issued the request
+    bool latencyCritical = true; //!< NCAP's packet classification bit
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_NET_PACKET_HH_

@@ -1,0 +1,55 @@
+#include "net/wire.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+Wire::Wire(EventQueue &eq, double bandwidth_bps, Tick propagation)
+    : eq_(eq), bandwidthBps_(bandwidth_bps), propagation_(propagation),
+      deliverEvent_([this] { deliverHead(); }, "wire.deliver")
+{
+    if (bandwidth_bps <= 0.0)
+        fatal("Wire bandwidth must be positive");
+}
+
+Wire::~Wire()
+{
+    eq_.deschedule(&deliverEvent_);
+}
+
+void
+Wire::send(const Packet &pkt)
+{
+    if (!sink_)
+        panic("Wire::send without a sink");
+    Tick start = std::max(eq_.now(), lineIdleAt_);
+    Tick ser = static_cast<Tick>(static_cast<double>(pkt.sizeBytes) * 8.0 /
+                                 bandwidthBps_ * 1e9);
+    if (ser < 1)
+        ser = 1;
+    lineIdleAt_ = start + ser;
+
+    Packet copy = pkt;
+    // Stash the delivery time in the queue ordering: packets are FIFO,
+    // so the head always has the earliest delivery.
+    inFlight_.push_back(copy);
+    deliveryTimes_.push_back(lineIdleAt_ + propagation_);
+    if (!deliverEvent_.scheduled())
+        eq_.schedule(&deliverEvent_, deliveryTimes_.front());
+}
+
+void
+Wire::deliverHead()
+{
+    while (!inFlight_.empty() && deliveryTimes_.front() <= eq_.now()) {
+        Packet pkt = inFlight_.front();
+        inFlight_.pop_front();
+        deliveryTimes_.pop_front();
+        ++delivered_;
+        sink_(pkt);
+    }
+    if (!inFlight_.empty())
+        eq_.schedule(&deliverEvent_, deliveryTimes_.front());
+}
+
+} // namespace nmapsim

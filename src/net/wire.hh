@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Point-to-point link model (one direction).
+ *
+ * Packets handed to the wire are serialised at link bandwidth and
+ * delivered after the propagation delay. Serialisation is what turns a
+ * batch of requests issued at the same instant into a near-line-rate
+ * packet train at the NIC — the arrival pattern that pushes NAPI into
+ * polling mode in the paper's Section 3.1.
+ */
+
+#ifndef NMAPSIM_NET_WIRE_HH_
+#define NMAPSIM_NET_WIRE_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** One direction of a full-duplex link. */
+class Wire
+{
+  public:
+    using Sink = std::function<void(const Packet &)>;
+
+    /**
+     * @param eq            simulation event queue
+     * @param bandwidth_bps link rate in bits per second (10 GbE default)
+     * @param propagation   one-way propagation + switch latency
+     */
+    Wire(EventQueue &eq, double bandwidth_bps = 10e9,
+         Tick propagation = microseconds(5));
+
+    ~Wire();
+
+    Wire(const Wire &) = delete;
+    Wire &operator=(const Wire &) = delete;
+
+    /** Set the receiver; must be set before the first send. */
+    void setSink(Sink sink) { sink_ = std::move(sink); }
+
+    /** Enqueue a packet for transmission now. */
+    void send(const Packet &pkt);
+
+    std::uint64_t packetsDelivered() const { return delivered_; }
+
+  private:
+    void deliverHead();
+
+    EventQueue &eq_;
+    double bandwidthBps_;
+    Tick propagation_;
+    Sink sink_;
+
+    std::deque<Packet> inFlight_;
+    std::deque<Tick> deliveryTimes_;
+    Tick lineIdleAt_ = 0; //!< when the transmitter finishes current work
+    std::uint64_t delivered_ = 0;
+
+    EventFunctionWrapper deliverEvent_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_NET_WIRE_HH_

@@ -1,0 +1,71 @@
+#include "nmap/monitor.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+ModeTransitionMonitor::ModeTransitionMonitor(int num_cores,
+                                             double ni_threshold)
+    : niThreshold_(ni_threshold),
+      cores_(static_cast<std::size_t>(num_cores))
+{
+    if (num_cores < 1)
+        fatal("ModeTransitionMonitor requires at least one core");
+}
+
+void
+ModeTransitionMonitor::onHardIrq(int core)
+{
+    PerCore &c = cores_[static_cast<std::size_t>(core)];
+    c.sessionPoll = 0;
+    c.notifiedThisSession = false;
+}
+
+void
+ModeTransitionMonitor::onPollProcessed(int core, std::uint32_t intr_pkts,
+                                       std::uint32_t poll_pkts)
+{
+    PerCore &c = cores_[static_cast<std::size_t>(core)];
+    c.windowIntr += intr_pkts;
+    c.windowPoll += poll_pkts;
+    c.sessionPoll += poll_pkts;
+
+    // Algorithm 1 lines 4-6: excessive polling-mode processing within
+    // one interrupt's session means the core is falling behind. Notify
+    // at most once per session to avoid hammering the engine.
+    if (!c.notifiedThisSession &&
+        static_cast<double>(c.sessionPoll) > niThreshold_) {
+        c.notifiedThisSession = true;
+        ++notifications_;
+        if (notify_)
+            notify_(core);
+    }
+}
+
+std::uint64_t
+ModeTransitionMonitor::windowPollCount(int core) const
+{
+    return cores_[static_cast<std::size_t>(core)].windowPoll;
+}
+
+std::uint64_t
+ModeTransitionMonitor::windowIntrCount(int core) const
+{
+    return cores_[static_cast<std::size_t>(core)].windowIntr;
+}
+
+void
+ModeTransitionMonitor::resetWindow(int core)
+{
+    PerCore &c = cores_[static_cast<std::size_t>(core)];
+    c.windowPoll = 0;
+    c.windowIntr = 0;
+}
+
+std::uint64_t
+ModeTransitionMonitor::sessionPollCount(int core) const
+{
+    return cores_[static_cast<std::size_t>(core)].sessionPoll;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * NMAP's Mode Transition Monitor (Algorithm 1 of the paper).
+ *
+ * Per core, the monitor watches the NAPI mode-transition stream:
+ *
+ *  - It accumulates the number of packets processed in polling mode
+ *    within the current poll session (one session per NIC interrupt).
+ *    When that count exceeds NI_TH it notifies the Decision Engine that
+ *    the core cannot keep up at its current V/F (Algorithm 1 lines 4-6).
+ *  - It also accumulates windowed polling/interrupt packet counters that
+ *    the Decision Engine reads and resets on its periodic timer
+ *    (Algorithm 1 lines 7-12).
+ */
+
+#ifndef NMAPSIM_NMAP_MONITOR_HH_
+#define NMAPSIM_NMAP_MONITOR_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nmapsim {
+
+/** Tracks NAPI mode transitions and detects network-intensive cores. */
+class ModeTransitionMonitor
+{
+  public:
+    /** Fired when a core crosses NI_TH (notification to the engine). */
+    using Notify = std::function<void(int core)>;
+
+    /**
+     * @param num_cores  monitored cores
+     * @param ni_threshold NI_TH: polling-mode packets per interrupt
+     *        above which the core is declared network-intensive
+     */
+    ModeTransitionMonitor(int num_cores, double ni_threshold);
+
+    void setNotify(Notify notify) { notify_ = std::move(notify); }
+
+    double niThreshold() const { return niThreshold_; }
+    void setNiThreshold(double th) { niThreshold_ = th; }
+
+    /** NAPI hook: a hardirq starts a new poll session on @p core. */
+    void onHardIrq(int core);
+
+    /** NAPI hook: a poll() call finished on @p core. */
+    void onPollProcessed(int core, std::uint32_t intr_pkts,
+                         std::uint32_t poll_pkts);
+
+    /** @name Windowed counters (Algorithm 1 lines 7-11) */
+    /**@{*/
+    std::uint64_t windowPollCount(int core) const;
+    std::uint64_t windowIntrCount(int core) const;
+
+    /** Reset a core's window after the engine consumed it. */
+    void resetWindow(int core);
+    /**@}*/
+
+    /** Polling packets seen so far in the current session of @p core. */
+    std::uint64_t sessionPollCount(int core) const;
+
+    std::uint64_t notificationsSent() const { return notifications_; }
+
+  private:
+    struct PerCore
+    {
+        std::uint64_t windowPoll = 0;
+        std::uint64_t windowIntr = 0;
+        std::uint64_t sessionPoll = 0;
+        bool notifiedThisSession = false;
+    };
+
+    double niThreshold_;
+    Notify notify_;
+    std::vector<PerCore> cores_;
+    std::uint64_t notifications_ = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_NMAP_MONITOR_HH_

@@ -1,0 +1,92 @@
+#include "nmap/nmap_governor.hh"
+
+namespace nmapsim {
+
+NmapGovernor::NmapGovernor(EventQueue &eq, std::vector<Core *> cores,
+                           const NmapConfig &nmap_config,
+                           const GovernorConfig &gov_config)
+    : monitor_(static_cast<int>(cores.size()),
+               nmap_config.niThreshold)
+{
+    fallback_ =
+        std::make_unique<OndemandGovernor>(eq, cores, gov_config);
+    engine_ = std::make_unique<DecisionEngine>(
+        eq, std::move(cores), *fallback_, monitor_, nmap_config);
+    monitor_.setNotify(
+        [this](int core) { engine_->onNotification(core); });
+}
+
+void
+NmapGovernor::start()
+{
+    fallback_->start();
+    engine_->start();
+}
+
+void
+NmapGovernor::onHardIrq(int core)
+{
+    monitor_.onHardIrq(core);
+}
+
+void
+NmapGovernor::onPollProcessed(int core, std::uint32_t intr_pkts,
+                              std::uint32_t poll_pkts)
+{
+    monitor_.onPollProcessed(core, intr_pkts, poll_pkts);
+}
+
+bool
+NmapGovernor::networkIntensive(int core) const
+{
+    return engine_->networkIntensive(core);
+}
+
+NmapSimplGovernor::NmapSimplGovernor(EventQueue &eq,
+                                     std::vector<Core *> cores,
+                                     const GovernorConfig &gov_config)
+    : cores_(std::move(cores)), niMode_(cores_.size(), false)
+{
+    fallback_ =
+        std::make_unique<OndemandGovernor>(eq, cores_, gov_config);
+}
+
+void
+NmapSimplGovernor::start()
+{
+    fallback_->start();
+}
+
+void
+NmapSimplGovernor::onKsoftirqdWake(int core)
+{
+    std::size_t i = static_cast<std::size_t>(core);
+    if (niMode_[i])
+        return;
+    // ksoftirqd waking means the softirq could not keep up: promote
+    // Network Intensive Mode (Section 4.1).
+    niMode_[i] = true;
+    fallback_->setEnabled(core, false);
+    cores_[i]->dvfs().requestPState(0);
+}
+
+void
+NmapSimplGovernor::onKsoftirqdSleep(int core)
+{
+    std::size_t i = static_cast<std::size_t>(core);
+    if (!niMode_[i])
+        return;
+    // ksoftirqd finished its backlog: fall back to the utilisation
+    // governor (Section 4.1).
+    niMode_[i] = false;
+    fallback_->enforceNow(core);
+    fallback_->setEnabled(core, true);
+}
+
+bool
+NmapSimplGovernor::networkIntensive(int core) const
+{
+    return niMode_[static_cast<std::size_t>(core)];
+}
+
+} // namespace nmapsim

@@ -1,0 +1,92 @@
+#include "nmap/profiler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+ThresholdProfiler::ThresholdProfiler(int num_cores, int observe_sessions,
+                                     double cu_margin, double ni_quantile)
+    : observeSessions_(observe_sessions), cuMargin_(cu_margin),
+      niQuantile_(ni_quantile),
+      cores_(static_cast<std::size_t>(num_cores))
+{
+    if (num_cores < 1)
+        fatal("ThresholdProfiler requires at least one core");
+    if (observe_sessions < 1)
+        fatal("ThresholdProfiler requires at least one session");
+}
+
+void
+ThresholdProfiler::beginBurst()
+{
+    active_ = true;
+}
+
+void
+ThresholdProfiler::endBurst()
+{
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        closeSession(static_cast<int>(i));
+    active_ = false;
+}
+
+void
+ThresholdProfiler::closeSession(int core)
+{
+    PerCore &c = cores_[static_cast<std::size_t>(core)];
+    if (!c.inSession)
+        return;
+    // NI_TH looks only at the burst's early part: the first
+    // observeSessions_ interrupts (Section 4.2).
+    if (sessions_ < static_cast<std::uint64_t>(observeSessions_))
+        sessionPolls_.push_back(c.sessionPoll);
+    ++sessions_;
+    c.sessionPoll = 0;
+    c.inSession = false;
+}
+
+void
+ThresholdProfiler::onHardIrq(int core)
+{
+    if (!active_)
+        return;
+    closeSession(core);
+    cores_[static_cast<std::size_t>(core)].inSession = true;
+}
+
+void
+ThresholdProfiler::onPollProcessed(int core, std::uint32_t intr_pkts,
+                                   std::uint32_t poll_pkts)
+{
+    if (!active_)
+        return;
+    PerCore &c = cores_[static_cast<std::size_t>(core)];
+    c.sessionPoll += poll_pkts;
+    totalPoll_ += poll_pkts;
+    totalIntr_ += intr_pkts;
+}
+
+double
+ThresholdProfiler::niThreshold() const
+{
+    if (sessionPolls_.empty())
+        return 1.0;
+    std::vector<std::uint64_t> sorted(sessionPolls_);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t idx = static_cast<std::size_t>(
+        niQuantile_ * static_cast<double>(sorted.size() - 1));
+    return std::max<double>(1.0, static_cast<double>(sorted[idx]));
+}
+
+double
+ThresholdProfiler::cuThreshold() const
+{
+    double intr = static_cast<double>(std::max<std::uint64_t>(
+        totalIntr_, 1));
+    double ratio = static_cast<double>(totalPoll_) / intr;
+    return std::max(0.05, cuMargin_ * ratio);
+}
+
+} // namespace nmapsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * NMAP's offline threshold profiler (Section 4.2 of the paper).
+ *
+ * NMAP needs two per-application thresholds:
+ *
+ *  - **NI_TH**: the maximum number of packets processed in polling mode
+ *    per interrupt, observed over the first `observeSessions` (paper:
+ *    100) interrupts from the start of a request burst at the load used
+ *    to set the SLO (the latency-load inflection point).
+ *  - **CU_TH**: the average polling-to-interrupt packet ratio over a
+ *    single request burst at that load, scaled by a safety margin so
+ *    mid-burst windows do not dither back to CPU mode.
+ *
+ * The profiler is a NapiObserver: the harness attaches it to a short
+ * profiling run (performance governor, inflection load), brackets one
+ * burst with beginBurst()/endBurst(), and reads the thresholds out.
+ */
+
+#ifndef NMAPSIM_NMAP_PROFILER_HH_
+#define NMAPSIM_NMAP_PROFILER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "os/hooks.hh"
+
+namespace nmapsim {
+
+/** Collects NI_TH / CU_TH from one profiled burst. */
+class ThresholdProfiler : public NapiObserver
+{
+  public:
+    /**
+     * @param num_cores        observed cores
+     * @param observe_sessions interrupts examined for NI_TH (paper: 100)
+     * @param cu_margin        CU_TH = margin * average burst ratio
+     * @param ni_quantile      session-size quantile used for NI_TH; the
+     *                         paper uses the maximum, but C-state wake
+     *                         stalls make the strict max noisy, so we
+     *                         default to the 95th percentile
+     */
+    explicit ThresholdProfiler(int num_cores, int observe_sessions = 100,
+                               double cu_margin = 1.0,
+                               double ni_quantile = 0.95);
+
+    /** Start observing (call at a burst's first packet). */
+    void beginBurst();
+
+    /** Stop observing (call once the burst has fully drained). */
+    void endBurst();
+
+    /** @name NapiObserver */
+    /**@{*/
+    void onHardIrq(int core) override;
+    void onPollProcessed(int core, std::uint32_t intr_pkts,
+                         std::uint32_t poll_pkts) override;
+    /**@}*/
+
+    /** NI_TH derived from the observed burst (>= 1). */
+    double niThreshold() const;
+
+    /** CU_TH derived from the observed burst (> 0). */
+    double cuThreshold() const;
+
+    std::uint64_t sessionsObserved() const { return sessions_; }
+
+  private:
+    struct PerCore
+    {
+        std::uint64_t sessionPoll = 0;
+        bool inSession = false;
+    };
+
+    void closeSession(int core);
+
+    int observeSessions_;
+    double cuMargin_;
+    double niQuantile_;
+    bool active_ = false;
+
+    std::vector<PerCore> cores_;
+    std::vector<std::uint64_t> sessionPolls_;
+    std::uint64_t sessions_ = 0;
+    std::uint64_t totalPoll_ = 0;
+    std::uint64_t totalIntr_ = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_NMAP_PROFILER_HH_

@@ -1,0 +1,298 @@
+#include "os/core_sched.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+CoreScheduler::CoreScheduler(Core &core, Nic &nic, NapiContext &napi,
+                             const OsConfig &config)
+    : core_(core), nic_(nic), napi_(napi), config_(config),
+      eq_(core.eventQueue()), ksoftirqd_(napi),
+      sliceDoneEvent_([this] { sliceDone(); }, "sched.sliceDone"),
+      wakeDoneEvent_([this] { wakeDone(); }, "sched.wakeDone"),
+      promoteEvent_([this] { promoteIdle(); }, "sched.promoteIdle")
+{
+    core_.addFreqListener([this](double f) { onFreqChange(f); });
+}
+
+CoreScheduler::~CoreScheduler()
+{
+    eq_.deschedule(&sliceDoneEvent_);
+    eq_.deschedule(&wakeDoneEvent_);
+    eq_.deschedule(&promoteEvent_);
+}
+
+void
+CoreScheduler::setKsoftirqdHooks(Hook wake, Hook sleep)
+{
+    ksoftWakeHook_ = std::move(wake);
+    ksoftSleepHook_ = std::move(sleep);
+}
+
+void
+CoreScheduler::addThread(SimThread *thread)
+{
+    if (thread->runnable())
+        enqueueThread(thread, false);
+}
+
+void
+CoreScheduler::enqueueThread(SimThread *thread, bool front)
+{
+    if (thread == curThread_ || queued_.count(thread))
+        return;
+    queued_.insert(thread);
+    if (front)
+        runQueue_.push_front(thread);
+    else
+        runQueue_.push_back(thread);
+}
+
+void
+CoreScheduler::threadRunnable(SimThread *thread)
+{
+    enqueueThread(thread, false);
+    kickIdle();
+}
+
+void
+CoreScheduler::start()
+{
+    goIdle();
+}
+
+void
+CoreScheduler::handleIrq()
+{
+    ++hardirqs_;
+    // The driver's interrupt handler auto-masks the queue interrupt and
+    // schedules NAPI; model both at interrupt-assertion time. The
+    // handler's execution cost is the hardirq slice charged below.
+    napi_.napiSchedule();
+    ++pendingIrqs_;
+
+    if (cur_ != RunKind::kNone) {
+        if (cur_ != RunKind::kHardIrq) {
+            preemptCurrent();
+            dispatch();
+        }
+        // Already in a hardirq: the new one is queued behind it.
+        return;
+    }
+    kickIdle();
+}
+
+void
+CoreScheduler::kickIdle()
+{
+    // While a slice's completion effects are being applied (which can
+    // re-enter here through packet delivery), defer to the dispatch()
+    // that sliceDone() issues afterwards.
+    if (processing_ || wakePending_ || cur_ != RunKind::kNone)
+        return;
+    if (isIdle_) {
+        if (idleGov_)
+            idleGov_->recordIdle(core_.id(), eq_.now() - idleSince_);
+        isIdle_ = false;
+        eq_.deschedule(&promoteEvent_);
+    }
+    if (core_.cstates().sleeping()) {
+        Tick penalty = core_.wake();
+        core_.setWaking(true);
+        wakePending_ = true;
+        eq_.scheduleIn(&wakeDoneEvent_, penalty);
+        return;
+    }
+    core_.setBusy(true);
+    dispatch();
+}
+
+void
+CoreScheduler::wakeDone()
+{
+    wakePending_ = false;
+    core_.setWaking(false);
+    core_.setBusy(true);
+    dispatch();
+}
+
+void
+CoreScheduler::dispatch()
+{
+    if (cur_ != RunKind::kNone || wakePending_)
+        return;
+
+    if (pendingIrqs_ > 0) {
+        startSlice(RunKind::kHardIrq, nullptr, config_.irqCycles);
+        return;
+    }
+
+    if (napi_.softirqPending()) {
+        double cycles;
+        if (savedSoftirq_) {
+            cycles = *savedSoftirq_;
+            savedSoftirq_.reset();
+        } else {
+            cycles = napi_.beginPoll();
+        }
+        startSlice(RunKind::kSoftirq, nullptr, cycles);
+        return;
+    }
+
+    while (!runQueue_.empty()) {
+        SimThread *t = runQueue_.front();
+        runQueue_.pop_front();
+        queued_.erase(t);
+        auto it = savedThread_.find(t);
+        if (it != savedThread_.end()) {
+            double cycles = it->second;
+            savedThread_.erase(it);
+            startSlice(RunKind::kThread, t, cycles);
+            return;
+        }
+        if (!t->runnable())
+            continue;
+        startSlice(RunKind::kThread, t, t->beginSlice());
+        return;
+    }
+
+    goIdle();
+}
+
+void
+CoreScheduler::startSlice(RunKind kind, SimThread *thread, double cycles)
+{
+    cur_ = kind;
+    curThread_ = thread;
+    remaining_ = std::max(cycles, 0.0);
+    segStart_ = eq_.now();
+    segFreq_ = core_.freqHz();
+    core_.setBusy(true);
+    ++slices_;
+    eq_.scheduleIn(&sliceDoneEvent_,
+                   ticksForCycles(remaining_, segFreq_));
+}
+
+void
+CoreScheduler::preemptCurrent()
+{
+    eq_.deschedule(&sliceDoneEvent_);
+    double done = toSeconds(eq_.now() - segStart_) * segFreq_;
+    remaining_ = std::max(0.0, remaining_ - done);
+    ++preemptions_;
+
+    RunKind kind = cur_;
+    SimThread *thread = curThread_;
+    cur_ = RunKind::kNone;
+    curThread_ = nullptr;
+
+    if (kind == RunKind::kSoftirq) {
+        savedSoftirq_ = remaining_;
+    } else if (kind == RunKind::kThread) {
+        savedThread_[thread] = remaining_;
+        // A preempted thread resumes at the head of the queue.
+        enqueueThread(thread, true);
+    } else {
+        panic("preempt of a hardirq slice");
+    }
+}
+
+void
+CoreScheduler::sliceDone()
+{
+    RunKind kind = cur_;
+    SimThread *t = curThread_;
+    cur_ = RunKind::kNone;
+    curThread_ = nullptr;
+    processing_ = true;
+
+    switch (kind) {
+      case RunKind::kHardIrq:
+        --pendingIrqs_;
+        break;
+
+      case RunKind::kSoftirq: {
+        NapiContext::Outcome out = napi_.completePoll(false);
+        if (out == NapiContext::Outcome::kHandoff) {
+            napi_.handoffToKsoftirqd();
+            if (ksoftWakeHook_)
+                ksoftWakeHook_();
+            enqueueThread(&ksoftirqd_, false);
+        }
+        break;
+      }
+
+      case RunKind::kThread: {
+        t->completeSlice();
+        if (t == &ksoftirqd_ && !t->runnable() && ksoftSleepHook_)
+            ksoftSleepHook_();
+        if (t->runnable())
+            enqueueThread(t, false);
+        break;
+      }
+
+      case RunKind::kNone:
+        panic("sliceDone with no slice running");
+    }
+
+    processing_ = false;
+    dispatch();
+}
+
+void
+CoreScheduler::goIdle()
+{
+    isIdle_ = true;
+    idleSince_ = eq_.now();
+    core_.setBusy(false);
+    if (idleGov_) {
+        CState s = idleGov_->selectState(core_.id(), eq_.now());
+        if (s != CState::kC0)
+            core_.enterSleep(s);
+        if (s != CState::kC6) {
+            Tick promote = idleGov_->promoteToC6After(core_.id());
+            eq_.scheduleIn(&promoteEvent_,
+                           promote > 0 ? promote : config_.jiffy);
+        }
+    }
+}
+
+void
+CoreScheduler::promoteIdle()
+{
+    // Tick-style re-evaluation of an ongoing idle period: if the
+    // governor now allows (or mandates) the deep state and the idle
+    // has lasted long enough, deepen without waking.
+    if (!isIdle_ || !idleGov_)
+        return;
+    if (core_.cstates().state() == CState::kC6)
+        return;
+    Tick promote = idleGov_->promoteToC6After(core_.id());
+    if (promote > 0 && eq_.now() - idleSince_ >= promote) {
+        if (core_.cstates().state() == CState::kC0)
+            core_.enterSleep(CState::kC6);
+        else
+            core_.deepenSleep(CState::kC6);
+        return;
+    }
+    // Not eligible yet (or the policy forbids deep sleep right now):
+    // check again on the next tick.
+    eq_.scheduleIn(&promoteEvent_, config_.jiffy);
+}
+
+void
+CoreScheduler::onFreqChange(double freq_hz)
+{
+    if (cur_ == RunKind::kNone)
+        return;
+    double done = toSeconds(eq_.now() - segStart_) * segFreq_;
+    remaining_ = std::max(0.0, remaining_ - done);
+    segStart_ = eq_.now();
+    segFreq_ = freq_hz;
+    eq_.reschedule(&sliceDoneEvent_,
+                   eq_.now() + ticksForCycles(remaining_, freq_hz));
+}
+
+} // namespace nmapsim

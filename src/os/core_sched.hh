@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Per-core OS scheduler.
+ *
+ * Executes work on one core with the Linux priority structure the paper
+ * relies on: hardirqs preempt everything, the NAPI softirq runs before
+ * ordinary threads, and threads (the application thread and ksoftirqd)
+ * share the core round-robin — which is exactly why ksoftirqd exists:
+ * once packet processing migrates there, the application is no longer
+ * starved by the softirq.
+ *
+ * Work is executed as preemptible cycle-priced slices. A slice's
+ * remaining cycles are rescaled when the DVFS actuator changes the core
+ * frequency mid-slice, and a core woken from a C-state pays the wake-up
+ * penalty before its first slice.
+ */
+
+#ifndef NMAPSIM_OS_CORE_SCHED_HH_
+#define NMAPSIM_OS_CORE_SCHED_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "net/nic.hh"
+#include "os/cpuidle.hh"
+#include "os/napi.hh"
+#include "os/os_config.hh"
+#include "os/thread.hh"
+#include "sim/event_queue.hh"
+
+namespace nmapsim {
+
+/** The ksoftirqd kernel thread: NAPI polling at fair thread priority. */
+class KsoftirqdThread : public SimThread
+{
+  public:
+    explicit KsoftirqdThread(NapiContext &napi)
+        : napi_(napi)
+    {
+    }
+
+    bool runnable() const override { return napi_.ksoftirqdOwned(); }
+    double beginSlice() override { return napi_.beginPoll(); }
+    void completeSlice() override { napi_.completePoll(true); }
+    std::string name() const override { return "ksoftirqd"; }
+
+  private:
+    NapiContext &napi_;
+};
+
+/** Scheduler and execution engine for a single core. */
+class CoreScheduler
+{
+  public:
+    using Hook = std::function<void()>;
+
+    CoreScheduler(Core &core, Nic &nic, NapiContext &napi,
+                  const OsConfig &config);
+    ~CoreScheduler();
+
+    CoreScheduler(const CoreScheduler &) = delete;
+    CoreScheduler &operator=(const CoreScheduler &) = delete;
+
+    /** Governor consulted when the core idles; may be null (stay C0). */
+    void setIdleGovernor(CpuIdleGovernor *gov) { idleGov_ = gov; }
+
+    /** Hooks fired on ksoftirqd wake/sleep (NMAP-simpl's signal). */
+    void setKsoftirqdHooks(Hook wake, Hook sleep);
+
+    /** Register an application thread. */
+    void addThread(SimThread *thread);
+
+    /** Mark @p thread runnable (it gained work). */
+    void threadRunnable(SimThread *thread);
+
+    /** NIC interrupt entry point for this core's queue. */
+    void handleIrq();
+
+    /** Begin execution (enter idle; the first packet starts things). */
+    void start();
+
+    /** @name Introspection */
+    /**@{*/
+    bool idle() const { return isIdle_; }
+    KsoftirqdThread &ksoftirqd() { return ksoftirqd_; }
+    std::uint64_t hardirqsHandled() const { return hardirqs_; }
+    std::uint64_t slicesRun() const { return slices_; }
+    std::uint64_t preemptions() const { return preemptions_; }
+    /**@}*/
+
+  private:
+    enum class RunKind
+    {
+        kNone,
+        kHardIrq,
+        kSoftirq,
+        kThread,
+    };
+
+    void dispatch();
+    void startSlice(RunKind kind, SimThread *thread, double cycles);
+    void sliceDone();
+    void preemptCurrent();
+    void goIdle();
+    void promoteIdle();
+    void kickIdle();
+    void wakeDone();
+    void onFreqChange(double freq_hz);
+    void enqueueThread(SimThread *thread, bool front);
+
+    Core &core_;
+    Nic &nic_;
+    NapiContext &napi_;
+    const OsConfig &config_;
+    EventQueue &eq_;
+
+    CpuIdleGovernor *idleGov_ = nullptr;
+    Hook ksoftWakeHook_;
+    Hook ksoftSleepHook_;
+
+    KsoftirqdThread ksoftirqd_;
+
+    // Current slice.
+    RunKind cur_ = RunKind::kNone;
+    SimThread *curThread_ = nullptr;
+    double remaining_ = 0.0;
+    Tick segStart_ = 0;
+    double segFreq_ = 0.0;
+
+    // Saved (preempted) work.
+    std::optional<double> savedSoftirq_;
+    std::unordered_map<SimThread *, double> savedThread_;
+
+    // Fair run queue.
+    std::deque<SimThread *> runQueue_;
+    std::unordered_set<SimThread *> queued_;
+
+    int pendingIrqs_ = 0;
+    bool wakePending_ = false;
+    bool processing_ = false;
+    bool isIdle_ = true;
+    Tick idleSince_ = 0;
+
+    std::uint64_t hardirqs_ = 0;
+    std::uint64_t slices_ = 0;
+    std::uint64_t preemptions_ = 0;
+
+    EventFunctionWrapper sliceDoneEvent_;
+    EventFunctionWrapper wakeDoneEvent_;
+    EventFunctionWrapper promoteEvent_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_OS_CORE_SCHED_HH_

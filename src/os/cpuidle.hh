@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Interface between the per-core scheduler and cpuidle governors.
+ *
+ * When a core runs out of work the scheduler asks the governor which
+ * C-state to enter; kC0 means "stay awake" (the `disable` policy). The
+ * governor is fed the observed idle durations so history-based policies
+ * like menu can predict.
+ */
+
+#ifndef NMAPSIM_OS_CPUIDLE_HH_
+#define NMAPSIM_OS_CPUIDLE_HH_
+
+#include "cpu/cstate.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** Strategy deciding the sleep state for an idle core. */
+class CpuIdleGovernor
+{
+  public:
+    virtual ~CpuIdleGovernor() = default;
+
+    /** Pick the C-state core @p core should enter now. */
+    virtual CState selectState(int core, Tick now) = 0;
+
+    /** Report a completed idle period on @p core (history feedback). */
+    virtual void recordIdle(int core, Tick duration) { (void)core;
+                                                       (void)duration; }
+
+    /**
+     * If > 0 and the governor chose a shallow state, the scheduler
+     * promotes the core into CC6 once the idle period has lasted this
+     * long (the tick-driven re-evaluation real cpuidle performs).
+     */
+    virtual Tick promoteToC6After(int core) const { (void)core;
+                                                    return 0; }
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_OS_CPUIDLE_HH_

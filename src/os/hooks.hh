@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Observation hooks into the network software stack.
+ *
+ * NMAP, NMAP-simpl and the trace figures all consume exactly these
+ * events: per-poll packet counts split by NAPI mode, and ksoftirqd
+ * wake/sleep transitions. This is the "piggyback on the existing NAPI
+ * mechanism" interface of the paper — no other kernel state is exposed
+ * to the power-management policies.
+ */
+
+#ifndef NMAPSIM_OS_HOOKS_HH_
+#define NMAPSIM_OS_HOOKS_HH_
+
+#include <cstdint>
+
+namespace nmapsim {
+
+/** Callbacks fired by the NAPI machinery; default-ignore everything. */
+class NapiObserver
+{
+  public:
+    virtual ~NapiObserver() = default;
+
+    /**
+     * A NAPI poll() call on @p core finished.
+     *
+     * @param intr_pkts packets handled in interrupt mode (the session's
+     *                  first poll after a hardirq)
+     * @param poll_pkts packets handled in polling mode (repolls and
+     *                  ksoftirqd passes)
+     */
+    virtual void
+    onPollProcessed(int core, std::uint32_t intr_pkts,
+                    std::uint32_t poll_pkts)
+    {
+        (void)core;
+        (void)intr_pkts;
+        (void)poll_pkts;
+    }
+
+    /** ksoftirqd on @p core was woken to take over packet processing. */
+    virtual void onKsoftirqdWake(int core) { (void)core; }
+
+    /** ksoftirqd on @p core finished and went back to sleep. */
+    virtual void onKsoftirqdSleep(int core) { (void)core; }
+
+    /** A NIC hardirq was taken on @p core. */
+    virtual void onHardIrq(int core) { (void)core; }
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_OS_HOOKS_HH_

@@ -1,0 +1,117 @@
+#include "os/napi.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+NapiContext::NapiContext(EventQueue &eq, Nic &nic, int queue,
+                         const OsConfig &config)
+    : eq_(eq), nic_(nic), queue_(queue), config_(config)
+{
+}
+
+void
+NapiContext::napiSchedule()
+{
+    if (active_) {
+        // Spurious: the session is already open (e.g. an ITR-deferred
+        // interrupt racing napi_complete). Nothing to do; the open
+        // session will pick the packets up.
+        return;
+    }
+    nic_.disableIrq(queue_);
+    active_ = true;
+    ksoftirqdOwned_ = false;
+    sessionPollCalls_ = 0;
+    softirqIters_ = 0;
+    softirqStart_ = eq_.now();
+    ++sessions_;
+}
+
+double
+NapiContext::beginPoll()
+{
+    if (!active_)
+        panic("beginPoll on an idle NAPI context");
+    if (pollInFlight_)
+        panic("beginPoll while a poll batch is in flight");
+    pollInFlight_ = true;
+
+    stash_.clear();
+    int budget = config_.napiWeight;
+    Packet pkt;
+    while (budget > 0 && nic_.popRx(queue_, pkt)) {
+        stash_.push_back(pkt);
+        --budget;
+    }
+    stashTx_ = nic_.consumeTx(
+        queue_, static_cast<std::uint32_t>(config_.txCleanBudget));
+
+    double cycles = config_.pollOverheadCycles;
+    cycles += static_cast<double>(stash_.size()) * config_.rxPacketCycles;
+    cycles += static_cast<double>(stashTx_) * config_.txCompletionCycles;
+    return cycles;
+}
+
+NapiContext::Outcome
+NapiContext::completePoll(bool in_ksoftirqd)
+{
+    if (!pollInFlight_)
+        panic("completePoll without a poll batch in flight");
+    pollInFlight_ = false;
+
+    // Move the stash out before delivering: deliver_ can re-enter the
+    // scheduler, and a re-entrant beginPoll must not clobber it.
+    std::vector<Packet> batch;
+    batch.swap(stash_);
+    std::uint32_t batch_tx = stashTx_;
+    stashTx_ = 0;
+
+    for (const Packet &pkt : batch) {
+        if (pkt.kind == Packet::Kind::kRequest && deliver_)
+            deliver_(pkt);
+    }
+
+    std::uint32_t processed =
+        static_cast<std::uint32_t>(batch.size()) + batch_tx;
+    std::uint32_t intr = 0;
+    std::uint32_t poll = 0;
+    if (sessionPollCalls_ == 0)
+        intr = processed;
+    else
+        poll = processed;
+    ++sessionPollCalls_;
+    pktsIntr_ += intr;
+    pktsPoll_ += poll;
+    if (pollHook_)
+        pollHook_(intr, poll);
+
+    bool more = nic_.rxDepth(queue_) > 0 || nic_.txPending(queue_) > 0;
+    if (!more) {
+        // napi_complete: re-arm the interrupt and close the session.
+        active_ = false;
+        ksoftirqdOwned_ = false;
+        nic_.enableIrq(queue_);
+        return Outcome::kComplete;
+    }
+
+    if (!in_ksoftirqd) {
+        ++softirqIters_;
+        bool too_many = softirqIters_ >= config_.maxSoftirqIters;
+        bool too_long =
+            eq_.now() - softirqStart_ >= config_.maxSoftirqTime;
+        if (too_many || too_long)
+            return Outcome::kHandoff;
+    }
+    return Outcome::kRepoll;
+}
+
+void
+NapiContext::handoffToKsoftirqd()
+{
+    if (!active_)
+        panic("handoff on an idle NAPI context");
+    ksoftirqdOwned_ = true;
+}
+
+} // namespace nmapsim

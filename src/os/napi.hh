@@ -1,0 +1,122 @@
+/**
+ * @file
+ * NAPI context: per-core interrupt/polling packet processing state.
+ *
+ * Follows the Linux NAPI life cycle (Section 2.1 / Fig. 1 of the paper):
+ *
+ *  - A NIC hardirq masks the queue's interrupt and schedules the softirq
+ *    (napiSchedule()); this starts a *poll session*.
+ *  - The softirq runs poll() calls of up to `napiWeight` Rx packets plus
+ *    pending Tx completions. If a call empties both queues the session
+ *    ends with napi_complete (interrupt re-armed). Otherwise the softirq
+ *    repolls, and after too many iterations or too much time it migrates
+ *    the remaining work to ksoftirqd, which runs at fair thread priority.
+ *  - Packets handled by a session's first poll() count as *interrupt
+ *    mode*; everything later (repolls, ksoftirqd passes) counts as
+ *    *polling mode*. These two counters are NMAP's entire input signal.
+ *
+ * The scheduler drives the context through the begin/complete poll-batch
+ * protocol so the packet-processing cycles are charged at the core's
+ * current frequency.
+ */
+
+#ifndef NMAPSIM_OS_NAPI_HH_
+#define NMAPSIM_OS_NAPI_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/nic.hh"
+#include "net/packet.hh"
+#include "os/os_config.hh"
+#include "sim/event_queue.hh"
+
+namespace nmapsim {
+
+/** NAPI state machine for one (core, NIC queue) pair. */
+class NapiContext
+{
+  public:
+    /** Result of finishing one poll() call. */
+    enum class Outcome
+    {
+        kComplete, //!< queues empty: napi_complete, interrupt re-armed
+        kRepoll,   //!< work remains: poll again in the same context
+        kHandoff,  //!< softirq exceeded its budget: wake ksoftirqd
+    };
+
+    /** Per-poll notification: (intr_pkts, poll_pkts). */
+    using PollHook =
+        std::function<void(std::uint32_t, std::uint32_t)>;
+    using Deliver = std::function<void(const Packet &)>;
+
+    NapiContext(EventQueue &eq, Nic &nic, int queue,
+                const OsConfig &config);
+
+    /** Receive-path consumer for request packets (the server app). */
+    void setDeliver(Deliver deliver) { deliver_ = std::move(deliver); }
+
+    /** Observer notified after every poll() call. */
+    void setPollHook(PollHook hook) { pollHook_ = std::move(hook); }
+
+    /** Hardirq handler half: mask IRQ, start/refresh the poll session. */
+    void napiSchedule();
+
+    /** True when the softirq (not ksoftirqd) should run poll calls. */
+    bool softirqPending() const { return active_ && !ksoftirqdOwned_; }
+
+    /** True when ksoftirqd owns the remaining packet processing. */
+    bool ksoftirqdOwned() const { return ksoftirqdOwned_; }
+
+    /** True while a poll session is open (interrupt masked). */
+    bool active() const { return active_; }
+
+    /**
+     * Start a poll() call: harvest up to the budget from the NIC and
+     * return the call's cost in core cycles (always > 0).
+     */
+    double beginPoll();
+
+    /**
+     * Finish the poll() call begun by beginPoll(); @p in_ksoftirqd
+     * selects which context's continuation rules apply.
+     */
+    Outcome completePoll(bool in_ksoftirqd);
+
+    /** Move the session into ksoftirqd (after a kHandoff outcome). */
+    void handoffToKsoftirqd();
+
+    /** @name Cumulative mode counters (NMAP's raw inputs) */
+    /**@{*/
+    std::uint64_t pktsInterruptMode() const { return pktsIntr_; }
+    std::uint64_t pktsPollingMode() const { return pktsPoll_; }
+    std::uint64_t pollSessions() const { return sessions_; }
+    /**@}*/
+
+  private:
+    EventQueue &eq_;
+    Nic &nic_;
+    int queue_;
+    const OsConfig &config_;
+    Deliver deliver_;
+    PollHook pollHook_;
+
+    bool active_ = false;
+    bool ksoftirqdOwned_ = false;
+    std::uint32_t sessionPollCalls_ = 0;
+    int softirqIters_ = 0;
+    Tick softirqStart_ = 0;
+
+    std::vector<Packet> stash_;
+    std::uint32_t stashTx_ = 0;
+    bool pollInFlight_ = false;
+
+    std::uint64_t pktsIntr_ = 0;
+    std::uint64_t pktsPoll_ = 0;
+    std::uint64_t sessions_ = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_OS_NAPI_HH_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tunables of the simulated OS network stack.
+ *
+ * Cycle costs are in core clock cycles so they scale with DVFS exactly
+ * like real kernel code does — that frequency dependence is what makes
+ * a low P-state unable to keep up with a burst.
+ */
+
+#ifndef NMAPSIM_OS_OS_CONFIG_HH_
+#define NMAPSIM_OS_OS_CONFIG_HH_
+
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** Static OS/network-stack parameters shared by all cores. */
+struct OsConfig
+{
+    /** Hardirq entry + handler + napi_schedule cost. */
+    double irqCycles = 1500;
+
+    /** Fixed overhead of one NAPI poll() invocation. */
+    double pollOverheadCycles = 400;
+
+    /** Network-stack cost per received packet (driver + IP + TCP +
+     *  socket delivery). ~1.75 us at 3.2 GHz. */
+    double rxPacketCycles = 5600;
+
+    /** Cost to reap one Tx completion descriptor. */
+    double txCompletionCycles = 250;
+
+    /** NAPI budget per poll() call (netdev weight). */
+    int napiWeight = 16;
+
+    /** Tx completions reaped per poll() call. */
+    int txCleanBudget = 256;
+
+    /**
+     * Softirq restart iterations before migrating to ksoftirqd
+     * (paper 2.1: "fails to empty Rx and Tx queues more than ten
+     * iterations").
+     */
+    int maxSoftirqIters = 3;
+
+    /** Scheduler tick period (250 Hz kernel). */
+    Tick jiffy = milliseconds(4);
+
+    /**
+     * Softirq time budget before migrating to ksoftirqd (paper 2.1:
+     * "overuses schedule ticks more than two ticks, e.g. 8 ms at
+     * 250 Hz").
+     */
+    Tick maxSoftirqTime = milliseconds(8);
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_OS_OS_CONFIG_HH_

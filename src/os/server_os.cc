@@ -1,0 +1,66 @@
+#include "os/server_os.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+ServerOs::ServerOs(std::vector<Core *> cores, Nic &nic,
+                   const OsConfig &config)
+    : cores_(std::move(cores)), nic_(nic), config_(config)
+{
+    if (cores_.empty())
+        fatal("ServerOs requires at least one core");
+    if (static_cast<int>(cores_.size()) != nic_.numQueues())
+        fatal("ServerOs: core count must match NIC queue count (RSS)");
+
+    EventQueue &eq = cores_.front()->eventQueue();
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        int core_id = static_cast<int>(i);
+        auto napi = std::make_unique<NapiContext>(eq, nic_, core_id,
+                                                  config_);
+        napi->setDeliver([this, core_id](const Packet &pkt) {
+            if (deliver_)
+                deliver_(core_id, pkt);
+        });
+        napi->setPollHook(
+            [this, core_id](std::uint32_t intr, std::uint32_t poll) {
+                for (NapiObserver *obs : observers_)
+                    obs->onPollProcessed(core_id, intr, poll);
+            });
+        auto sched = std::make_unique<CoreScheduler>(*cores_[i], nic_,
+                                                     *napi, config_);
+        sched->setKsoftirqdHooks(
+            [this, core_id] {
+                for (NapiObserver *obs : observers_)
+                    obs->onKsoftirqdWake(core_id);
+            },
+            [this, core_id] {
+                for (NapiObserver *obs : observers_)
+                    obs->onKsoftirqdSleep(core_id);
+            });
+        napis_.push_back(std::move(napi));
+        scheds_.push_back(std::move(sched));
+    }
+
+    nic_.setIrqHandler([this](int q) {
+        for (NapiObserver *obs : observers_)
+            obs->onHardIrq(q);
+        scheds_[static_cast<std::size_t>(q)]->handleIrq();
+    });
+}
+
+void
+ServerOs::setIdleGovernor(CpuIdleGovernor *gov)
+{
+    for (auto &sched : scheds_)
+        sched->setIdleGovernor(gov);
+}
+
+void
+ServerOs::start()
+{
+    for (auto &sched : scheds_)
+        sched->start();
+}
+
+} // namespace nmapsim

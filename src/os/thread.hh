@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Schedulable thread abstraction.
+ *
+ * The per-core scheduler runs SimThreads in round-robin when no hardirq
+ * or softirq work is pending. A thread's work is delivered in "slices":
+ * beginSlice() returns the cycle cost of the next unit (one request, one
+ * poll batch, ...), and completeSlice() commits its effects once the
+ * scheduler has charged those cycles. A preempted slice is resumed with
+ * its remaining cycles by the scheduler; the thread is not re-consulted.
+ */
+
+#ifndef NMAPSIM_OS_THREAD_HH_
+#define NMAPSIM_OS_THREAD_HH_
+
+#include <string>
+
+namespace nmapsim {
+
+/** Something the fair scheduler can run (app thread, ksoftirqd). */
+class SimThread
+{
+  public:
+    virtual ~SimThread() = default;
+
+    /** True when the thread has work to run. */
+    virtual bool runnable() const = 0;
+
+    /**
+     * Start the next work unit; returns its cost in core cycles
+     * (must be > 0 when runnable).
+     */
+    virtual double beginSlice() = 0;
+
+    /** The work unit begun by beginSlice() has finished executing. */
+    virtual void completeSlice() = 0;
+
+    /** Identifier for tracing. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_OS_THREAD_HH_

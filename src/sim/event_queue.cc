@@ -1,0 +1,110 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nmapsim {
+
+Event::Event(int priority)
+    : priority_(priority)
+{
+}
+
+Event::~Event()
+{
+    // Owning components must deschedule before destruction; firing a
+    // destroyed event would be use-after-free. The queue tolerates the
+    // stale heap entry (token mismatch) but only while the object lives.
+    assert(!scheduled_ && "event destroyed while scheduled");
+}
+
+EventFunctionWrapper::EventFunctionWrapper(std::function<void()> callback,
+                                           std::string name, int priority)
+    : Event(priority), callback_(std::move(callback)),
+      name_(std::move(name))
+{
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        throw std::logic_error("schedule: event already scheduled: " +
+                               ev->name());
+    if (when < now_)
+        throw std::logic_error("schedule: tick in the past: " + ev->name());
+
+    ev->when_ = when;
+    ev->token_ = nextToken_++;
+    ev->scheduled_ = true;
+    heap_.push(Entry{when, ev->priority_, nextSeq_++, ev->token_, ev});
+    ++numPending_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->scheduled_)
+        return;
+    // Lazy removal: invalidate the token; the heap entry is dropped when
+    // popped.
+    ev->scheduled_ = false;
+    ev->token_ = 0;
+    --numPending_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    deschedule(ev);
+    schedule(ev, when);
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        Event *ev = e.event;
+        if (!ev->scheduled_ || ev->token_ != e.token)
+            continue; // stale entry from a deschedule/reschedule
+        assert(e.when >= now_);
+        now_ = e.when;
+        ev->scheduled_ = false;
+        ev->token_ = 0;
+        --numPending_;
+        ++numProcessed_;
+        ev->process();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick end)
+{
+    while (!heap_.empty()) {
+        // Skip stale entries without advancing time.
+        const Entry &top = heap_.top();
+        Event *ev = top.event;
+        if (!ev->scheduled_ || ev->token_ != top.token) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > end)
+            break;
+        step();
+    }
+    if (now_ < end)
+        now_ = end;
+}
+
+void
+EventQueue::runAll()
+{
+    while (step()) {
+    }
+}
+
+} // namespace nmapsim

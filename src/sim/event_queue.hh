@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue orders Event objects by (tick, priority, insertion
+ * sequence) and processes them one at a time. Components own their events
+ * (usually as data members) and schedule/deschedule them on the queue;
+ * descheduling is O(1) via lazy invalidation tokens, which keeps the hot
+ * reschedule-heavy paths (CPU slice preemption, interrupt moderation)
+ * cheap.
+ */
+
+#ifndef NMAPSIM_SIM_EVENT_QUEUE_HH_
+#define NMAPSIM_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+class EventQueue;
+
+/**
+ * Base class for all simulation events.
+ *
+ * An event may be scheduled on at most one queue at a time. Lifetime is
+ * managed by the owning component; the queue never deletes events.
+ */
+class Event
+{
+  public:
+    /** Lower value runs first among events scheduled for the same tick. */
+    enum Priority
+    {
+        kHighPriority = 0,
+        kDefaultPriority = 50,
+        kLowPriority = 100,
+    };
+
+    explicit Event(int priority = kDefaultPriority);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when the event fires. */
+    virtual void process() = 0;
+
+    /** Human-readable identifier for tracing. */
+    virtual std::string name() const { return "event"; }
+
+    /** True if currently pending on a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick at which the event will fire; only valid when scheduled. */
+    Tick when() const { return when_; }
+
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t token_ = 0;
+    int priority_;
+    bool scheduled_ = false;
+};
+
+/**
+ * Event whose action is a std::function, for components that do not want
+ * a named Event subclass per callback.
+ */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback, std::string name,
+                         int priority = kDefaultPriority);
+
+    void process() override { callback_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * The global event queue for one simulation.
+ *
+ * All simulated components in one experiment share a single queue; time
+ * advances only by processing events.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p ev to fire at absolute tick @p when (>= now).
+     * The event must not already be scheduled.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Schedule @p ev to fire @p delay ticks from now. */
+    void scheduleIn(Event *ev, Tick delay) { schedule(ev, now_ + delay); }
+
+    /** Remove a pending event; no-op fields if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) then schedule at @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /** True when no events are pending. */
+    bool empty() const { return numPending_ == 0; }
+
+    /** Number of events currently pending. */
+    std::size_t numPending() const { return numPending_; }
+
+    /** Process a single event; returns false if the queue was empty. */
+    bool step();
+
+    /**
+     * Run until the queue is empty or simulated time would exceed
+     * @p end. Events exactly at @p end are processed; afterwards now()
+     * is max(now, end).
+     */
+    void runUntil(Tick end);
+
+    /** Run until the queue is empty. */
+    void runAll();
+
+    /** Total number of events processed since construction. */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t token;
+        Event *event;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextToken_ = 1;
+    std::size_t numPending_ = 0;
+    std::uint64_t numProcessed_ = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,43 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace nmapsim {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+LogLevel
+Log::level()
+{
+    return level_;
+}
+
+void
+Log::setLevel(LogLevel level)
+{
+    level_ = level;
+}
+
+void
+Log::write(LogLevel level, const std::string &msg)
+{
+    if (level < level_)
+        return;
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::kDebug:
+        tag = "debug";
+        break;
+      case LogLevel::kInfo:
+        tag = "info";
+        break;
+      case LogLevel::kWarn:
+        tag = "warn";
+        break;
+      case LogLevel::kNone:
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace nmapsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal leveled logging and fatal-error helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user/configuration errors
+ * (clean exit semantics, here an exception the caller may catch), panic()
+ * is for internal invariant violations.
+ */
+
+#ifndef NMAPSIM_SIM_LOGGING_HH_
+#define NMAPSIM_SIM_LOGGING_HH_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nmapsim {
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kNone = 3,
+};
+
+/** Global logging controls; default suppresses debug chatter. */
+class Log
+{
+  public:
+    static LogLevel level();
+    static void setLevel(LogLevel level);
+
+    /** Emit a message if @p level is at or above the global level. */
+    static void write(LogLevel level, const std::string &msg);
+
+  private:
+    static LogLevel level_;
+};
+
+/** Error thrown for invalid user configuration (gem5 fatal()). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Error thrown for internal invariant violations (gem5 panic()). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {
+    }
+};
+
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+inline void
+inform(const std::string &msg)
+{
+    Log::write(LogLevel::kInfo, msg);
+}
+
+inline void
+warn(const std::string &msg)
+{
+    Log::write(LogLevel::kWarn, msg);
+}
+
+inline void
+debugLog(const std::string &msg)
+{
+    Log::write(LogLevel::kDebug, msg);
+}
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_SIM_LOGGING_HH_

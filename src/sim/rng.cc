@@ -1,0 +1,129 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace nmapsim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stdev)
+{
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stdev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::truncatedNormal(double mean, double stdev, double lo)
+{
+    for (int i = 0; i < 16; ++i) {
+        double v = normal(mean, stdev);
+        if (v >= lo)
+            return v;
+    }
+    return lo;
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+std::int64_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 1;
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return 1 + static_cast<std::int64_t>(std::log(u) / std::log(1.0 - p));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace nmapsim

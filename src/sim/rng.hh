@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic random number generation for nmapsim.
+ *
+ * Every experiment owns a single Rng seeded from its configuration, so a
+ * run is exactly reproducible from (config, seed). The generator is
+ * xoshiro256++ with splitmix64 seeding; the distribution helpers cover
+ * everything the workload and hardware models need.
+ */
+
+#ifndef NMAPSIM_SIM_RNG_HH_
+#define NMAPSIM_SIM_RNG_HH_
+
+#include <cstdint>
+
+namespace nmapsim {
+
+/**
+ * Deterministic pseudo-random generator (xoshiro256++).
+ *
+ * Not thread-safe; the simulator is single-threaded by design.
+ */
+class Rng
+{
+  public:
+    /** Construct with the given seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Exponentially distributed value with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Normally distributed value (Box-Muller). */
+    double normal(double mean, double stdev);
+
+    /**
+     * Normal value truncated below at @p lo; resamples a bounded number
+     * of times then clamps, so the tail stays deterministic.
+     */
+    double truncatedNormal(double mean, double stdev, double lo);
+
+    /** Log-normal value parameterised by the mean of the *underlying*
+     *  normal @p mu and its standard deviation @p sigma. */
+    double lognormal(double mu, double sigma);
+
+    /** Geometric number of trials >= 1 with success probability p. */
+    std::int64_t geometric(double p);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /**
+     * Derive an independent child generator; used to give each component
+     * its own stream so adding a component does not perturb others.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_SIM_RNG_HH_

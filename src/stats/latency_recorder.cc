@@ -1,0 +1,108 @@
+#include "stats/latency_recorder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nmapsim {
+
+void
+LatencyRecorder::ensureSorted() const
+{
+    if (sorted_)
+        return;
+    std::sort(samples_.begin(), samples_.end(),
+              [](const LatencySample &a, const LatencySample &b) {
+                  return a.latency < b.latency;
+              });
+    sorted_ = true;
+}
+
+Tick
+LatencyRecorder::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0;
+    ensureSorted();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    double v = static_cast<double>(samples_[lo].latency) * (1.0 - frac) +
+               static_cast<double>(samples_[hi].latency) * frac;
+    return static_cast<Tick>(std::llround(v));
+}
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : samples_)
+        sum += static_cast<double>(s.latency);
+    return sum / static_cast<double>(samples_.size());
+}
+
+Tick
+LatencyRecorder::max() const
+{
+    Tick m = 0;
+    for (const auto &s : samples_)
+        m = std::max(m, s.latency);
+    return m;
+}
+
+double
+LatencyRecorder::fractionAbove(Tick slo) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const auto &s : samples_)
+        if (s.latency > slo)
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<Tick, double>>
+LatencyRecorder::cdf(std::size_t points) const
+{
+    std::vector<std::pair<Tick, double>> out;
+    if (samples_.empty() || points == 0)
+        return out;
+    ensureSorted();
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        double q = static_cast<double>(i + 1) / static_cast<double>(points);
+        std::size_t idx = std::min(
+            samples_.size() - 1,
+            static_cast<std::size_t>(q *
+                                     static_cast<double>(samples_.size())));
+        out.emplace_back(samples_[idx].latency, q);
+    }
+    return out;
+}
+
+std::vector<LatencySample>
+LatencyRecorder::trace() const
+{
+    std::vector<LatencySample> t(samples_.begin(), samples_.end());
+    std::sort(t.begin(), t.end(),
+              [](const LatencySample &a, const LatencySample &b) {
+                  return a.completionTime < b.completionTime;
+              });
+    return t;
+}
+
+void
+LatencyRecorder::discardBefore(Tick cutoff)
+{
+    samples_.erase(std::remove_if(samples_.begin(), samples_.end(),
+                                  [cutoff](const LatencySample &s) {
+                                      return s.completionTime < cutoff;
+                                  }),
+                   samples_.end());
+    sorted_ = false;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Streaming summary statistics (count/mean/stdev/min/max).
+ *
+ * Uses Welford's online algorithm so accumulating millions of samples is
+ * numerically stable; backs the re-transition and wake-up latency tables.
+ */
+
+#ifndef NMAPSIM_STATS_SUMMARY_HH_
+#define NMAPSIM_STATS_SUMMARY_HH_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace nmapsim {
+
+/** Online accumulator of scalar samples. */
+class SummaryStats
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++count_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+        sum_ += x;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sample variance (n - 1 denominator). */
+    double
+    variance() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        return m2_ / static_cast<double>(count_ - 1);
+    }
+
+    double stdev() const { return std::sqrt(variance()); }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        *this = SummaryStats();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_STATS_SUMMARY_HH_

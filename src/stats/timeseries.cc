@@ -1,0 +1,102 @@
+#include "stats/timeseries.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+TimeSeries::TimeSeries(Tick bucket_width, Tick start)
+    : bucketWidth_(bucket_width), start_(start)
+{
+    if (bucket_width <= 0)
+        fatal("TimeSeries bucket width must be positive");
+}
+
+std::size_t
+TimeSeries::indexFor(Tick t) const
+{
+    if (t < start_)
+        return 0;
+    return static_cast<std::size_t>((t - start_) / bucketWidth_);
+}
+
+void
+TimeSeries::grow(std::size_t idx)
+{
+    if (idx >= buckets_.size()) {
+        buckets_.resize(idx + 1, 0.0);
+        touched_.resize(idx + 1, false);
+    }
+}
+
+void
+TimeSeries::add(Tick t, double value)
+{
+    std::size_t idx = indexFor(t);
+    grow(idx);
+    buckets_[idx] += value;
+    touched_[idx] = true;
+}
+
+void
+TimeSeries::setLevel(Tick t, double value)
+{
+    levelMode_ = true;
+    std::size_t idx = indexFor(t);
+    grow(idx);
+    buckets_[idx] = value;
+    touched_[idx] = true;
+}
+
+double
+TimeSeries::at(Tick t) const
+{
+    std::size_t idx = indexFor(t);
+    return bucket(idx);
+}
+
+double
+TimeSeries::bucket(std::size_t i) const
+{
+    if (i >= buckets_.size()) {
+        if (levelMode_ && !buckets_.empty())
+            i = buckets_.size() - 1;
+        else
+            return 0.0;
+    }
+    if (!levelMode_)
+        return buckets_[i];
+    // Level series fill forward from the last touched bucket.
+    for (std::size_t j = i + 1; j-- > 0;) {
+        if (touched_[j])
+            return buckets_[j];
+    }
+    return 0.0;
+}
+
+Tick
+TimeSeries::bucketTime(std::size_t i) const
+{
+    return start_ + static_cast<Tick>(i) * bucketWidth_ + bucketWidth_ / 2;
+}
+
+double
+TimeSeries::total() const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        if (touched_[i])
+            sum += buckets_[i];
+    return sum;
+}
+
+std::size_t
+EventMarkSeries::countInWindow(Tick from, Tick to) const
+{
+    std::size_t n = 0;
+    for (Tick t : marks_)
+        if (t >= from && t < to)
+            ++n;
+    return n;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,120 @@
+#include "workload/app_profile.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+const char *
+loadLevelName(LoadLevel level)
+{
+    switch (level) {
+      case LoadLevel::kLow:
+        return "low";
+      case LoadLevel::kMed:
+        return "med";
+      case LoadLevel::kHigh:
+        return "high";
+    }
+    return "?";
+}
+
+double
+AppProfile::sampleServiceCycles(Rng &rng) const
+{
+    return rng.lognormal(serviceMu, serviceSigma);
+}
+
+double
+AppProfile::meanServiceCycles() const
+{
+    return std::exp(serviceMu + serviceSigma * serviceSigma / 2.0);
+}
+
+const LoadLevelSpec &
+AppProfile::level(LoadLevel l) const
+{
+    switch (l) {
+      case LoadLevel::kLow:
+        return low;
+      case LoadLevel::kMed:
+        return med;
+      case LoadLevel::kHigh:
+        return high;
+    }
+    panic("unknown load level");
+}
+
+namespace {
+
+/** Underlying-normal mu for a log-normal with the given mean. */
+double
+muForMean(double mean, double sigma)
+{
+    return std::log(mean) - sigma * sigma / 2.0;
+}
+
+} // namespace
+
+AppProfile
+AppProfile::memcached()
+{
+    constexpr double sigma = 0.50;
+    return AppProfile{
+        "memcached",
+        muForMean(4000.0, sigma), // ~1.25 us at 3.2 GHz
+        sigma,
+        /*requestBytes=*/128,
+        /*responseBytes=*/256,
+        /*slo=*/milliseconds(1),
+        /*cacheTouch=*/0.30,
+        // Burst heights x duty = the paper's 30K/290K/750K averages.
+        /*low=*/{300e3, 0.100, 8.0},
+        /*med=*/{1.0e6, 0.290, 12.0},
+        /*high=*/{1.667e6, 0.450, 12.0},
+    };
+}
+
+AppProfile
+AppProfile::nginx()
+{
+    constexpr double sigma = 0.50;
+    return AppProfile{
+        "nginx",
+        muForMean(60000.0, sigma), // ~18.8 us at 3.2 GHz
+        sigma,
+        /*requestBytes=*/512,
+        /*responseBytes=*/4096,
+        /*slo=*/milliseconds(10),
+        /*cacheTouch=*/0.50,
+        // Burst heights x duty = the paper's 18K/48K/56K averages.
+        /*low=*/{120e3, 0.150, 8.0},
+        /*med=*/{290e3, 0.1655, 10.0},
+        /*high=*/{320e3, 0.175, 12.0},
+    };
+}
+
+AppProfile
+AppProfile::keyvalueUs()
+{
+    constexpr double sigma = 0.40;
+    return AppProfile{
+        "keyvalue-us",
+        muForMean(2000.0, sigma), // ~0.6 us at 3.2 GHz
+        sigma,
+        /*requestBytes=*/64,
+        /*responseBytes=*/128,
+        /*slo=*/microseconds(100),
+        // Small working set: the refill share after a CC6 wake is
+        // modest, but the ~27 us exit latency alone is 27% of the SLO.
+        /*cacheTouch=*/0.10,
+        // Lighter trains: us-scale services are driven by small
+        // batches; bursts keep the ON/OFF envelope of the other apps.
+        /*low=*/{300e3, 0.100, 4.0},
+        /*med=*/{1.0e6, 0.290, 4.0},
+        /*high=*/{1.667e6, 0.450, 4.0},
+    };
+}
+
+} // namespace nmapsim

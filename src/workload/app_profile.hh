@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Latency-critical application profiles.
+ *
+ * Two applications mirror the paper's evaluation: a memcached-like
+ * in-memory key/value store (microsecond-scale requests, SLO = 1 ms)
+ * and an nginx-like web server (heavier requests, SLO = 10 ms). Service
+ * demand is in cycles, so DVFS stretches it. Load levels carry the
+ * paper's request rates plus the mean size of the per-connection request
+ * trains clients emit inside a burst; larger trains at higher loads are
+ * what drives NAPI into sustained polling.
+ */
+
+#ifndef NMAPSIM_WORKLOAD_APP_PROFILE_HH_
+#define NMAPSIM_WORKLOAD_APP_PROFILE_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** The three load levels used throughout the evaluation. */
+enum class LoadLevel
+{
+    kLow,
+    kMed,
+    kHigh,
+};
+
+/** Human-readable name of a load level. */
+const char *loadLevelName(LoadLevel level);
+
+/** One operating point of the client load generator. */
+struct LoadLevelSpec
+{
+    double rps;       //!< requests per second *during* a burst (height)
+    double duty;      //!< fraction of each period the burst is ON
+    double trainMean; //!< mean requests per back-to-back train
+
+    /** Long-run average request rate (what the paper quotes). */
+    double avgRps() const { return rps * duty; }
+};
+
+/** Everything workload-specific about one application. */
+struct AppProfile
+{
+    std::string name;
+
+    /** Log-normal service demand (cycles): mean of the underlying
+     *  normal... */
+    double serviceMu;
+    /** ...and its standard deviation. */
+    double serviceSigma;
+
+    std::uint32_t requestBytes;  //!< request packet wire size
+    std::uint32_t responseBytes; //!< response packet wire size
+
+    Tick slo; //!< P99 target (inflection of the latency-load curve)
+
+    /** Fraction of the private cache re-read after a CC6 wake. */
+    double cacheTouch;
+
+    LoadLevelSpec low;
+    LoadLevelSpec med;
+    LoadLevelSpec high;
+
+    /** Draw one request's service demand in cycles. */
+    double sampleServiceCycles(Rng &rng) const;
+
+    /** Mean service demand in cycles (for capacity planning). */
+    double meanServiceCycles() const;
+
+    const LoadLevelSpec &level(LoadLevel l) const;
+
+    /**
+     * Memcached-like profile: ~6.3 us mean service at 3.2 GHz, 1 ms
+     * SLO, loads 30K/290K/750K RPS (paper Section 6.1).
+     */
+    static AppProfile memcached();
+
+    /**
+     * Nginx-like profile: ~127 us mean service at 3.2 GHz, 10 ms SLO,
+     * loads 18K/48K/56K RPS (paper Section 6.1).
+     */
+    static AppProfile nginx();
+
+    /**
+     * Microsecond-scale key/value profile (extension): ~0.6 us mean
+     * service and a 100 us P99 SLO — the "killer microseconds" regime
+     * the paper's Section 7 defers to future work, where C-state
+     * wake-up penalties (~27 us exit + cache refill) are no longer
+     * negligible against the SLO. Used by bench/ext_usec_slo.
+     */
+    static AppProfile keyvalueUs();
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_WORKLOAD_APP_PROFILE_HH_

@@ -1,0 +1,49 @@
+#include "workload/client.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+Client::Client(EventQueue &eq, Wire &to_server, const AppProfile &profile,
+               int num_connections, std::uint32_t flow_base)
+    : eq_(eq), toServer_(to_server), profile_(profile),
+      numConnections_(num_connections), flowBase_(flow_base)
+{
+    if (num_connections < 1)
+        fatal("Client requires at least one connection");
+}
+
+void
+Client::sendRequest(int conn)
+{
+    Packet pkt;
+    pkt.requestId = nextRequestId_++;
+    pkt.kind = Packet::Kind::kRequest;
+    pkt.flowHash = flowBase_ + static_cast<std::uint32_t>(conn);
+    pkt.sizeBytes = profile_.requestBytes;
+    pkt.sendTime = eq_.now();
+    pkt.latencyCritical = true;
+    ++sent_;
+    toServer_.send(pkt);
+}
+
+void
+Client::onResponse(const Packet &pkt)
+{
+    if (pkt.kind != Packet::Kind::kResponse)
+        panic("Client received a non-response packet");
+    ++received_;
+    Tick latency = eq_.now() - pkt.sendTime;
+    latencies_.record(eq_.now(), latency);
+    window_.record(eq_.now(), latency);
+}
+
+Tick
+Client::windowP99AndReset()
+{
+    Tick p99 = window_.percentile(99.0);
+    window_.clear();
+    return p99;
+}
+
+} // namespace nmapsim

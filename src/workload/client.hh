@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Client side: request emission and end-to-end latency measurement.
+ *
+ * Models the paper's 20 client threads on a separate machine. Each
+ * client thread owns one connection (one RSS flow hash), so a train of
+ * requests from one thread lands on one server core back-to-back. The
+ * client timestamps requests, the server echoes the timestamp in the
+ * response, and the client records end-to-end response time — the
+ * quantity every latency figure in the paper reports.
+ */
+
+#ifndef NMAPSIM_WORKLOAD_CLIENT_HH_
+#define NMAPSIM_WORKLOAD_CLIENT_HH_
+
+#include <cstdint>
+
+#include "net/packet.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+#include "stats/latency_recorder.hh"
+#include "workload/app_profile.hh"
+
+namespace nmapsim {
+
+/** The load-generating client machine. */
+class Client
+{
+  public:
+    /**
+     * @param to_server client->server wire (we send into it)
+     * @param num_connections client threads / RSS flows (paper: 20)
+     * @param flow_base offset added to connection ids to form flow
+     *        hashes; lets several tenants share one wire/NIC with
+     *        disjoint flow spaces (colocation)
+     */
+    Client(EventQueue &eq, Wire &to_server, const AppProfile &profile,
+           int num_connections, std::uint32_t flow_base = 0);
+
+    /** First flow hash of this client's flow space. */
+    std::uint32_t flowBase() const { return flowBase_; }
+
+    /** True when @p pkt belongs to this client's flow space. */
+    bool
+    ownsFlow(const Packet &pkt) const
+    {
+        return pkt.flowHash >= flowBase_ &&
+               pkt.flowHash < flowBase_ + static_cast<std::uint32_t>(
+                                              numConnections_);
+    }
+
+    int numConnections() const { return numConnections_; }
+
+    /** Send one request on connection @p conn right now. */
+    void sendRequest(int conn);
+
+    /** Wire sink for server responses. */
+    void onResponse(const Packet &pkt);
+
+    /** All completed-request latencies. */
+    LatencyRecorder &latencies() { return latencies_; }
+    const LatencyRecorder &latencies() const { return latencies_; }
+
+    std::uint64_t requestsSent() const { return sent_; }
+    std::uint64_t responsesReceived() const { return received_; }
+
+    /**
+     * P99 of responses completed since the last call, then reset the
+     * window — the feedback signal long-term controllers like Parties
+     * consume. Returns 0 when the window is empty.
+     */
+    Tick windowP99AndReset();
+
+  private:
+    EventQueue &eq_;
+    Wire &toServer_;
+    AppProfile profile_;
+    int numConnections_;
+    std::uint32_t flowBase_;
+
+    LatencyRecorder latencies_;
+    LatencyRecorder window_;
+    std::uint64_t nextRequestId_ = 1;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_WORKLOAD_CLIENT_HH_

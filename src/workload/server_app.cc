@@ -1,0 +1,72 @@
+#include "workload/server_app.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+ServerApp::ServerApp(ServerOs &os, Nic &nic, const AppProfile &profile,
+                     Rng rng, bool attach_deliver)
+    : os_(os), nic_(nic), profile_(profile), rng_(rng)
+{
+    for (int core = 0; core < os_.numCores(); ++core) {
+        threads_.push_back(std::make_unique<AppThread>(*this, core));
+        os_.sched(core).addThread(threads_.back().get());
+    }
+    if (attach_deliver) {
+        os_.setDeliver([this](int core, const Packet &pkt) {
+            onPacket(core, pkt);
+        });
+    }
+}
+
+void
+ServerApp::onPacket(int core, const Packet &pkt)
+{
+    ++received_;
+    AppThread &thread = *threads_[static_cast<std::size_t>(core)];
+    thread.queue_.push_back(PendingRequest{
+        pkt.requestId,
+        profile_.sampleServiceCycles(rng_),
+        pkt.flowHash,
+        pkt.sendTime,
+        pkt.latencyCritical,
+    });
+    os_.sched(core).threadRunnable(&thread);
+}
+
+void
+ServerApp::finishFront(int core)
+{
+    AppThread &thread = *threads_[static_cast<std::size_t>(core)];
+    if (thread.queue_.empty())
+        panic("ServerApp::finishFront on an empty queue");
+    PendingRequest req = thread.queue_.front();
+    thread.queue_.pop_front();
+    ++completed_;
+
+    Packet resp;
+    resp.requestId = req.requestId;
+    resp.kind = Packet::Kind::kResponse;
+    resp.flowHash = req.flowHash;
+    resp.sizeBytes = profile_.responseBytes;
+    resp.sendTime = req.sendTime; // echoed for client-side latency
+    resp.latencyCritical = req.latencyCritical;
+    nic_.transmit(core, resp);
+}
+
+std::size_t
+ServerApp::queueDepth(int core) const
+{
+    return threads_[static_cast<std::size_t>(core)]->queue_.size();
+}
+
+std::size_t
+ServerApp::totalQueued() const
+{
+    std::size_t n = 0;
+    for (const auto &t : threads_)
+        n += t->queue_.size();
+    return n;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The server-side application (memcached/nginx model).
+ *
+ * One application thread per core (the paper runs eight threads on the
+ * eight-core Xeon). NAPI delivers request packets into the per-core
+ * socket queue; the thread consumes them FIFO, burning the request's
+ * sampled service cycles at the core's current frequency, then transmits
+ * the response through the NIC queue of its core.
+ */
+
+#ifndef NMAPSIM_WORKLOAD_SERVER_APP_HH_
+#define NMAPSIM_WORKLOAD_SERVER_APP_HH_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/nic.hh"
+#include "os/server_os.hh"
+#include "sim/rng.hh"
+#include "workload/app_profile.hh"
+
+namespace nmapsim {
+
+/** Multi-threaded latency-critical server application. */
+class ServerApp
+{
+  public:
+    /**
+     * Wires itself into @p os: one application thread per core, and —
+     * unless @p attach_deliver is false — the OS deliver callback.
+     * Pass false when several apps share the server (colocation); the
+     * caller then routes packets to deliver() itself.
+     */
+    ServerApp(ServerOs &os, Nic &nic, const AppProfile &profile,
+              Rng rng, bool attach_deliver = true);
+
+    /** Hand a request packet to this app's thread on @p core. */
+    void deliver(int core, const Packet &pkt) { onPacket(core, pkt); }
+
+    const AppProfile &profile() const { return profile_; }
+
+    std::uint64_t requestsCompleted() const { return completed_; }
+    std::uint64_t requestsReceived() const { return received_; }
+
+    /** Requests waiting (or in service) on @p core's thread. */
+    std::size_t queueDepth(int core) const;
+
+    /** Sum of queue depths over all cores. */
+    std::size_t totalQueued() const;
+
+  private:
+    struct PendingRequest
+    {
+        std::uint64_t requestId;
+        double cycles;
+        std::uint32_t flowHash;
+        Tick sendTime;
+        bool latencyCritical;
+    };
+
+    class AppThread : public SimThread
+    {
+      public:
+        AppThread(ServerApp &app, int core)
+            : app_(app), core_(core)
+        {
+        }
+
+        bool runnable() const override { return !queue_.empty(); }
+        double beginSlice() override { return queue_.front().cycles; }
+        void completeSlice() override { app_.finishFront(core_); }
+        std::string name() const override { return "app"; }
+
+      private:
+        friend class ServerApp;
+        ServerApp &app_;
+        int core_;
+        std::deque<PendingRequest> queue_;
+    };
+
+    void onPacket(int core, const Packet &pkt);
+    void finishFront(int core);
+
+    ServerOs &os_;
+    Nic &nic_;
+    AppProfile profile_;
+    Rng rng_;
+    std::vector<std::unique_ptr<AppThread>> threads_;
+
+    std::uint64_t received_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_WORKLOAD_SERVER_APP_HH_

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit tests for the per-core scheduler: priority structure,
+ * preemption/resume, frequency rescaling, idle/C-state integration and
+ * ksoftirqd interplay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "governors/cpuidle_policies.hh"
+#include "net/nic.hh"
+#include "os/core_sched.hh"
+#include "os/server_os.hh"
+#include "sim/event_queue.hh"
+
+namespace nmapsim {
+namespace {
+
+/** Simple test thread executing fixed-size work items. */
+class WorkThread : public SimThread
+{
+  public:
+    WorkThread(std::string name, double cycles_per_item,
+               const EventQueue &eq)
+        : name_(std::move(name)), cycles_(cycles_per_item), eq_(eq)
+    {
+    }
+
+    void addWork(int n) { pending_ += n; }
+
+    bool runnable() const override { return pending_ > 0; }
+
+    double
+    beginSlice() override
+    {
+        return cycles_;
+    }
+
+    void
+    completeSlice() override
+    {
+        --pending_;
+        ++completed_;
+        completionTimes_.push_back(eq_.now());
+    }
+
+    int completed() const { return completed_; }
+    const std::vector<Tick> &completionTimes() const
+    {
+        return completionTimes_;
+    }
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    double cycles_;
+    const EventQueue &eq_;
+    int pending_ = 0;
+    int completed_ = 0;
+    std::vector<Tick> completionTimes_;
+};
+
+class CoreSchedTest : public ::testing::Test
+{
+  protected:
+    CoreSchedTest()
+    {
+        nic_config_.numQueues = 1;
+        nic_ = std::make_unique<Nic>(eq_, nic_config_);
+        core_ = std::make_unique<Core>(
+            0, eq_, CpuProfile::xeonGold6134(), rng_, 0.0);
+        napi_ = std::make_unique<NapiContext>(eq_, *nic_, 0,
+                                              os_config_);
+        sched_ = std::make_unique<CoreScheduler>(*core_, *nic_, *napi_,
+                                                 os_config_);
+        nic_->setIrqHandler([this](int) { sched_->handleIrq(); });
+        now_ = 0;
+    }
+
+    void
+    runTo(Tick t)
+    {
+        eq_.runUntil(t);
+        now_ = eq_.now();
+    }
+
+    void
+    inject(int n)
+    {
+        for (int i = 0; i < n; ++i) {
+            Packet p;
+            p.kind = Packet::Kind::kRequest;
+            p.sizeBytes = 128;
+            nic_->receive(p);
+        }
+    }
+
+    EventQueue eq_;
+    Rng rng_{9};
+    NicConfig nic_config_;
+    OsConfig os_config_;
+    std::unique_ptr<Nic> nic_;
+    std::unique_ptr<Core> core_;
+    std::unique_ptr<NapiContext> napi_;
+    std::unique_ptr<CoreScheduler> sched_;
+    Tick now_ = 0;
+};
+
+TEST_F(CoreSchedTest, StartsIdle)
+{
+    sched_->start();
+    EXPECT_TRUE(sched_->idle());
+    EXPECT_FALSE(core_->busy());
+}
+
+TEST_F(CoreSchedTest, ThreadWorkExecutesAtCoreFrequency)
+{
+    WorkThread t("worker", 3.2e6, eq_); // 1 ms at 3.2 GHz
+    sched_->addThread(&t);
+    sched_->start();
+    t.addWork(1);
+    sched_->threadRunnable(&t);
+    runTo(milliseconds(2));
+    EXPECT_EQ(t.completed(), 1);
+    // Work of 3.2M cycles at 3.2 GHz takes 1 ms.
+    EXPECT_EQ(sched_->slicesRun(), 1u);
+    EXPECT_GE(core_->busyTime(), milliseconds(1) - 10);
+}
+
+TEST_F(CoreSchedTest, WorkSlowsDownAtLowerFrequency)
+{
+    core_->dvfs().requestPState(
+        core_->profile().pstates.maxIndex()); // 1.2 GHz
+    eq_.runAll();
+
+    WorkThread t("worker", 1.2e6, eq_); // 1 ms at 1.2 GHz
+    sched_->addThread(&t);
+    sched_->start();
+    t.addWork(1);
+    sched_->threadRunnable(&t);
+    runTo(microseconds(900));
+    EXPECT_EQ(t.completed(), 0); // would already be done at 3.2 GHz
+    runTo(milliseconds(1.2));
+    EXPECT_EQ(t.completed(), 1);
+}
+
+TEST_F(CoreSchedTest, FrequencyChangeRescalesRunningSlice)
+{
+    WorkThread t("worker", 3.2e6, eq_); // 1 ms at 3.2 GHz
+    sched_->addThread(&t);
+    sched_->start();
+    t.addWork(1);
+    sched_->threadRunnable(&t);
+    // Halfway through, drop to 1.2 GHz: the remaining 1.6M cycles now
+    // take 1.333 ms, finishing around 0.5 + 1.333 = 1.84 ms
+    // (plus the 10 us transition latency).
+    runTo(microseconds(500));
+    core_->dvfs().requestPState(core_->profile().pstates.maxIndex());
+    runTo(milliseconds(3));
+    ASSERT_EQ(t.completed(), 1);
+    Tick done = t.completionTimes()[0];
+    EXPECT_GT(done, milliseconds(1.7));
+    EXPECT_LT(done, milliseconds(2.0));
+}
+
+TEST_F(CoreSchedTest, RoundRobinIsFairBetweenThreads)
+{
+    WorkThread a("a", 1e6, eq_);
+    WorkThread b("b", 1e6, eq_);
+    sched_->addThread(&a);
+    sched_->addThread(&b);
+    sched_->start();
+    a.addWork(10);
+    b.addWork(10);
+    sched_->threadRunnable(&a);
+    sched_->threadRunnable(&b);
+    // After enough time for ~10 items, both made similar progress.
+    runTo(microseconds(3200));
+    EXPECT_GE(a.completed(), 4);
+    EXPECT_GE(b.completed(), 4);
+    EXPECT_LE(std::abs(a.completed() - b.completed()), 1);
+}
+
+TEST_F(CoreSchedTest, IrqPreemptsThreadAndResumesIt)
+{
+    WorkThread t("worker", 32e6, eq_); // 10 ms at 3.2 GHz
+    sched_->addThread(&t);
+    sched_->start();
+    t.addWork(1);
+    sched_->threadRunnable(&t);
+    runTo(milliseconds(1));
+    EXPECT_EQ(sched_->preemptions(), 0u);
+
+    inject(1); // hardirq preempts the running thread
+    runTo(milliseconds(2));
+    EXPECT_GE(sched_->preemptions(), 1u);
+    EXPECT_EQ(sched_->hardirqsHandled(), 1u);
+
+    // The thread still completes, delayed by the packet processing.
+    runTo(milliseconds(12));
+    EXPECT_EQ(t.completed(), 1);
+}
+
+TEST_F(CoreSchedTest, PacketProcessingDeliversViaNapi)
+{
+    std::vector<Packet> delivered;
+    napi_->setDeliver(
+        [&](const Packet &p) { delivered.push_back(p); });
+    sched_->start();
+    inject(5);
+    runTo(milliseconds(1));
+    EXPECT_EQ(delivered.size(), 5u);
+    EXPECT_TRUE(sched_->idle());
+    EXPECT_TRUE(nic_->irqEnabled(0));
+}
+
+TEST_F(CoreSchedTest, SleepingCoreWakesOnIrqAndPaysPenalty)
+{
+    C6OnlyIdleGovernor c6;
+    sched_->setIdleGovernor(&c6);
+    std::vector<Tick> delivered;
+    napi_->setDeliver(
+        [&](const Packet &) { delivered.push_back(eq_.now()); });
+    sched_->start();
+    EXPECT_EQ(core_->cstates().state(), CState::kC6);
+
+    EventFunctionWrapper send([this] { inject(1); }, "send");
+    eq_.schedule(&send, milliseconds(5));
+    runTo(milliseconds(6));
+    ASSERT_EQ(delivered.size(), 1u);
+    // Wake penalty (~27 us) delays processing past the injection time.
+    EXPECT_GT(delivered[0], milliseconds(5) + microseconds(20));
+    EXPECT_EQ(core_->cstates().wakeCount(CState::kC6), 1u);
+}
+
+TEST_F(CoreSchedTest, MenuPromotionDeepensLongIdle)
+{
+    MenuIdleGovernor menu(core_->profile(), 1);
+    sched_->setIdleGovernor(&menu);
+    sched_->start();
+    // Seed short-idle history so menu picks C1 first.
+    for (int i = 0; i < 8; ++i)
+        menu.recordIdle(0, microseconds(10));
+    inject(1);
+    runTo(milliseconds(1));
+    // Core idles again; menu picks C1, then the promotion event should
+    // deepen it to C6 after the target residency.
+    runTo(milliseconds(10));
+    EXPECT_EQ(core_->cstates().state(), CState::kC6);
+}
+
+TEST_F(CoreSchedTest, KsoftirqdTakesOverLargeBacklog)
+{
+    int wakes = 0;
+    int sleeps = 0;
+    sched_->setKsoftirqdHooks([&] { ++wakes; }, [&] { ++sleeps; });
+    sched_->start();
+    inject(os_config_.napiWeight * (os_config_.maxSoftirqIters + 4));
+    runTo(milliseconds(5));
+    EXPECT_EQ(wakes, 1);
+    EXPECT_EQ(sleeps, 1);
+    EXPECT_FALSE(napi_->active());
+    EXPECT_GT(napi_->pktsPollingMode(), 0u);
+}
+
+TEST_F(CoreSchedTest, KsoftirqdSharesCoreWithAppThread)
+{
+    WorkThread app("app", 1e6, eq_);
+    sched_->addThread(&app);
+    sched_->start();
+    app.addWork(100);
+    sched_->threadRunnable(&app);
+    inject(os_config_.napiWeight * (os_config_.maxSoftirqIters + 4));
+    runTo(milliseconds(2));
+    // Both the app and ksoftirqd made progress: the app is not starved
+    // once processing migrates to thread context.
+    EXPECT_GT(app.completed(), 0);
+    EXPECT_GT(napi_->pktsPollingMode(), 0u);
+}
+
+TEST_F(CoreSchedTest, BurstWhileSleepingQueuesBehindWake)
+{
+    C6OnlyIdleGovernor c6;
+    sched_->setIdleGovernor(&c6);
+    std::vector<Tick> delivered;
+    napi_->setDeliver(
+        [&](const Packet &) { delivered.push_back(eq_.now()); });
+    sched_->start();
+    // A burst of packets hits a CC6-sleeping core: all are processed
+    // after a single wake penalty (no per-packet wake).
+    EventFunctionWrapper send([this] { inject(10); }, "send");
+    eq_.schedule(&send, milliseconds(5));
+    runTo(milliseconds(6));
+    EXPECT_EQ(delivered.size(), 10u);
+    EXPECT_EQ(core_->cstates().wakeCount(CState::kC6), 1u);
+}
+
+TEST_F(CoreSchedTest, FrequencyDropDuringWakePenaltyIsHarmless)
+{
+    C6OnlyIdleGovernor c6;
+    sched_->setIdleGovernor(&c6);
+    std::vector<Tick> delivered;
+    napi_->setDeliver(
+        [&](const Packet &) { delivered.push_back(eq_.now()); });
+    sched_->start();
+    EventFunctionWrapper send([this] { inject(1); }, "send");
+    eq_.schedule(&send, milliseconds(5));
+    // Change frequency in the middle of the wake penalty window.
+    EventFunctionWrapper shift(
+        [this] {
+            core_->dvfs().requestPState(
+                core_->profile().pstates.maxIndex());
+        },
+        "shift");
+    eq_.schedule(&shift, milliseconds(5) + microseconds(10));
+    runTo(milliseconds(7));
+    EXPECT_EQ(delivered.size(), 1u);
+}
+
+TEST_F(CoreSchedTest, IdleHistoryFeedsGovernor)
+{
+    MenuIdleGovernor menu(core_->profile(), 1);
+    sched_->setIdleGovernor(&menu);
+    sched_->start();
+    // Several short busy periods separated by known idle gaps: the
+    // governor's history must fill with those gaps.
+    std::vector<std::unique_ptr<EventFunctionWrapper>> sends;
+    for (int i = 0; i < 9; ++i) {
+        sends.push_back(std::make_unique<EventFunctionWrapper>(
+            [this] { inject(1); }, "send"));
+        eq_.schedule(sends.back().get(), (i + 1) * microseconds(200));
+    }
+    runTo(milliseconds(3));
+    // Median recent idle is ~200 us minus the ~6 us of processing.
+    EXPECT_GT(menu.predictedIdle(0), microseconds(100));
+    EXPECT_LT(menu.predictedIdle(0), microseconds(300));
+    for (auto &ev : sends)
+        eq_.deschedule(ev.get());
+}
+
+TEST_F(CoreSchedTest, SlicesAndPreemptionsCounted)
+{
+    WorkThread t("worker", 32e6, eq_); // 10 ms at 3.2 GHz
+    sched_->addThread(&t);
+    sched_->start();
+    t.addWork(1);
+    sched_->threadRunnable(&t);
+    runTo(milliseconds(1));
+    auto before = sched_->slicesRun();
+    inject(1);
+    runTo(milliseconds(2));
+    EXPECT_GT(sched_->slicesRun(), before); // hardirq + napi slices
+}
+
+TEST_F(CoreSchedTest, BusyFlagsTrackExecution)
+{
+    WorkThread t("worker", 3.2e6, eq_);
+    sched_->addThread(&t);
+    sched_->start();
+    EXPECT_FALSE(core_->busy());
+    t.addWork(1);
+    sched_->threadRunnable(&t);
+    EXPECT_TRUE(core_->busy());
+    runTo(milliseconds(2));
+    EXPECT_FALSE(core_->busy());
+}
+
+} // namespace
+} // namespace nmapsim

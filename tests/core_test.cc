@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the Core facade (busy accounting, freq listeners,
+ * sleep/wake integration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    const CpuProfile &profile_ = CpuProfile::xeonGold6134();
+    EventQueue eq_;
+    Rng rng_{5};
+
+    void
+    advanceTo(Tick t)
+    {
+        EventFunctionWrapper done([] {}, "done");
+        eq_.schedule(&done, t);
+        eq_.runAll();
+    }
+};
+
+TEST_F(CoreTest, BootsAtP0)
+{
+    Core core(0, eq_, profile_, rng_);
+    EXPECT_EQ(core.pstateIndex(), 0);
+    EXPECT_DOUBLE_EQ(core.freqHz(), 3.2e9);
+    EXPECT_EQ(core.id(), 0);
+}
+
+TEST_F(CoreTest, BusyTimeAccumulates)
+{
+    Core core(0, eq_, profile_, rng_);
+    core.setBusy(true);
+    advanceTo(milliseconds(10));
+    core.setBusy(false);
+    advanceTo(milliseconds(20));
+    core.setBusy(true);
+    advanceTo(milliseconds(25));
+    EXPECT_EQ(core.busyTime(), milliseconds(15));
+}
+
+TEST_F(CoreTest, RedundantBusyTransitionsIgnored)
+{
+    Core core(0, eq_, profile_, rng_);
+    core.setBusy(true);
+    core.setBusy(true);
+    advanceTo(milliseconds(5));
+    EXPECT_EQ(core.busyTime(), milliseconds(5));
+}
+
+TEST_F(CoreTest, FreqListenersFireInOrder)
+{
+    Core core(0, eq_, profile_, rng_);
+    std::vector<int> order;
+    core.addFreqListener([&](double) { order.push_back(1); });
+    core.addFreqListener([&](double) { order.push_back(2); });
+    core.dvfs().requestPState(5);
+    eq_.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(CoreTest, FreqListenerReceivesNewFrequency)
+{
+    Core core(0, eq_, profile_, rng_);
+    double seen = 0.0;
+    core.addFreqListener([&](double f) { seen = f; });
+    core.dvfs().requestPState(profile_.pstates.maxIndex());
+    eq_.runAll();
+    EXPECT_DOUBLE_EQ(seen, 1.2e9);
+    EXPECT_DOUBLE_EQ(core.freqHz(), 1.2e9);
+}
+
+TEST_F(CoreTest, SleepWakeRoundTrip)
+{
+    Core core(0, eq_, profile_, rng_);
+    advanceTo(milliseconds(1));
+    core.enterSleep(CState::kC6);
+    EXPECT_TRUE(core.cstates().sleeping());
+    advanceTo(milliseconds(2));
+    Tick penalty = core.wake();
+    EXPECT_FALSE(core.cstates().sleeping());
+    EXPECT_GT(penalty, microseconds(20));
+}
+
+TEST_F(CoreTest, DeepenSleepFromCore)
+{
+    Core core(0, eq_, profile_, rng_);
+    core.enterSleep(CState::kC1);
+    advanceTo(milliseconds(1));
+    core.deepenSleep(CState::kC6);
+    EXPECT_EQ(core.cstates().state(), CState::kC6);
+}
+
+TEST_F(CoreTest, PowerDropsWhileSleeping)
+{
+    Core core(0, eq_, profile_, rng_);
+    double awake = core.meter().power();
+    core.enterSleep(CState::kC6);
+    EXPECT_LT(core.meter().power(), awake);
+    core.wake();
+    EXPECT_DOUBLE_EQ(core.meter().power(), awake);
+}
+
+TEST_F(CoreTest, WakingStateHasReducedPower)
+{
+    Core core(0, eq_, profile_, rng_);
+    core.setBusy(true);
+    double busy = core.meter().power();
+    core.setWaking(true);
+    EXPECT_LT(core.meter().power(), busy);
+    core.setWaking(false);
+    EXPECT_DOUBLE_EQ(core.meter().power(), busy);
+}
+
+} // namespace
+} // namespace nmapsim

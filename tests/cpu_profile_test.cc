@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the calibrated CPU profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_profile.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(CpuProfileTest, Gold6134MatchesPaperSetup)
+{
+    const CpuProfile &p = CpuProfile::xeonGold6134();
+    // Section 6.1: 16 P-states from 1.2 GHz (P15) to 3.2 GHz (P0).
+    EXPECT_EQ(p.pstates.numStates(), 16u);
+    EXPECT_DOUBLE_EQ(p.pstates.state(0).freqHz, 3.2e9);
+    EXPECT_DOUBLE_EQ(p.pstates.state(15).freqHz, 1.2e9);
+    // Table 1: ~525-528 us re-transition latencies.
+    EXPECT_NEAR(p.retrans.smallDownHigh.meanUs, 525.7, 0.01);
+    EXPECT_NEAR(p.retrans.farUp.meanUs, 527.3, 0.01);
+    // Table 2: ~27.43 us CC6 exit.
+    EXPECT_NEAR(p.cstates.c6Exit.meanUs, 27.43, 0.01);
+    // Section 5.2: 26.4 us worst-case refill for the 1 MB L2.
+    EXPECT_EQ(p.cstates.c6CacheRefillWorst,
+              static_cast<Tick>(26.4 * kMicrosecond));
+}
+
+TEST(CpuProfileTest, DesktopPartsHaveFastRetransitions)
+{
+    // Table 1: desktop re-transitions are tens of us, servers ~500 us.
+    for (const CpuProfile *p :
+         {&CpuProfile::i76700(), &CpuProfile::i77700()}) {
+        EXPECT_LT(p->retrans.farUp.meanUs, 100.0);
+        EXPECT_GT(p->retrans.farUp.meanUs, 10.0);
+    }
+    for (const CpuProfile *p :
+         {&CpuProfile::xeonE52620v4(), &CpuProfile::xeonGold6134()}) {
+        EXPECT_GT(p->retrans.farUp.meanUs, 500.0);
+    }
+}
+
+TEST(CpuProfileTest, NominalTransitionIsAcpiTenMicroseconds)
+{
+    // Section 5.1: ACPI tables advertise 10 us.
+    EXPECT_EQ(CpuProfile::xeonGold6134().nominalTransition,
+              microseconds(10));
+    EXPECT_EQ(CpuProfile::i76700().nominalTransition, microseconds(10));
+}
+
+TEST(CpuProfileTest, WakeupLatenciesMatchTable2)
+{
+    EXPECT_NEAR(CpuProfile::i76700().cstates.c6Exit.meanUs, 27.70, 0.01);
+    EXPECT_NEAR(CpuProfile::i76700().cstates.c1Exit.meanUs, 0.35, 0.01);
+    EXPECT_NEAR(CpuProfile::xeonE52620v4().cstates.c6Exit.meanUs, 27.25,
+                0.01);
+    EXPECT_NEAR(CpuProfile::xeonGold6134().cstates.c1Exit.meanUs, 0.56,
+                0.01);
+}
+
+TEST(CpuProfileTest, E5HasSmallerCacheRefill)
+{
+    // 256 KB L2 -> 7 us vs 1 MB L2 -> 26.4 us (Section 5.2).
+    EXPECT_EQ(CpuProfile::xeonE52620v4().cstates.c6CacheRefillWorst,
+              microseconds(7));
+    EXPECT_GT(CpuProfile::xeonGold6134().cstates.c6CacheRefillWorst,
+              CpuProfile::xeonE52620v4().cstates.c6CacheRefillWorst);
+}
+
+TEST(CpuProfileTest, FastVrVariantHasNoSettleWindow)
+{
+    const CpuProfile &fast = CpuProfile::xeonGold6134FastVr();
+    EXPECT_EQ(fast.settleWindow, 0);
+    // Everything else matches the real part.
+    EXPECT_EQ(fast.pstates.numStates(),
+              CpuProfile::xeonGold6134().pstates.numStates());
+    EXPECT_EQ(fast.nominalTransition,
+              CpuProfile::xeonGold6134().nominalTransition);
+    EXPECT_EQ(&CpuProfile::byName("Xeon Gold 6134 (fast VR)"), &fast);
+}
+
+TEST(CpuProfileTest, ByNameLookup)
+{
+    EXPECT_EQ(&CpuProfile::byName("Xeon Gold 6134"),
+              &CpuProfile::xeonGold6134());
+    EXPECT_EQ(&CpuProfile::byName("i7-6700"), &CpuProfile::i76700());
+    EXPECT_EQ(&CpuProfile::byName("i7-7700"), &CpuProfile::i77700());
+    EXPECT_EQ(&CpuProfile::byName("Xeon E5-2620v4"),
+              &CpuProfile::xeonE52620v4());
+    EXPECT_THROW(CpuProfile::byName("Pentium 4"), FatalError);
+}
+
+TEST(CpuProfileTest, PowerParamsSane)
+{
+    for (const CpuProfile *p :
+         {&CpuProfile::i76700(), &CpuProfile::xeonGold6134()}) {
+        EXPECT_GT(p->power.dynCoeff, 0.0);
+        EXPECT_GT(p->power.staticCoeff, 0.0);
+        EXPECT_GE(p->power.c6Watts, 0.0);
+        EXPECT_GT(p->power.busyActivity, p->power.idleActivity);
+        EXPECT_GE(p->power.uncoreWatts, 0.0);
+        EXPECT_GE(p->power.uncoreVoltCoeff, 0.0);
+    }
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the cpuidle policies (menu, disable, c6only) and the
+ * switchable wrapper NCAP uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/ncap.hh"
+#include "governors/cpuidle_policies.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+const CpuProfile &profile()
+{
+    return CpuProfile::xeonGold6134();
+}
+
+TEST(DisableIdleTest, AlwaysC0)
+{
+    DisableIdleGovernor gov;
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC0);
+    EXPECT_EQ(gov.selectState(3, milliseconds(5)), CState::kC0);
+    EXPECT_EQ(gov.name(), "disable");
+}
+
+TEST(C6OnlyIdleTest, AlwaysC6)
+{
+    C6OnlyIdleGovernor gov;
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+    EXPECT_EQ(gov.name(), "c6only");
+}
+
+TEST(MenuIdleTest, NoHistoryPicksDeepState)
+{
+    MenuIdleGovernor gov(profile(), 2);
+    // Like menu with a far next-timer: optimistic deep sleep.
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+}
+
+TEST(MenuIdleTest, ShortIdleHistoryPicksC1)
+{
+    MenuIdleGovernor gov(profile(), 1);
+    for (int i = 0; i < 8; ++i)
+        gov.recordIdle(0, microseconds(20));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+    EXPECT_EQ(gov.predictedIdle(0), microseconds(20));
+}
+
+TEST(MenuIdleTest, LongIdleHistoryPicksC6)
+{
+    MenuIdleGovernor gov(profile(), 1);
+    for (int i = 0; i < 8; ++i)
+        gov.recordIdle(0, milliseconds(5));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+}
+
+TEST(MenuIdleTest, MedianIsRobustToOutliers)
+{
+    MenuIdleGovernor gov(profile(), 1);
+    // Mostly short idles with one long outlier: prediction stays short.
+    for (int i = 0; i < 7; ++i)
+        gov.recordIdle(0, microseconds(30));
+    gov.recordIdle(0, seconds(1));
+    EXPECT_EQ(gov.predictedIdle(0), microseconds(30));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+}
+
+TEST(MenuIdleTest, HistoryIsPerCore)
+{
+    MenuIdleGovernor gov(profile(), 2);
+    for (int i = 0; i < 8; ++i)
+        gov.recordIdle(0, microseconds(10));
+    // Core 1 has no history: still optimistic.
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+    EXPECT_EQ(gov.selectState(1, 0), CState::kC6);
+}
+
+TEST(MenuIdleTest, WindowSlides)
+{
+    MenuIdleGovernor gov(profile(), 1);
+    for (int i = 0; i < 8; ++i)
+        gov.recordIdle(0, milliseconds(10));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+    // Eight fresh short samples displace the old ones.
+    for (int i = 0; i < 8; ++i)
+        gov.recordIdle(0, microseconds(5));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+}
+
+TEST(MenuIdleTest, PromotionHorizonMatchesProfile)
+{
+    MenuIdleGovernor gov(profile(), 1);
+    EXPECT_EQ(gov.promoteToC6After(0),
+              profile().cstates.c6TargetResidency);
+}
+
+TEST(MenuIdleTest, ZeroCoresIsFatal)
+{
+    EXPECT_THROW(MenuIdleGovernor(profile(), 0), FatalError);
+}
+
+TEST(SwitchableIdleTest, ForwardsWhenNotForced)
+{
+    C6OnlyIdleGovernor inner;
+    SwitchableIdleGovernor gov(inner);
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+    EXPECT_FALSE(gov.forceAwake());
+}
+
+TEST(SwitchableIdleTest, ForceAwakeOverrides)
+{
+    C6OnlyIdleGovernor inner;
+    SwitchableIdleGovernor gov(inner);
+    gov.setForceAwake(true);
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+    EXPECT_EQ(gov.promoteToC6After(0), 0);
+    gov.setForceAwake(false);
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+}
+
+TEST(TeoIdleTest, OptimisticWithoutHistory)
+{
+    TeoIdleGovernor gov(profile(), 1);
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+    EXPECT_DOUBLE_EQ(gov.c6HitRate(0), 1.0);
+}
+
+TEST(TeoIdleTest, ShortIdleMajorityPicksC1)
+{
+    TeoIdleGovernor gov(profile(), 1);
+    for (int i = 0; i < 12; ++i)
+        gov.recordIdle(0, microseconds(50));
+    for (int i = 0; i < 4; ++i)
+        gov.recordIdle(0, milliseconds(5));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+    EXPECT_NEAR(gov.c6HitRate(0), 0.25, 1e-9);
+}
+
+TEST(TeoIdleTest, LongIdleMajorityPicksC6)
+{
+    TeoIdleGovernor gov(profile(), 1);
+    for (int i = 0; i < 4; ++i)
+        gov.recordIdle(0, microseconds(50));
+    for (int i = 0; i < 12; ++i)
+        gov.recordIdle(0, milliseconds(5));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+}
+
+TEST(TeoIdleTest, WindowForgetsOldBehaviour)
+{
+    TeoIdleGovernor gov(profile(), 1);
+    for (int i = 0; i < 16; ++i)
+        gov.recordIdle(0, microseconds(10));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+    for (int i = 0; i < 16; ++i)
+        gov.recordIdle(0, milliseconds(2));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC6);
+}
+
+TEST(TeoIdleTest, PerCoreHistories)
+{
+    TeoIdleGovernor gov(profile(), 2);
+    for (int i = 0; i < 16; ++i)
+        gov.recordIdle(0, microseconds(10));
+    EXPECT_EQ(gov.selectState(0, 0), CState::kC1);
+    EXPECT_EQ(gov.selectState(1, 0), CState::kC6);
+}
+
+TEST(TeoIdleTest, PromotionHorizonMatchesProfile)
+{
+    TeoIdleGovernor gov(profile(), 1);
+    EXPECT_EQ(gov.promoteToC6After(0),
+              profile().cstates.c6TargetResidency);
+}
+
+TEST(TeoIdleTest, ZeroCoresIsFatal)
+{
+    EXPECT_THROW(TeoIdleGovernor(profile(), 0), FatalError);
+}
+
+TEST(SwitchableIdleTest, RecordIdleForwardsToInner)
+{
+    MenuIdleGovernor inner(profile(), 1);
+    SwitchableIdleGovernor gov(inner);
+    for (int i = 0; i < 8; ++i)
+        gov.recordIdle(0, microseconds(10));
+    EXPECT_EQ(inner.predictedIdle(0), microseconds(10));
+}
+
+} // namespace
+} // namespace nmapsim

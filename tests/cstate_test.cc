@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the C-state controller (Table 2 wake-up latencies and
+ * the Section 5.2 cache-refill penalty).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cstate.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "stats/summary.hh"
+
+namespace nmapsim {
+namespace {
+
+class CStateTest : public ::testing::Test
+{
+  protected:
+    const CpuProfile &profile_ = CpuProfile::xeonGold6134();
+    Rng rng_{7};
+};
+
+TEST_F(CStateTest, StartsActive)
+{
+    CStateController c(profile_, rng_.fork());
+    EXPECT_EQ(c.state(), CState::kC0);
+    EXPECT_FALSE(c.sleeping());
+}
+
+TEST_F(CStateTest, EnterAndWake)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    c.enterSleep(CState::kC1, 1000);
+    EXPECT_TRUE(c.sleeping());
+    Tick penalty = c.wake(2000);
+    EXPECT_EQ(c.state(), CState::kC0);
+    EXPECT_GT(penalty, 0);
+    EXPECT_LT(penalty, microseconds(3)); // C1 exit is sub-microsecond
+}
+
+TEST_F(CStateTest, DoubleSleepPanics)
+{
+    CStateController c(profile_, rng_.fork());
+    c.enterSleep(CState::kC6, 0);
+    EXPECT_THROW(c.enterSleep(CState::kC1, 10), PanicError);
+}
+
+TEST_F(CStateTest, WakeWhenAwakeIsFree)
+{
+    CStateController c(profile_, rng_.fork());
+    EXPECT_EQ(c.wake(100), 0);
+}
+
+TEST_F(CStateTest, EnterC0IsNoOp)
+{
+    CStateController c(profile_, rng_.fork());
+    c.enterSleep(CState::kC0, 100);
+    EXPECT_FALSE(c.sleeping());
+}
+
+TEST_F(CStateTest, Cc6WakeMatchesTable2)
+{
+    // Table 2, Gold 6134: CC6->CC0 mean 27.43 us (no cache touch).
+    CStateController c(profile_, rng_.fork(), 0.0);
+    SummaryStats stats;
+    Tick t = 0;
+    for (int i = 0; i < 2000; ++i) {
+        c.enterSleep(CState::kC6, t);
+        t += milliseconds(1);
+        stats.add(toMicroseconds(c.wake(t)));
+        t += milliseconds(1);
+    }
+    EXPECT_NEAR(stats.mean(), 27.43, 0.5);
+    EXPECT_NEAR(stats.stdev(), 4.05, 0.5);
+}
+
+TEST_F(CStateTest, Cc1WakeMatchesTable2)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    SummaryStats stats;
+    Tick t = 0;
+    for (int i = 0; i < 2000; ++i) {
+        c.enterSleep(CState::kC1, t);
+        t += milliseconds(1);
+        stats.add(toMicroseconds(c.wake(t)));
+        t += milliseconds(1);
+    }
+    // Table 2, Gold 6134: 0.56 us mean (truncation shifts it slightly).
+    EXPECT_NEAR(stats.mean(), 0.56, 0.25);
+}
+
+TEST_F(CStateTest, CacheRefillChargedOnlyAfterC6)
+{
+    // Full cache touch: CC6 wake pays exit + full worst-case refill.
+    CStateController c(profile_, rng_.fork(), 1.0);
+    c.enterSleep(CState::kC6, 0);
+    Tick p6 = c.wake(milliseconds(1));
+    EXPECT_GT(p6, profile_.cstates.c6CacheRefillWorst);
+
+    c.enterSleep(CState::kC1, milliseconds(2));
+    Tick p1 = c.wake(milliseconds(3));
+    EXPECT_LT(p1, microseconds(3)); // no refill after C1
+}
+
+TEST_F(CStateTest, CacheTouchFractionScalesRefill)
+{
+    Rng r1(1);
+    Rng r2(1); // same stream so exit-latency noise matches
+    CStateController full(profile_, r1, 1.0);
+    CStateController none(profile_, r2, 0.0);
+    full.enterSleep(CState::kC6, 0);
+    none.enterSleep(CState::kC6, 0);
+    Tick pf = full.wake(milliseconds(1));
+    Tick pn = none.wake(milliseconds(1));
+    EXPECT_EQ(pf - pn, profile_.cstates.c6CacheRefillWorst);
+}
+
+TEST_F(CStateTest, InvalidCacheTouchIsFatal)
+{
+    EXPECT_THROW(CStateController(profile_, rng_.fork(), 1.5),
+                 FatalError);
+    EXPECT_THROW(CStateController(profile_, rng_.fork(), -0.1),
+                 FatalError);
+}
+
+TEST_F(CStateTest, ResidencyAccounting)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    c.enterSleep(CState::kC6, milliseconds(1));
+    c.wake(milliseconds(3));
+    c.enterSleep(CState::kC1, milliseconds(4));
+    c.wake(milliseconds(5));
+
+    EXPECT_EQ(c.residency(CState::kC6, milliseconds(5)),
+              milliseconds(2));
+    EXPECT_EQ(c.residency(CState::kC1, milliseconds(5)),
+              milliseconds(1));
+    EXPECT_EQ(c.residency(CState::kC0, milliseconds(5)),
+              milliseconds(2));
+}
+
+TEST_F(CStateTest, ResidencyIncludesOngoingState)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    c.enterSleep(CState::kC6, 0);
+    EXPECT_EQ(c.residency(CState::kC6, milliseconds(10)),
+              milliseconds(10));
+}
+
+TEST_F(CStateTest, WakeCountsAndMarks)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    for (int i = 0; i < 3; ++i) {
+        c.enterSleep(CState::kC6, milliseconds(2 * i));
+        c.wake(milliseconds(2 * i + 1));
+    }
+    c.enterSleep(CState::kC1, milliseconds(100));
+    c.wake(milliseconds(101));
+    EXPECT_EQ(c.wakeCount(CState::kC6), 3u);
+    EXPECT_EQ(c.wakeCount(CState::kC1), 1u);
+    EXPECT_EQ(c.cc6Entries().count(), 3u);
+}
+
+TEST_F(CStateTest, DeepenPromotesWithoutWaking)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    c.enterSleep(CState::kC1, 0);
+    c.deepen(CState::kC6, milliseconds(1));
+    EXPECT_EQ(c.state(), CState::kC6);
+    EXPECT_EQ(c.cc6Entries().count(), 1u);
+    // Residency splits at the promotion point.
+    EXPECT_EQ(c.residency(CState::kC1, milliseconds(3)),
+              milliseconds(1));
+    EXPECT_EQ(c.residency(CState::kC6, milliseconds(3)),
+              milliseconds(2));
+}
+
+TEST_F(CStateTest, DeepenToShallowerIsNoOp)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    c.enterSleep(CState::kC6, 0);
+    c.deepen(CState::kC1, milliseconds(1));
+    EXPECT_EQ(c.state(), CState::kC6);
+}
+
+TEST_F(CStateTest, DeepenWhileAwakeIsNoOp)
+{
+    CStateController c(profile_, rng_.fork(), 0.0);
+    c.deepen(CState::kC6, milliseconds(1));
+    EXPECT_EQ(c.state(), CState::kC0);
+}
+
+} // namespace
+} // namespace nmapsim

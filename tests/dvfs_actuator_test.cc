@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the DVFS actuator and the Section 5.1 re-transition
+ * latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs_actuator.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/summary.hh"
+
+namespace nmapsim {
+namespace {
+
+class DvfsActuatorTest : public ::testing::Test
+{
+  protected:
+    const CpuProfile &profile_ = CpuProfile::xeonGold6134();
+    EventQueue eq_;
+    Rng rng_{42};
+};
+
+TEST_F(DvfsActuatorTest, BootsInRequestedState)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 5);
+    EXPECT_EQ(a.currentPState(), 5);
+    EXPECT_EQ(a.targetPState(), 5);
+    EXPECT_FALSE(a.transitionPending());
+}
+
+TEST_F(DvfsActuatorTest, IsolatedRequestPaysNominalLatency)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    a.requestPState(0);
+    EXPECT_TRUE(a.transitionPending());
+    EXPECT_EQ(a.currentPState(), 15); // not yet effective
+    eq_.runAll();
+    EXPECT_EQ(a.currentPState(), 0);
+    // First transition after a long quiet period: ACPI nominal 10 us.
+    EXPECT_EQ(a.lastTransitionLatency(), profile_.nominalTransition);
+}
+
+TEST_F(DvfsActuatorTest, ApplyCallbackFires)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    int applied = -1;
+    a.setApplyCallback([&](int idx) { applied = idx; });
+    a.requestPState(3);
+    eq_.runAll();
+    EXPECT_EQ(applied, 3);
+}
+
+TEST_F(DvfsActuatorTest, BackToBackRequestsPayRetransitionLatency)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    a.requestPState(0);
+    eq_.runAll();
+    // Within the settle window: server parts pay ~520+ us (Table 1).
+    a.requestPState(15);
+    eq_.runAll();
+    EXPECT_GT(a.lastTransitionLatency(), microseconds(400));
+    EXPECT_LT(a.lastTransitionLatency(), microseconds(700));
+}
+
+TEST_F(DvfsActuatorTest, QuietPeriodRestoresNominalLatency)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    a.requestPState(0);
+    eq_.runAll();
+    // Wait out the settle window.
+    EventFunctionWrapper idle([] {}, "idle");
+    eq_.schedule(&idle, eq_.now() + profile_.settleWindow * 2);
+    eq_.runAll();
+    a.requestPState(15);
+    eq_.runAll();
+    EXPECT_EQ(a.lastTransitionLatency(), profile_.nominalTransition);
+}
+
+TEST_F(DvfsActuatorTest, LatestRequestWinsWhileInFlight)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    a.requestPState(0);
+    a.requestPState(8); // supersedes before the first lands
+    EXPECT_EQ(a.targetPState(), 8);
+    eq_.runAll();
+    EXPECT_EQ(a.currentPState(), 8);
+    EXPECT_EQ(a.numTransitions(), 2u); // chained through 0 then 8
+}
+
+TEST_F(DvfsActuatorTest, RedundantRequestIsNoOp)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 4);
+    a.requestPState(4);
+    EXPECT_FALSE(a.transitionPending());
+    EXPECT_EQ(a.numTransitions(), 0u);
+}
+
+TEST_F(DvfsActuatorTest, RequestsClampToTable)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 0);
+    a.requestPState(99);
+    eq_.runAll();
+    EXPECT_EQ(a.currentPState(), profile_.pstates.maxIndex());
+    a.requestPState(-7);
+    eq_.runAll();
+    EXPECT_EQ(a.currentPState(), 0);
+}
+
+TEST_F(DvfsActuatorTest, ServerRetransitionMatchesTable1Statistics)
+{
+    // Reproduce the Table 1 measurement loop: repetitive Pmax <-> Pmax-1
+    // toggles on the Gold 6134 should average ~525.7 us.
+    DvfsActuator a(eq_, profile_, rng_.fork(), 0);
+    // Prime the settle window.
+    a.requestPState(1);
+    eq_.runAll();
+    SummaryStats stats;
+    bool down = false;
+    for (int i = 0; i < 2000; ++i) {
+        a.requestPState(down ? 1 : 0);
+        down = !down;
+        eq_.runAll();
+        stats.add(toMicroseconds(a.lastTransitionLatency()));
+    }
+    EXPECT_NEAR(stats.mean(), 525.65, 2.0);
+    EXPECT_NEAR(stats.stdev(), 5.7, 1.0);
+}
+
+TEST_F(DvfsActuatorTest, DesktopFarUpSlowerThanSmallUp)
+{
+    // Table 1 (i7-6700): Pmin->Pmax (45.1 us) is slower than
+    // Pmax-1->Pmax (34.6 us).
+    const CpuProfile &i7 = CpuProfile::i76700();
+    DvfsActuator a(eq_, i7, rng_.fork(), 0);
+    int pmin = i7.pstates.maxIndex();
+
+    SummaryStats far_up;
+    SummaryStats small_up;
+    // Prime re-transition mode.
+    a.requestPState(1);
+    eq_.runAll();
+    for (int i = 0; i < 500; ++i) {
+        a.requestPState(pmin);
+        eq_.runAll();
+        a.requestPState(0);
+        eq_.runAll();
+        far_up.add(toMicroseconds(a.lastTransitionLatency()));
+        a.requestPState(1);
+        eq_.runAll();
+        a.requestPState(0);
+        eq_.runAll();
+        small_up.add(toMicroseconds(a.lastTransitionLatency()));
+    }
+    EXPECT_NEAR(far_up.mean(), 45.1, 2.0);
+    EXPECT_NEAR(small_up.mean(), 34.6, 2.0);
+    EXPECT_GT(far_up.mean(), small_up.mean());
+}
+
+TEST_F(DvfsActuatorTest, ThreeRequestChainLandsOnLastTarget)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    a.requestPState(0);
+    a.requestPState(8);
+    a.requestPState(12);
+    EXPECT_EQ(a.targetPState(), 12);
+    eq_.runAll();
+    EXPECT_EQ(a.currentPState(), 12);
+    // Chain: 15->0 in flight completes, then one transition to the
+    // final target (intermediate 8 was superseded before starting).
+    EXPECT_EQ(a.numTransitions(), 2u);
+}
+
+TEST_F(DvfsActuatorTest, CallbackFiresPerCompletedTransition)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    std::vector<int> applied;
+    a.setApplyCallback([&](int idx) { applied.push_back(idx); });
+    a.requestPState(0);
+    eq_.runAll();
+    a.requestPState(15);
+    eq_.runAll();
+    EXPECT_EQ(applied, (std::vector<int>{0, 15}));
+}
+
+TEST_F(DvfsActuatorTest, ExactlyAtSettleWindowBoundaryIsNominal)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 15);
+    a.requestPState(0);
+    eq_.runAll();
+    Tick completion = eq_.now();
+    EventFunctionWrapper wait([] {}, "wait");
+    // Exactly settleWindow after the completion: outside the window
+    // (the check is strict "<"), so the next request is nominal.
+    eq_.schedule(&wait, completion + profile_.settleWindow);
+    eq_.runAll();
+    a.requestPState(15);
+    eq_.runAll();
+    EXPECT_EQ(a.lastTransitionLatency(), profile_.nominalTransition);
+}
+
+TEST_F(DvfsActuatorTest, FastVrProfileNeverPaysRetransition)
+{
+    const CpuProfile &fast = CpuProfile::xeonGold6134FastVr();
+    DvfsActuator a(eq_, fast, rng_.fork(), 0);
+    for (int i = 0; i < 50; ++i) {
+        a.requestPState(i % 2 == 0 ? 15 : 0);
+        eq_.runAll();
+        EXPECT_EQ(a.lastTransitionLatency(), fast.nominalTransition);
+    }
+}
+
+TEST_F(DvfsActuatorTest, SampleLatencyNonRetransitionIsNominal)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 0);
+    EXPECT_EQ(a.sampleLatency(0, 15, false),
+              profile_.nominalTransition);
+}
+
+TEST_F(DvfsActuatorTest, SampleLatencyAlwaysPositive)
+{
+    DvfsActuator a(eq_, profile_, rng_.fork(), 0);
+    for (int from = 0; from <= profile_.pstates.maxIndex(); from += 3) {
+        for (int to = 0; to <= profile_.pstates.maxIndex(); to += 3) {
+            if (from == to)
+                continue;
+            EXPECT_GE(a.sampleLatency(from, to, true), microseconds(1));
+        }
+    }
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Integration tests for the end-to-end experiment harness. These spin
+ * up the full rig (cores + NIC + OS + app + client) for short runs and
+ * assert the cross-module invariants the paper's evaluation relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+ExperimentConfig
+shortConfig(FreqPolicy policy, LoadLevel load)
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.freqPolicy = policy;
+    cfg.load = load;
+    cfg.warmup = milliseconds(100);
+    cfg.duration = milliseconds(300);
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(ExperimentTest, RequestsAreConserved)
+{
+    ExperimentResult r =
+        Experiment(shortConfig(FreqPolicy::kPerformance,
+                               LoadLevel::kMed))
+            .run();
+    EXPECT_GT(r.requestsSent, 10000u);
+    EXPECT_EQ(r.nicDrops, 0u);
+    // Open loop: a few requests may still be in flight at the end.
+    EXPECT_GE(r.requestsSent, r.responsesReceived);
+    EXPECT_LT(r.requestsSent - r.responsesReceived, 2000u);
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kOndemand, LoadLevel::kMed);
+    ExperimentResult a = Experiment(cfg).run();
+    ExperimentResult b = Experiment(cfg).run();
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.requestsSent, b.requestsSent);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.ksoftirqdWakes, b.ksoftirqdWakes);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kOndemand, LoadLevel::kMed);
+    ExperimentResult a = Experiment(cfg).run();
+    cfg.seed = 8;
+    ExperimentResult b = Experiment(cfg).run();
+    EXPECT_NE(a.requestsSent, b.requestsSent);
+}
+
+TEST(ExperimentTest, PerformanceGovernorNeverChangesStates)
+{
+    ExperimentResult r =
+        Experiment(shortConfig(FreqPolicy::kPerformance,
+                               LoadLevel::kHigh))
+            .run();
+    EXPECT_EQ(r.pstateTransitions, 0u);
+}
+
+TEST(ExperimentTest, PowersaveSlowerButCheaperThanPerformance)
+{
+    ExperimentResult slow =
+        Experiment(shortConfig(FreqPolicy::kPowersave, LoadLevel::kLow))
+            .run();
+    ExperimentResult fast =
+        Experiment(
+            shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow))
+            .run();
+    EXPECT_GT(slow.p99, fast.p99);
+    EXPECT_LT(slow.energyJoules, fast.energyJoules);
+}
+
+TEST(ExperimentTest, HigherLoadRaisesTailLatency)
+{
+    ExperimentResult low =
+        Experiment(
+            shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow))
+            .run();
+    ExperimentResult high =
+        Experiment(
+            shortConfig(FreqPolicy::kPerformance, LoadLevel::kHigh))
+            .run();
+    EXPECT_GT(high.p99, low.p99);
+    EXPECT_GT(high.energyJoules, low.energyJoules);
+}
+
+TEST(ExperimentTest, TracesCollectedOnDemand)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kOndemand, LoadLevel::kHigh);
+    cfg.collectTraces = true;
+    cfg.collectLatencyTrace = true;
+    ExperimentResult r = Experiment(cfg).run();
+    ASSERT_NE(r.traces, nullptr);
+    EXPECT_GT(r.traces->intrSeries().total(), 0.0);
+    EXPECT_GT(r.traces->pollSeries().total(), 0.0);
+    EXPECT_FALSE(r.latencyTrace.empty());
+    EXPECT_FALSE(r.cdf.empty());
+    // The P-state trace moves under ondemand at high load.
+    bool moved = false;
+    const TimeSeries &ps = r.traces->pstateSeries();
+    for (std::size_t i = 1; i < ps.numBuckets(); ++i)
+        moved |= ps.bucket(i) != ps.bucket(0);
+    EXPECT_TRUE(moved);
+}
+
+TEST(ExperimentTest, TracesAbsentByDefault)
+{
+    ExperimentResult r =
+        Experiment(shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow))
+            .run();
+    EXPECT_EQ(r.traces, nullptr);
+    EXPECT_TRUE(r.latencyTrace.empty());
+}
+
+TEST(ExperimentTest, ThresholdProfilingProducesSaneValues)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kNmap, LoadLevel::kHigh);
+    auto [ni, cu] = Experiment::profileThresholds(cfg);
+    EXPECT_GE(ni, 1.0);
+    EXPECT_LT(ni, 10000.0);
+    EXPECT_GT(cu, 0.0);
+    EXPECT_LT(cu, 100.0);
+}
+
+TEST(ExperimentTest, NmapUsesProfiledThresholds)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
+    ExperimentResult r = Experiment(cfg).run();
+    EXPECT_GT(r.niThresholdUsed, 0.0);
+    EXPECT_GT(r.cuThresholdUsed, 0.0);
+}
+
+TEST(ExperimentTest, ExplicitNmapThresholdsSkipProfiling)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
+    cfg.nmap.niThreshold = 25.0;
+    cfg.nmap.cuThreshold = 0.5;
+    ExperimentResult r = Experiment(cfg).run();
+    EXPECT_DOUBLE_EQ(r.niThresholdUsed, 25.0);
+    EXPECT_DOUBLE_EQ(r.cuThresholdUsed, 0.5);
+}
+
+TEST(ExperimentTest, LoadScheduleChangesRate)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow);
+    cfg.duration = milliseconds(400);
+    // Jump to the high load halfway through.
+    cfg.loadSchedule.push_back(
+        {cfg.warmup + milliseconds(200),
+         cfg.app.level(LoadLevel::kHigh)});
+    ExperimentResult with_jump = Experiment(cfg).run();
+
+    ExperimentConfig flat =
+        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow);
+    flat.duration = milliseconds(400);
+    ExperimentResult without = Experiment(flat).run();
+    EXPECT_GT(with_jump.requestsSent, without.requestsSent * 3);
+}
+
+TEST(ExperimentTest, DutyOverrideScalesAverageLoad)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow);
+    cfg.dutyOverride = 1.0; // steady instead of 10% duty
+    ExperimentResult steady = Experiment(cfg).run();
+    ExperimentResult bursty =
+        Experiment(
+            shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow))
+            .run();
+    EXPECT_GT(steady.requestsSent, bursty.requestsSent * 5);
+}
+
+TEST(ExperimentTest, InvalidConfigRejected)
+{
+    ExperimentConfig cfg;
+    cfg.numCores = 0;
+    EXPECT_THROW(Experiment{cfg}, FatalError);
+    ExperimentConfig cfg2;
+    cfg2.duration = 0;
+    EXPECT_THROW(Experiment{cfg2}, FatalError);
+}
+
+TEST(ExperimentTest, PolicyAndIdleNames)
+{
+    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmap), "NMAP");
+    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmapSimpl), "NMAP-simpl");
+    EXPECT_STREQ(freqPolicyName(FreqPolicy::kIntelPowersave),
+                 "intel_powersave");
+    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmapAdaptive),
+                 "NMAP-adaptive");
+    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmapChipWide),
+                 "NMAP-chipwide");
+    EXPECT_STREQ(idlePolicyName(IdlePolicy::kC6Only), "c6only");
+    EXPECT_STREQ(idlePolicyName(IdlePolicy::kTeo), "teo");
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the cpufreq governors (static, ondemand,
+ * conservative, intel_powersave).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "governors/ondemand.hh"
+#include "governors/static_governors.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+class GovernorTest : public ::testing::Test
+{
+  protected:
+    GovernorTest()
+    {
+        for (int i = 0; i < 2; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                i, eq_, CpuProfile::xeonGold6134(), rng_));
+            ptrs_.push_back(cores_.back().get());
+        }
+    }
+
+    void
+    runTo(Tick t)
+    {
+        eq_.runUntil(t);
+    }
+
+    int pmin() { return ptrs_[0]->profile().pstates.maxIndex(); }
+
+    EventQueue eq_;
+    Rng rng_{3};
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> ptrs_;
+};
+
+TEST_F(GovernorTest, PerformancePinsP0)
+{
+    // Boot the cores into a slow state first.
+    for (Core *c : ptrs_)
+        c->dvfs().requestPState(pmin());
+    eq_.runAll();
+
+    PerformanceGovernor gov(ptrs_);
+    gov.start();
+    eq_.runAll();
+    for (Core *c : ptrs_)
+        EXPECT_EQ(c->pstateIndex(), 0);
+}
+
+TEST_F(GovernorTest, PowersavePinsPmin)
+{
+    PowersaveGovernor gov(ptrs_);
+    gov.start();
+    eq_.runAll();
+    for (Core *c : ptrs_)
+        EXPECT_EQ(c->pstateIndex(), pmin());
+}
+
+TEST_F(GovernorTest, UserspacePinsChosenState)
+{
+    UserspaceGovernor gov(ptrs_, 7);
+    gov.start();
+    eq_.runAll();
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 7);
+    gov.setPState(3);
+    eq_.runAll();
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 3);
+}
+
+TEST_F(GovernorTest, OndemandIdleCoreDropsToPmin)
+{
+    OndemandGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    runTo(milliseconds(25));
+    for (Core *c : ptrs_)
+        EXPECT_EQ(c->pstateIndex(), pmin());
+    EXPECT_DOUBLE_EQ(gov.lastUtil(0), 0.0);
+}
+
+TEST_F(GovernorTest, OndemandBusyCoreJumpsToP0)
+{
+    OndemandGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    ptrs_[0]->setBusy(true); // 100% utilisation
+    runTo(milliseconds(25));
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 0);
+    EXPECT_EQ(ptrs_[1]->pstateIndex(), pmin()); // per-core decision
+    EXPECT_DOUBLE_EQ(gov.lastUtil(0), 1.0);
+}
+
+TEST_F(GovernorTest, OndemandReactionIsPeriodBounded)
+{
+    GovernorConfig cfg;
+    cfg.samplePeriod = milliseconds(10);
+    OndemandGovernor gov(eq_, ptrs_, cfg);
+    gov.start();
+    runTo(milliseconds(15)); // settle at Pmin
+    ptrs_[0]->setBusy(true);
+    // Before the next sample the state must not change: this is the
+    // 10 ms blind spot Section 3.2 blames.
+    runTo(milliseconds(19));
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), pmin());
+    runTo(milliseconds(31));
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 0);
+}
+
+TEST_F(GovernorTest, OndemandDisabledCoreHoldsState)
+{
+    OndemandGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    gov.setEnabled(0, false);
+    ptrs_[0]->dvfs().requestPState(0);
+    runTo(milliseconds(25));
+    // Core 0 idle but governor disabled: stays at P0.
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 0);
+    EXPECT_FALSE(gov.enabled(0));
+    // Sampling continued: utilisation history is fresh.
+    EXPECT_DOUBLE_EQ(gov.lastUtil(0), 0.0);
+
+    gov.setEnabled(0, true);
+    gov.enforceNow(0);
+    runTo(eq_.now() + milliseconds(1));
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), pmin());
+}
+
+TEST_F(GovernorTest, OndemandProportionalRegion)
+{
+    OndemandGovernor gov(eq_, ptrs_, {});
+    // util = 0.4 with up_threshold 0.8 -> target 0.5 * fmax = 1.6 GHz.
+    int idx = gov.stateForUtil(0, 0.4);
+    double f = ptrs_[0]
+                   ->profile()
+                   .pstates.state(static_cast<std::size_t>(idx))
+                   .freqHz;
+    EXPECT_GE(f, 1.6e9);
+    EXPECT_LT(f, 2.0e9);
+}
+
+TEST_F(GovernorTest, ConservativeStepsOneStateAtATime)
+{
+    ConservativeGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    ptrs_[0]->setBusy(true);
+    runTo(milliseconds(15));
+    // One sample: moved exactly one state toward P0 despite 100% util.
+    EXPECT_EQ(ptrs_[0]->dvfs().targetPState(), 0 - 0 /*from boot P0*/);
+    // Start from Pmin to observe stepping.
+    ptrs_[1]->dvfs().requestPState(pmin());
+    runTo(eq_.now() + milliseconds(1));
+    ptrs_[1]->setBusy(true);
+    // The first full sampling window after the load step moves one
+    // state; the next window moves one more.
+    Tick start = eq_.now();
+    runTo(start + milliseconds(16));
+    EXPECT_EQ(ptrs_[1]->dvfs().targetPState(), pmin() - 1);
+    runTo(start + milliseconds(26));
+    EXPECT_EQ(ptrs_[1]->dvfs().targetPState(), pmin() - 2);
+}
+
+TEST_F(GovernorTest, ConservativeStepsDownWhenIdle)
+{
+    ConservativeGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    runTo(milliseconds(12));
+    EXPECT_EQ(ptrs_[0]->dvfs().targetPState(), 1); // one step from P0
+    runTo(milliseconds(22));
+    EXPECT_EQ(ptrs_[0]->dvfs().targetPState(), 2);
+}
+
+TEST_F(GovernorTest, IntelPowersaveRampsSlowerThanOndemand)
+{
+    IntelPowersaveGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    // Idle phase with the cores actually asleep, so C0 residency (the
+    // governor's utilisation signal) is near zero.
+    for (Core *c : ptrs_)
+        c->enterSleep(CState::kC6);
+    runTo(milliseconds(45));
+    for (Core *c : ptrs_)
+        c->wake();
+    ptrs_[0]->setBusy(true);
+    runTo(milliseconds(55));
+    // One period after the load step: EWMA keeps it well below P0.
+    EXPECT_GT(ptrs_[0]->dvfs().targetPState(), 0);
+    // After several periods it converges to P0.
+    runTo(milliseconds(150));
+    EXPECT_EQ(ptrs_[0]->dvfs().targetPState(), 0);
+}
+
+TEST_F(GovernorTest, IntelPowersavePegsP0WhenNeverSleeping)
+{
+    // With C-states disabled the core is always in C0, so the
+    // C0-residency utilisation reads 100% and the governor pegs P0 —
+    // the paper's intel_powersave + disable observation (Section 6.2).
+    IntelPowersaveGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    runTo(milliseconds(120));
+    // Idle but never sleeping: C0 residency is full.
+    EXPECT_EQ(ptrs_[0]->dvfs().targetPState(), 0);
+}
+
+TEST_F(GovernorTest, IntelPowersaveDropsWhenCoresSleep)
+{
+    IntelPowersaveGovernor gov(eq_, ptrs_, {});
+    gov.start();
+    // Simulate sleeping cores: C6 residency accumulates instead of C0.
+    for (Core *c : ptrs_)
+        c->enterSleep(CState::kC6);
+    runTo(milliseconds(120));
+    EXPECT_EQ(ptrs_[0]->dvfs().targetPState(), pmin());
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the latency recorder (percentiles, CDF, traces).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hh"
+#include "stats/latency_recorder.hh"
+
+namespace nmapsim {
+namespace {
+
+LatencyRecorder
+makeUniformRecorder(int n)
+{
+    LatencyRecorder r;
+    // Latencies 1..n us, completion times in reverse order to exercise
+    // sorting.
+    for (int i = n; i >= 1; --i)
+        r.record(microseconds(i), microseconds(i));
+    return r;
+}
+
+TEST(LatencyRecorderTest, EmptyRecorder)
+{
+    LatencyRecorder r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.percentile(99.0), 0);
+    EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.max(), 0);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0), 0.0);
+    EXPECT_TRUE(r.cdf(10).empty());
+}
+
+TEST(LatencyRecorderTest, PercentilesOfUniformRamp)
+{
+    LatencyRecorder r = makeUniformRecorder(100);
+    EXPECT_EQ(r.count(), 100u);
+    // P50 of 1..100 us (linear interpolation over order statistics).
+    EXPECT_NEAR(toMicroseconds(r.percentile(50.0)), 50.5, 0.01);
+    EXPECT_NEAR(toMicroseconds(r.percentile(99.0)), 99.01, 0.05);
+    EXPECT_EQ(r.percentile(100.0), microseconds(100));
+    EXPECT_EQ(r.percentile(0.0), microseconds(1));
+}
+
+TEST(LatencyRecorderTest, MeanAndMax)
+{
+    LatencyRecorder r = makeUniformRecorder(100);
+    EXPECT_NEAR(r.mean(), static_cast<double>(microseconds(50.5)), 1.0);
+    EXPECT_EQ(r.max(), microseconds(100));
+}
+
+TEST(LatencyRecorderTest, FractionAboveSlo)
+{
+    LatencyRecorder r = makeUniformRecorder(100);
+    // 10 of 100 samples exceed 90 us (91..100).
+    EXPECT_DOUBLE_EQ(r.fractionAbove(microseconds(90)), 0.10);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(microseconds(100)), 0.0);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0), 1.0);
+}
+
+TEST(LatencyRecorderTest, CdfIsMonotone)
+{
+    LatencyRecorder r = makeUniformRecorder(1000);
+    auto cdf = r.cdf(50);
+    ASSERT_EQ(cdf.size(), 50u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LatencyRecorderTest, TraceSortedByCompletionTime)
+{
+    LatencyRecorder r = makeUniformRecorder(10);
+    auto trace = r.trace();
+    ASSERT_EQ(trace.size(), 10u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_LE(trace[i - 1].completionTime, trace[i].completionTime);
+}
+
+TEST(LatencyRecorderTest, DiscardBeforeDropsWarmup)
+{
+    LatencyRecorder r;
+    r.record(milliseconds(1), microseconds(10));
+    r.record(milliseconds(2), microseconds(20));
+    r.record(milliseconds(3), microseconds(30));
+    r.discardBefore(milliseconds(2));
+    EXPECT_EQ(r.count(), 2u);
+    EXPECT_EQ(r.percentile(0.0), microseconds(20));
+}
+
+TEST(LatencyRecorderTest, ClearEmptiesRecorder)
+{
+    LatencyRecorder r = makeUniformRecorder(5);
+    r.clear();
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(LatencyRecorderTest, RecordAfterQueryKeepsConsistency)
+{
+    LatencyRecorder r;
+    r.record(1, microseconds(5));
+    EXPECT_EQ(r.percentile(50.0), microseconds(5));
+    r.record(2, microseconds(15));
+    EXPECT_EQ(r.percentile(100.0), microseconds(15));
+    EXPECT_EQ(r.count(), 2u);
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for the NAPI context: poll sessions, interrupt/polling
+ * mode accounting, budget handling and ksoftirqd handoff rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/nic.hh"
+#include "os/napi.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+Packet
+requestPacket(std::uint64_t id = 1)
+{
+    Packet p;
+    p.requestId = id;
+    p.kind = Packet::Kind::kRequest;
+    p.flowHash = 0;
+    p.sizeBytes = 128;
+    return p;
+}
+
+class NapiTest : public ::testing::Test
+{
+  protected:
+    NapiTest()
+    {
+        nic_config_.numQueues = 1;
+        nic_ = std::make_unique<Nic>(eq_, nic_config_);
+        nic_->setIrqHandler([this](int) { ++raised_; });
+        napi_ = std::make_unique<NapiContext>(eq_, *nic_, 0, os_config_);
+        napi_->setDeliver(
+            [this](const Packet &p) { delivered_.push_back(p); });
+    }
+
+    /** Inject n packets into the (masked or unmasked) Rx ring. */
+    void
+    inject(int n)
+    {
+        for (int i = 0; i < n; ++i)
+            nic_->receive(requestPacket(static_cast<std::uint64_t>(i)));
+    }
+
+    EventQueue eq_;
+    NicConfig nic_config_;
+    OsConfig os_config_;
+    std::unique_ptr<Nic> nic_;
+    std::unique_ptr<NapiContext> napi_;
+    std::vector<Packet> delivered_;
+    int raised_ = 0;
+};
+
+TEST_F(NapiTest, ScheduleOpensSessionAndMasksIrq)
+{
+    inject(1);
+    EXPECT_EQ(raised_, 1);
+    napi_->napiSchedule();
+    EXPECT_TRUE(napi_->active());
+    EXPECT_TRUE(napi_->softirqPending());
+    EXPECT_FALSE(nic_->irqEnabled(0));
+    EXPECT_EQ(napi_->pollSessions(), 1u);
+}
+
+TEST_F(NapiTest, SpuriousScheduleIgnored)
+{
+    inject(1);
+    napi_->napiSchedule();
+    napi_->napiSchedule();
+    EXPECT_EQ(napi_->pollSessions(), 1u);
+}
+
+TEST_F(NapiTest, SinglePollEmptiesSmallQueueAndCompletes)
+{
+    inject(3);
+    napi_->napiSchedule();
+    double cycles = napi_->beginPoll();
+    EXPECT_GT(cycles, os_config_.pollOverheadCycles);
+    auto out = napi_->completePoll(false);
+    EXPECT_EQ(out, NapiContext::Outcome::kComplete);
+    EXPECT_FALSE(napi_->active());
+    EXPECT_TRUE(nic_->irqEnabled(0));
+    EXPECT_EQ(delivered_.size(), 3u);
+    // First poll of the session counts as interrupt mode.
+    EXPECT_EQ(napi_->pktsInterruptMode(), 3u);
+    EXPECT_EQ(napi_->pktsPollingMode(), 0u);
+}
+
+TEST_F(NapiTest, PollRespectsWeightBudget)
+{
+    inject(os_config_.napiWeight * 2);
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    auto out = napi_->completePoll(false);
+    EXPECT_EQ(out, NapiContext::Outcome::kRepoll);
+    EXPECT_EQ(delivered_.size(),
+              static_cast<std::size_t>(os_config_.napiWeight));
+    EXPECT_TRUE(napi_->active());
+    EXPECT_FALSE(nic_->irqEnabled(0)); // still masked while polling
+}
+
+TEST_F(NapiTest, RepollsCountAsPollingMode)
+{
+    inject(os_config_.napiWeight + 5);
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    napi_->completePoll(false); // first: interrupt mode
+    napi_->beginPoll();
+    auto out = napi_->completePoll(false); // second: polling mode
+    EXPECT_EQ(out, NapiContext::Outcome::kComplete);
+    EXPECT_EQ(napi_->pktsInterruptMode(),
+              static_cast<std::uint64_t>(os_config_.napiWeight));
+    EXPECT_EQ(napi_->pktsPollingMode(), 5u);
+}
+
+TEST_F(NapiTest, HandoffAfterTooManyIterations)
+{
+    // Enough backlog that maxSoftirqIters polls cannot empty it.
+    inject(os_config_.napiWeight * (os_config_.maxSoftirqIters + 3));
+    napi_->napiSchedule();
+    NapiContext::Outcome out = NapiContext::Outcome::kRepoll;
+    int polls = 0;
+    while (out == NapiContext::Outcome::kRepoll) {
+        napi_->beginPoll();
+        out = napi_->completePoll(false);
+        ++polls;
+    }
+    EXPECT_EQ(out, NapiContext::Outcome::kHandoff);
+    EXPECT_EQ(polls, os_config_.maxSoftirqIters);
+
+    napi_->handoffToKsoftirqd();
+    EXPECT_TRUE(napi_->ksoftirqdOwned());
+    EXPECT_FALSE(napi_->softirqPending());
+}
+
+TEST_F(NapiTest, KsoftirqdPollsUntilEmpty)
+{
+    inject(os_config_.napiWeight * (os_config_.maxSoftirqIters + 2));
+    napi_->napiSchedule();
+    NapiContext::Outcome out = NapiContext::Outcome::kRepoll;
+    while (out == NapiContext::Outcome::kRepoll) {
+        napi_->beginPoll();
+        out = napi_->completePoll(false);
+    }
+    napi_->handoffToKsoftirqd();
+    // ksoftirqd context: no iteration limit, runs until empty.
+    out = NapiContext::Outcome::kRepoll;
+    int polls = 0;
+    while (out == NapiContext::Outcome::kRepoll) {
+        napi_->beginPoll();
+        out = napi_->completePoll(true);
+        ++polls;
+    }
+    EXPECT_EQ(out, NapiContext::Outcome::kComplete);
+    EXPECT_GT(polls, 1);
+    EXPECT_FALSE(napi_->ksoftirqdOwned());
+    EXPECT_TRUE(nic_->irqEnabled(0));
+}
+
+TEST_F(NapiTest, TimeBudgetTriggersHandoff)
+{
+    // Keep the queue non-empty and advance simulated time past the
+    // softirq budget between polls.
+    inject(os_config_.napiWeight * 2);
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    napi_->completePoll(false);
+
+    inject(os_config_.napiWeight * 2); // keep it busy
+    EventFunctionWrapper advance([] {}, "advance");
+    eq_.schedule(&advance, eq_.now() + os_config_.maxSoftirqTime + 1);
+    eq_.runAll();
+
+    napi_->beginPoll();
+    auto out = napi_->completePoll(false);
+    EXPECT_EQ(out, NapiContext::Outcome::kHandoff);
+}
+
+TEST_F(NapiTest, TxCompletionsCountTowardModes)
+{
+    Wire tx(eq_, 10e9, 0);
+    tx.setSink([](const Packet &) {});
+    nic_->setTxWire(&tx);
+    nic_->disableIrq(0);
+    Packet resp;
+    resp.kind = Packet::Kind::kResponse;
+    resp.sizeBytes = 64;
+    nic_->transmit(0, resp);
+    eq_.runAll(); // DMA completes
+
+    nic_->enableIrq(0); // completion raises irq through handler
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    auto out = napi_->completePoll(false);
+    EXPECT_EQ(out, NapiContext::Outcome::kComplete);
+    EXPECT_EQ(napi_->pktsInterruptMode(), 1u); // the tx completion
+    EXPECT_TRUE(delivered_.empty());           // responses not delivered
+}
+
+TEST_F(NapiTest, PollHookReportsPerCall)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> calls;
+    napi_->setPollHook([&](std::uint32_t i, std::uint32_t p) {
+        calls.push_back({i, p});
+    });
+    inject(os_config_.napiWeight + 2);
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    napi_->completePoll(false);
+    napi_->beginPoll();
+    napi_->completePoll(false);
+    ASSERT_EQ(calls.size(), 2u);
+    EXPECT_EQ(calls[0].first,
+              static_cast<std::uint32_t>(os_config_.napiWeight));
+    EXPECT_EQ(calls[0].second, 0u);
+    EXPECT_EQ(calls[1].first, 0u);
+    EXPECT_EQ(calls[1].second, 2u);
+}
+
+TEST_F(NapiTest, BeginPollTwicePanics)
+{
+    inject(1);
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    EXPECT_THROW(napi_->beginPoll(), PanicError);
+}
+
+TEST_F(NapiTest, CompleteWithoutBeginPanics)
+{
+    inject(1);
+    napi_->napiSchedule();
+    EXPECT_THROW(napi_->completePoll(false), PanicError);
+}
+
+TEST_F(NapiTest, NewSessionAfterCompleteRestartsModeCounting)
+{
+    inject(2);
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    napi_->completePoll(false);
+    EXPECT_EQ(napi_->pollSessions(), 1u);
+
+    inject(3);
+    napi_->napiSchedule();
+    napi_->beginPoll();
+    napi_->completePoll(false);
+    EXPECT_EQ(napi_->pollSessions(), 2u);
+    EXPECT_EQ(napi_->pktsInterruptMode(), 5u); // both first polls
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the NCAP baseline (chip-wide, NIC-driven DVFS).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/ncap.hh"
+#include "cpu/core.hh"
+#include "governors/cpuidle_policies.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+class NcapTest : public ::testing::Test
+{
+  protected:
+    NcapTest()
+    {
+        for (int i = 0; i < 2; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                i, eq_, CpuProfile::xeonGold6134(), rng_));
+            ptrs_.push_back(cores_.back().get());
+        }
+        nic_config_.numQueues = 2;
+        nic_ = std::make_unique<Nic>(eq_, nic_config_);
+        nic_->setIrqHandler([this](int q) { nic_->disableIrq(q); });
+        config_.monitorPeriod = milliseconds(1);
+        config_.rpsThreshold = 10e3;
+    }
+
+    /** Deliver n latency-critical requests to the NIC right now. */
+    void
+    burst(int n)
+    {
+        for (int i = 0; i < n; ++i) {
+            Packet p;
+            p.kind = Packet::Kind::kRequest;
+            p.latencyCritical = true;
+            p.sizeBytes = 128;
+            p.flowHash = static_cast<std::uint32_t>(i);
+            nic_->receive(p);
+        }
+    }
+
+    int pmin() { return ptrs_[0]->profile().pstates.maxIndex(); }
+
+    EventQueue eq_;
+    Rng rng_{21};
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> ptrs_;
+    NicConfig nic_config_;
+    std::unique_ptr<Nic> nic_;
+    NcapConfig config_;
+};
+
+TEST_F(NcapTest, BurstTriggersChipWideP0)
+{
+    NcapGovernor ncap(eq_, ptrs_, *nic_, config_);
+    ncap.start();
+    eq_.runUntil(milliseconds(25)); // fallback settles at Pmin
+    ASSERT_EQ(ptrs_[0]->pstateIndex(), pmin());
+
+    burst(100); // 100 requests in 1 ms >> 10K RPS threshold
+    eq_.runUntil(milliseconds(27));
+    EXPECT_TRUE(ncap.burstMode());
+    // Chip-wide: BOTH cores go to P0 even though RSS split the load.
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 0);
+    EXPECT_EQ(ptrs_[1]->pstateIndex(), 0);
+}
+
+TEST_F(NcapTest, GradualStepDownAfterBurst)
+{
+    NcapGovernor ncap(eq_, ptrs_, *nic_, config_);
+    ncap.start();
+    burst(100);
+    eq_.runUntil(milliseconds(1) + microseconds(100));
+    ASSERT_TRUE(ncap.burstMode());
+    ASSERT_EQ(ncap.chipPState(), 0);
+
+    // No further traffic: one chip-wide state per period.
+    eq_.runUntil(milliseconds(2) + microseconds(100));
+    EXPECT_EQ(ncap.chipPState(), 1);
+    eq_.runUntil(milliseconds(3) + microseconds(100));
+    EXPECT_EQ(ncap.chipPState(), 2);
+
+    // Eventually reaches the utilisation level and hands back.
+    eq_.runUntil(milliseconds(40));
+    EXPECT_FALSE(ncap.burstMode());
+    EXPECT_TRUE(ncap.fallback().enabled(0));
+}
+
+TEST_F(NcapTest, SleepDisabledDuringBurstForNcapVariant)
+{
+    C6OnlyIdleGovernor inner;
+    SwitchableIdleGovernor switchable(inner);
+    config_.disableSleepOnBurst = true;
+    NcapGovernor ncap(eq_, ptrs_, *nic_, config_);
+    ncap.setIdleOverride(&switchable);
+    ncap.start();
+
+    burst(100);
+    eq_.runUntil(milliseconds(2));
+    EXPECT_TRUE(switchable.forceAwake());
+    // Deep sleep is disabled: only the C1 halt remains available.
+    EXPECT_EQ(switchable.selectState(0, eq_.now()), CState::kC1);
+
+    // After the burst drains and NCAP hands back, sleep is re-enabled.
+    eq_.runUntil(milliseconds(40));
+    EXPECT_FALSE(switchable.forceAwake());
+}
+
+TEST_F(NcapTest, NcapMenuKeepsSleepEnabled)
+{
+    C6OnlyIdleGovernor inner;
+    SwitchableIdleGovernor switchable(inner);
+    config_.disableSleepOnBurst = false;
+    NcapGovernor ncap(eq_, ptrs_, *nic_, config_);
+    ncap.setIdleOverride(&switchable);
+    ncap.start();
+    EXPECT_EQ(ncap.name(), "NCAP-menu");
+
+    burst(100);
+    eq_.runUntil(milliseconds(2));
+    EXPECT_TRUE(ncap.burstMode());
+    EXPECT_FALSE(switchable.forceAwake());
+}
+
+TEST_F(NcapTest, SubThresholdTrafficStaysWithFallback)
+{
+    NcapGovernor ncap(eq_, ptrs_, *nic_, config_);
+    ncap.start();
+    eq_.runUntil(milliseconds(25));
+    burst(5); // 5 requests in 1 ms = 5K RPS < 10K threshold
+    eq_.runUntil(milliseconds(30));
+    EXPECT_FALSE(ncap.burstMode());
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), pmin());
+}
+
+TEST_F(NcapTest, NonCriticalPacketsIgnored)
+{
+    NcapGovernor ncap(eq_, ptrs_, *nic_, config_);
+    ncap.start();
+    for (int i = 0; i < 100; ++i) {
+        Packet p;
+        p.kind = Packet::Kind::kRequest;
+        p.latencyCritical = false;
+        p.sizeBytes = 128;
+        nic_->receive(p);
+    }
+    eq_.runUntil(milliseconds(5));
+    EXPECT_FALSE(ncap.burstMode());
+}
+
+TEST_F(NcapTest, SustainedLoadKeepsBurstMode)
+{
+    NcapGovernor ncap(eq_, ptrs_, *nic_, config_);
+    ncap.start();
+    // 100 requests per 0.5 ms for 10 ms.
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+    for (int i = 0; i < 20; ++i) {
+        events.push_back(std::make_unique<EventFunctionWrapper>(
+            [this] { burst(100); }, "burst"));
+        eq_.schedule(events.back().get(), i * microseconds(500));
+    }
+    eq_.runUntil(milliseconds(10));
+    EXPECT_TRUE(ncap.burstMode());
+    EXPECT_EQ(ncap.chipPState(), 0);
+    for (auto &ev : events)
+        eq_.deschedule(ev.get());
+}
+
+} // namespace
+} // namespace nmapsim

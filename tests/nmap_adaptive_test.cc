@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the online threshold adaptation extension (the
+ * paper's Section 4.2 future work) and the chip-wide NMAP variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "nmap/adaptive.hh"
+#include "nmap/nmap_governor.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(EstimatorTest, BootstrapUntilMinSamples)
+{
+    AdaptiveConfig cfg;
+    cfg.minSamples = 4;
+    OnlineThresholdEstimator est(cfg, Rng(1));
+    EXPECT_DOUBLE_EQ(est.niThreshold(), cfg.bootstrapNiTh);
+    EXPECT_DOUBLE_EQ(est.cuThreshold(), cfg.bootstrapCuTh);
+
+    for (int i = 0; i < 3; ++i)
+        est.recordNiSession(100);
+    EXPECT_DOUBLE_EQ(est.niThreshold(), cfg.bootstrapNiTh);
+    est.recordNiSession(100);
+    EXPECT_NE(est.niThreshold(), cfg.bootstrapNiTh);
+}
+
+TEST(EstimatorTest, NiThresholdIsQuantileOfSessions)
+{
+    AdaptiveConfig cfg;
+    cfg.minSamples = 10;
+    cfg.niQuantile = 1.0;
+    cfg.niMargin = 1.0;
+    OnlineThresholdEstimator est(cfg, Rng(1));
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        est.recordNiSession(v);
+    EXPECT_DOUBLE_EQ(est.niThreshold(), 100.0);
+    EXPECT_EQ(est.sessionsSeen(), 100u);
+}
+
+TEST(EstimatorTest, ReservoirTracksWorkloadChange)
+{
+    AdaptiveConfig cfg;
+    cfg.minSamples = 10;
+    cfg.reservoirSize = 64;
+    cfg.niQuantile = 0.5;
+    OnlineThresholdEstimator est(cfg, Rng(2));
+    for (int i = 0; i < 200; ++i)
+        est.recordNiSession(10);
+    double before = est.niThreshold();
+    // The workload changes: sessions now ten times larger. The decayed
+    // reservoir must follow.
+    for (int i = 0; i < 500; ++i)
+        est.recordNiSession(100);
+    double after = est.niThreshold();
+    EXPECT_NEAR(before, 10.0, 1.0);
+    EXPECT_GT(after, 50.0);
+}
+
+TEST(EstimatorTest, CuThresholdTracksRatioEwma)
+{
+    AdaptiveConfig cfg;
+    cfg.cuMargin = 0.5;
+    cfg.ratioAlpha = 0.5;
+    OnlineThresholdEstimator est(cfg, Rng(3));
+    est.recordNiWindowRatio(4.0);
+    EXPECT_DOUBLE_EQ(est.cuThreshold(), 2.0); // first sample seeds EWMA
+    est.recordNiWindowRatio(8.0);
+    EXPECT_DOUBLE_EQ(est.cuThreshold(), 3.0); // 0.5*(4+8)/... -> 6*0.5
+}
+
+TEST(EstimatorTest, CuThresholdHasFloor)
+{
+    AdaptiveConfig cfg;
+    OnlineThresholdEstimator est(cfg, Rng(4));
+    est.recordNiWindowRatio(0.0);
+    EXPECT_GE(est.cuThreshold(), 0.05);
+}
+
+TEST(EstimatorTest, EmptyReservoirIsFatal)
+{
+    AdaptiveConfig cfg;
+    cfg.reservoirSize = 0;
+    EXPECT_THROW(OnlineThresholdEstimator(cfg, Rng(5)), FatalError);
+}
+
+class AdaptiveGovernorTest : public ::testing::Test
+{
+  protected:
+    AdaptiveGovernorTest()
+    {
+        for (int i = 0; i < 2; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                i, eq_, CpuProfile::xeonGold6134(), rng_));
+            ptrs_.push_back(cores_.back().get());
+        }
+        config_.bootstrapNiTh = 20.0;
+        config_.minSamples = 4;
+    }
+
+    AdaptiveConfig config_;
+    EventQueue eq_;
+    Rng rng_{31};
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> ptrs_;
+};
+
+TEST_F(AdaptiveGovernorTest, BootstrapThresholdTriggersNi)
+{
+    AdaptiveNmapGovernor gov(eq_, ptrs_, config_, rng_.fork());
+    gov.start();
+    gov.onHardIrq(0);
+    gov.onPollProcessed(0, 0, 25); // > bootstrap 20
+    EXPECT_TRUE(gov.networkIntensive(0));
+}
+
+TEST_F(AdaptiveGovernorTest, LearnsFromNiSessions)
+{
+    AdaptiveNmapGovernor gov(eq_, ptrs_, config_, rng_.fork());
+    gov.start();
+    // Trigger NI mode, then feed several P0 sessions of ~64 polling
+    // packets; the learned NI_TH should move toward that scale.
+    gov.onHardIrq(0);
+    gov.onPollProcessed(0, 0, 25);
+    ASSERT_TRUE(gov.networkIntensive(0));
+    eq_.runUntil(milliseconds(1)); // let the P0 transition land
+    ASSERT_EQ(ptrs_[0]->pstateIndex(), 0);
+    for (int s = 0; s < 8; ++s) {
+        gov.onHardIrq(0); // closes the previous session
+        gov.onPollProcessed(0, 8, 64);
+    }
+    gov.onHardIrq(0);
+    eq_.runUntil(milliseconds(12)); // timer refreshes thresholds
+    EXPECT_GT(gov.currentNiThreshold(), config_.bootstrapNiTh);
+    EXPECT_GT(gov.estimator().sessionsSeen(), 4u);
+}
+
+TEST_F(AdaptiveGovernorTest, SessionsAtLowFreqNotLearned)
+{
+    AdaptiveNmapGovernor gov(eq_, ptrs_, config_, rng_.fork());
+    gov.start();
+    // Keep the core at Pmin (CPU mode): sessions must not be recorded,
+    // since thresholds describe healthy P0 processing.
+    eq_.runUntil(milliseconds(25));
+    ASSERT_FALSE(gov.networkIntensive(0));
+    for (int s = 0; s < 8; ++s) {
+        gov.onHardIrq(0);
+        gov.onPollProcessed(0, 4, 10); // below bootstrap threshold
+    }
+    gov.onHardIrq(0);
+    EXPECT_EQ(gov.estimator().sessionsSeen(), 0u);
+}
+
+TEST_F(AdaptiveGovernorTest, CuThresholdLearnedFromNiWindows)
+{
+    AdaptiveNmapGovernor gov(eq_, ptrs_, config_, rng_.fork());
+    gov.start();
+    gov.onHardIrq(0);
+    gov.onPollProcessed(0, 10, 80); // NI + window ratio 8
+    eq_.runUntil(milliseconds(12)); // timer evaluates the window
+    EXPECT_GT(gov.currentCuThreshold(), config_.bootstrapCuTh);
+}
+
+class ChipWideTest : public ::testing::Test
+{
+  protected:
+    ChipWideTest()
+    {
+        for (int i = 0; i < 3; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                i, eq_, CpuProfile::xeonGold6134(), rng_));
+            ptrs_.push_back(cores_.back().get());
+        }
+        config_.niThreshold = 20.0;
+        config_.cuThreshold = 1.0;
+        config_.chipWide = true;
+    }
+
+    NmapConfig config_;
+    EventQueue eq_;
+    Rng rng_{41};
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> ptrs_;
+};
+
+TEST_F(ChipWideTest, OneCoreDragsWholeChipToP0)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    eq_.runUntil(milliseconds(25));
+    nmap.onHardIrq(1);
+    nmap.onPollProcessed(1, 0, 50);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_TRUE(nmap.networkIntensive(c)) << c;
+    eq_.runUntil(milliseconds(26));
+    for (int c = 0; c < 3; ++c)
+        EXPECT_EQ(ptrs_[static_cast<std::size_t>(c)]->pstateIndex(), 0)
+            << c;
+}
+
+TEST_F(ChipWideTest, FallbackIsCollective)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    nmap.onHardIrq(1);
+    nmap.onPollProcessed(1, 0, 50);
+    ASSERT_TRUE(nmap.networkIntensive(0));
+    // Quiet window: aggregate ratio 0 -> everyone falls back together.
+    eq_.runUntil(milliseconds(25));
+    for (int c = 0; c < 3; ++c)
+        EXPECT_FALSE(nmap.networkIntensive(c)) << c;
+}
+
+TEST_F(ChipWideTest, AggregateRatioKeepsChipUp)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    nmap.onHardIrq(1);
+    nmap.onPollProcessed(1, 0, 50);
+    // Other cores are interrupt-dominated, but the aggregate ratio is
+    // still above CU_TH: the chip must stay in NI mode.
+    nmap.onPollProcessed(0, 10, 0);
+    nmap.onPollProcessed(2, 10, 0);
+    nmap.onPollProcessed(1, 0, 40); // aggregate 90 poll / 20 intr
+    eq_.runUntil(milliseconds(12));
+    EXPECT_TRUE(nmap.networkIntensive(0));
+}
+
+} // namespace
+} // namespace nmapsim

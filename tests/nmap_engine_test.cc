@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for NMAP's Decision Engine (Algorithm 2) and the governor
+ * wrappers (NMAP, NMAP-simpl).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "nmap/nmap_governor.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest()
+    {
+        for (int i = 0; i < 2; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                i, eq_, CpuProfile::xeonGold6134(), rng_));
+            ptrs_.push_back(cores_.back().get());
+        }
+        config_.niThreshold = 20.0;
+        config_.cuThreshold = 1.0;
+        config_.timerInterval = milliseconds(10);
+    }
+
+    NmapConfig config_;
+    EventQueue eq_;
+    Rng rng_{17};
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> ptrs_;
+};
+
+TEST_F(EngineTest, NotificationEntersNetworkIntensiveMode)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    // Cores idle: the fallback drives them to Pmin first.
+    eq_.runUntil(milliseconds(25));
+    int pmin = ptrs_[0]->profile().pstates.maxIndex();
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), pmin);
+
+    // Excessive polling on core 0 -> NI mode -> P0, ondemand disabled.
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 0, 50);
+    EXPECT_TRUE(nmap.networkIntensive(0));
+    EXPECT_FALSE(nmap.networkIntensive(1));
+    EXPECT_FALSE(nmap.fallback().enabled(0));
+    EXPECT_TRUE(nmap.fallback().enabled(1));
+    eq_.runUntil(milliseconds(26));
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 0);
+    EXPECT_EQ(ptrs_[1]->pstateIndex(), pmin);
+}
+
+TEST_F(EngineTest, FallsBackWhenRatioDrops)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 0, 50);
+    ASSERT_TRUE(nmap.networkIntensive(0));
+
+    // Window with high polling ratio: stays in NI mode.
+    nmap.onPollProcessed(0, 10, 40); // ratio 90/10 = 9 > 1
+    eq_.runUntil(milliseconds(12));
+    EXPECT_TRUE(nmap.networkIntensive(0));
+
+    // Window with interrupt-dominated traffic: ratio < CU_TH.
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 40, 5);
+    eq_.runUntil(milliseconds(22));
+    EXPECT_FALSE(nmap.networkIntensive(0));
+    EXPECT_TRUE(nmap.fallback().enabled(0));
+    // The fallback enforced a utilisation-based state (core idle ->
+    // Pmin).
+    eq_.runUntil(milliseconds(30));
+    EXPECT_EQ(ptrs_[0]->pstateIndex(),
+              ptrs_[0]->profile().pstates.maxIndex());
+}
+
+TEST_F(EngineTest, EmptyWindowFallsBack)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 0, 50);
+    ASSERT_TRUE(nmap.networkIntensive(0));
+    // No packets at all in the next window: ratio 0 -> CPU mode.
+    eq_.runUntil(milliseconds(25));
+    EXPECT_FALSE(nmap.networkIntensive(0));
+}
+
+TEST_F(EngineTest, ModeSwitchCountersTrack)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 0, 50);
+    // First timer window still holds the 50 polling packets (ratio
+    // high): NI persists. The second window is empty: fall back.
+    eq_.runUntil(milliseconds(22));
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 0, 50);
+    EXPECT_EQ(nmap.engine().modeSwitchesToNi(), 2u);
+    EXPECT_EQ(nmap.engine().modeSwitchesToCpu(), 1u);
+}
+
+TEST_F(EngineTest, RepeatedNotificationsAreIdempotent)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 0, 50);
+    nmap.onHardIrq(0);
+    nmap.onPollProcessed(0, 0, 50);
+    EXPECT_EQ(nmap.engine().modeSwitchesToNi(), 1u);
+}
+
+TEST_F(EngineTest, WindowResetsEveryTimerPeriod)
+{
+    NmapGovernor nmap(eq_, ptrs_, config_);
+    nmap.start();
+    nmap.onPollProcessed(0, 10, 10);
+    eq_.runUntil(milliseconds(12));
+    EXPECT_EQ(nmap.monitor().windowPollCount(0), 0u);
+    EXPECT_EQ(nmap.monitor().windowIntrCount(0), 0u);
+}
+
+TEST_F(EngineTest, SimplEntersNiOnKsoftirqdWake)
+{
+    NmapSimplGovernor simpl(eq_, ptrs_, {});
+    simpl.start();
+    eq_.runUntil(milliseconds(25));
+    int pmin = ptrs_[0]->profile().pstates.maxIndex();
+    ASSERT_EQ(ptrs_[0]->pstateIndex(), pmin);
+
+    simpl.onKsoftirqdWake(0);
+    EXPECT_TRUE(simpl.networkIntensive(0));
+    EXPECT_FALSE(simpl.fallback().enabled(0));
+    eq_.runUntil(milliseconds(26));
+    EXPECT_EQ(ptrs_[0]->pstateIndex(), 0);
+}
+
+TEST_F(EngineTest, SimplFallsBackOnKsoftirqdSleep)
+{
+    NmapSimplGovernor simpl(eq_, ptrs_, {});
+    simpl.start();
+    eq_.runUntil(milliseconds(25));
+    simpl.onKsoftirqdWake(0);
+    simpl.onKsoftirqdSleep(0);
+    EXPECT_FALSE(simpl.networkIntensive(0));
+    EXPECT_TRUE(simpl.fallback().enabled(0));
+}
+
+TEST_F(EngineTest, SimplIgnoresSpuriousSleep)
+{
+    NmapSimplGovernor simpl(eq_, ptrs_, {});
+    simpl.start();
+    simpl.onKsoftirqdSleep(0); // never woke
+    EXPECT_FALSE(simpl.networkIntensive(0));
+}
+
+TEST_F(EngineTest, SimplPerCore)
+{
+    NmapSimplGovernor simpl(eq_, ptrs_, {});
+    simpl.start();
+    simpl.onKsoftirqdWake(1);
+    EXPECT_FALSE(simpl.networkIntensive(0));
+    EXPECT_TRUE(simpl.networkIntensive(1));
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for NMAP's Mode Transition Monitor (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmap/monitor.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(MonitorTest, WindowCountersAccumulate)
+{
+    ModeTransitionMonitor m(2, 100.0);
+    m.onHardIrq(0);
+    m.onPollProcessed(0, 10, 0);
+    m.onPollProcessed(0, 0, 30);
+    EXPECT_EQ(m.windowIntrCount(0), 10u);
+    EXPECT_EQ(m.windowPollCount(0), 30u);
+    EXPECT_EQ(m.windowIntrCount(1), 0u);
+}
+
+TEST(MonitorTest, ResetWindowClearsOnlyThatCore)
+{
+    ModeTransitionMonitor m(2, 100.0);
+    m.onPollProcessed(0, 5, 5);
+    m.onPollProcessed(1, 7, 7);
+    m.resetWindow(0);
+    EXPECT_EQ(m.windowPollCount(0), 0u);
+    EXPECT_EQ(m.windowIntrCount(0), 0u);
+    EXPECT_EQ(m.windowPollCount(1), 7u);
+}
+
+TEST(MonitorTest, NotifiesWhenSessionPollExceedsThreshold)
+{
+    ModeTransitionMonitor m(1, 20.0);
+    std::vector<int> notified;
+    m.setNotify([&](int core) { notified.push_back(core); });
+
+    m.onHardIrq(0);
+    m.onPollProcessed(0, 16, 0);
+    EXPECT_TRUE(notified.empty()); // interrupt-mode packets don't count
+    m.onPollProcessed(0, 0, 16);
+    EXPECT_TRUE(notified.empty()); // 16 <= 20
+    m.onPollProcessed(0, 0, 16);   // session total 32 > 20
+    ASSERT_EQ(notified.size(), 1u);
+    EXPECT_EQ(notified[0], 0);
+}
+
+TEST(MonitorTest, NotifiesAtMostOncePerSession)
+{
+    ModeTransitionMonitor m(1, 10.0);
+    int notifications = 0;
+    m.setNotify([&](int) { ++notifications; });
+    m.onHardIrq(0);
+    m.onPollProcessed(0, 0, 50);
+    m.onPollProcessed(0, 0, 50);
+    m.onPollProcessed(0, 0, 50);
+    EXPECT_EQ(notifications, 1);
+    EXPECT_EQ(m.notificationsSent(), 1u);
+}
+
+TEST(MonitorTest, NewSessionResetsSessionCounter)
+{
+    ModeTransitionMonitor m(1, 30.0);
+    int notifications = 0;
+    m.setNotify([&](int) { ++notifications; });
+    m.onHardIrq(0);
+    m.onPollProcessed(0, 0, 25);
+    m.onHardIrq(0); // new interrupt: new session
+    m.onPollProcessed(0, 0, 25);
+    EXPECT_EQ(notifications, 0);
+    EXPECT_EQ(m.sessionPollCount(0), 25u);
+
+    m.onPollProcessed(0, 0, 25); // 50 > 30 within one session
+    EXPECT_EQ(notifications, 1);
+}
+
+TEST(MonitorTest, NotifiesAgainInLaterSession)
+{
+    ModeTransitionMonitor m(1, 10.0);
+    int notifications = 0;
+    m.setNotify([&](int) { ++notifications; });
+    m.onHardIrq(0);
+    m.onPollProcessed(0, 0, 20);
+    m.onHardIrq(0);
+    m.onPollProcessed(0, 0, 20);
+    EXPECT_EQ(notifications, 2);
+}
+
+TEST(MonitorTest, PerCoreIndependence)
+{
+    ModeTransitionMonitor m(2, 10.0);
+    std::vector<int> notified;
+    m.setNotify([&](int core) { notified.push_back(core); });
+    m.onHardIrq(0);
+    m.onHardIrq(1);
+    m.onPollProcessed(1, 0, 50);
+    ASSERT_EQ(notified.size(), 1u);
+    EXPECT_EQ(notified[0], 1);
+    EXPECT_EQ(m.sessionPollCount(0), 0u);
+}
+
+TEST(MonitorTest, ThresholdAdjustable)
+{
+    ModeTransitionMonitor m(1, 1000.0);
+    int notifications = 0;
+    m.setNotify([&](int) { ++notifications; });
+    m.onHardIrq(0);
+    m.onPollProcessed(0, 0, 100);
+    EXPECT_EQ(notifications, 0);
+    m.setNiThreshold(50.0);
+    m.onPollProcessed(0, 0, 1);
+    EXPECT_EQ(notifications, 1);
+    EXPECT_DOUBLE_EQ(m.niThreshold(), 50.0);
+}
+
+TEST(MonitorTest, ZeroCoresIsFatal)
+{
+    EXPECT_THROW(ModeTransitionMonitor(0, 1.0), FatalError);
+}
+
+} // namespace
+} // namespace nmapsim

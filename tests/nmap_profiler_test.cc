@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the offline threshold profiler (Section 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nmap/profiler.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(ProfilerTest, InactiveUntilBurstBegins)
+{
+    ThresholdProfiler p(1);
+    p.onHardIrq(0);
+    p.onPollProcessed(0, 10, 100);
+    EXPECT_EQ(p.sessionsObserved(), 0u);
+    EXPECT_DOUBLE_EQ(p.niThreshold(), 1.0);
+}
+
+TEST(ProfilerTest, NiThresholdFromSessionPollCounts)
+{
+    ThresholdProfiler p(1, 100, 1.0, /*ni_quantile=*/1.0);
+    p.beginBurst();
+    // Three sessions with polling counts 10, 40, 20.
+    for (std::uint32_t polls : {10u, 40u, 20u}) {
+        p.onHardIrq(0);
+        p.onPollProcessed(0, 5, polls);
+    }
+    p.endBurst();
+    EXPECT_EQ(p.sessionsObserved(), 3u);
+    // Max quantile -> NI_TH is the max session polling count.
+    EXPECT_DOUBLE_EQ(p.niThreshold(), 40.0);
+}
+
+TEST(ProfilerTest, QuantileTrimsOutliers)
+{
+    ThresholdProfiler p(1, 100, 1.0, /*ni_quantile=*/0.5);
+    p.beginBurst();
+    for (std::uint32_t polls : {10u, 20u, 30u, 40u, 1000u}) {
+        p.onHardIrq(0);
+        p.onPollProcessed(0, 1, polls);
+    }
+    p.endBurst();
+    EXPECT_DOUBLE_EQ(p.niThreshold(), 30.0); // median
+}
+
+TEST(ProfilerTest, OnlyEarlySessionsCount)
+{
+    // Observe only the first 2 sessions (the burst's early part).
+    ThresholdProfiler p(1, 2, 1.0, 1.0);
+    p.beginBurst();
+    for (std::uint32_t polls : {10u, 20u, 500u}) {
+        p.onHardIrq(0);
+        p.onPollProcessed(0, 1, polls);
+    }
+    p.endBurst();
+    EXPECT_DOUBLE_EQ(p.niThreshold(), 20.0);
+}
+
+TEST(ProfilerTest, CuThresholdIsScaledAverageRatio)
+{
+    ThresholdProfiler p(1, 100, /*cu_margin=*/0.5);
+    p.beginBurst();
+    p.onHardIrq(0);
+    p.onPollProcessed(0, 10, 40); // ratio 4
+    p.endBurst();
+    EXPECT_DOUBLE_EQ(p.cuThreshold(), 2.0);
+}
+
+TEST(ProfilerTest, CuThresholdHasFloor)
+{
+    ThresholdProfiler p(1);
+    p.beginBurst();
+    p.onHardIrq(0);
+    p.onPollProcessed(0, 100, 0); // ratio 0
+    p.endBurst();
+    EXPECT_GE(p.cuThreshold(), 0.05);
+}
+
+TEST(ProfilerTest, NiThresholdHasFloor)
+{
+    ThresholdProfiler p(1);
+    p.beginBurst();
+    p.onHardIrq(0);
+    p.onPollProcessed(0, 5, 0);
+    p.endBurst();
+    EXPECT_GE(p.niThreshold(), 1.0);
+}
+
+TEST(ProfilerTest, EndBurstClosesOpenSessions)
+{
+    ThresholdProfiler p(2, 100, 1.0, 1.0);
+    p.beginBurst();
+    p.onHardIrq(0);
+    p.onPollProcessed(0, 0, 33);
+    p.onHardIrq(1);
+    p.onPollProcessed(1, 0, 11);
+    p.endBurst(); // both sessions still open
+    EXPECT_EQ(p.sessionsObserved(), 2u);
+    EXPECT_DOUBLE_EQ(p.niThreshold(), 33.0);
+}
+
+TEST(ProfilerTest, InvalidArgumentsAreFatal)
+{
+    EXPECT_THROW(ThresholdProfiler(0), FatalError);
+    EXPECT_THROW(ThresholdProfiler(1, 0), FatalError);
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * End-to-end reproduction checks of the paper's headline claims, run
+ * at reduced duration so the suite stays fast. The full-length numbers
+ * live in the bench/ binaries; these tests pin the *orderings* the
+ * paper reports so a regression in any module trips them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace nmapsim {
+namespace {
+
+ExperimentResult
+run(FreqPolicy policy, LoadLevel load,
+    AppProfile app = AppProfile::memcached(),
+    IdlePolicy idle = IdlePolicy::kMenu)
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.freqPolicy = policy;
+    cfg.idlePolicy = idle;
+    cfg.load = load;
+    cfg.warmup = milliseconds(100);
+    cfg.duration = milliseconds(600);
+    cfg.seed = 42;
+    // Memcached thresholds from the Section 4.2 profiling pass, frozen
+    // here to keep the suite deterministic and fast.
+    cfg.nmap.niThreshold = 13.0;
+    cfg.nmap.cuThreshold = 0.49;
+    return Experiment(cfg).run();
+}
+
+TEST(PaperClaims, PerformanceMeetsSloAtAllLoads)
+{
+    // Section 3.1/6.2: the performance governor always satisfies the
+    // SLO (it is the latency-optimal baseline).
+    for (LoadLevel l :
+         {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
+        ExperimentResult r = run(FreqPolicy::kPerformance, l);
+        EXPECT_LE(r.p99, r.slo) << loadLevelName(l);
+    }
+}
+
+TEST(PaperClaims, OndemandViolatesSloAtMedAndHigh)
+{
+    // Section 6.2: CPU-utilisation governors violate the SLO at medium
+    // and high loads (paper: up to 7.4x for memcached).
+    ExperimentResult med = run(FreqPolicy::kOndemand, LoadLevel::kMed);
+    ExperimentResult high =
+        run(FreqPolicy::kOndemand, LoadLevel::kHigh);
+    EXPECT_GT(med.p99, med.slo * 2);
+    EXPECT_GT(high.p99, high.slo * 4);
+}
+
+TEST(PaperClaims, IntelPowersaveWorseThanOndemand)
+{
+    // Section 6.2: intel_powersave shows even longer P99 than ondemand
+    // (13.1x vs 7.4x for memcached).
+    ExperimentResult ip =
+        run(FreqPolicy::kIntelPowersave, LoadLevel::kHigh);
+    ExperimentResult od = run(FreqPolicy::kOndemand, LoadLevel::kHigh);
+    EXPECT_GT(ip.p99, od.p99);
+}
+
+TEST(PaperClaims, NmapMeetsSloAtAllLoads)
+{
+    // The headline: NMAP never violates the SLO.
+    for (LoadLevel l :
+         {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
+        ExperimentResult r = run(FreqPolicy::kNmap, l);
+        EXPECT_LE(r.p99, r.slo * 11 / 10) << loadLevelName(l);
+        EXPECT_LT(r.fracOverSlo, 0.02) << loadLevelName(l);
+    }
+}
+
+TEST(PaperClaims, NmapSimplFailsOnlyAtHighLoad)
+{
+    // Section 6.2: NMAP-simpl satisfies the SLO at low and medium but
+    // reacting on ksoftirqd alone is too slow/unstable at high load.
+    ExperimentResult low = run(FreqPolicy::kNmapSimpl, LoadLevel::kLow);
+    ExperimentResult med = run(FreqPolicy::kNmapSimpl, LoadLevel::kMed);
+    ExperimentResult high =
+        run(FreqPolicy::kNmapSimpl, LoadLevel::kHigh);
+    EXPECT_LE(low.p99, low.slo);
+    EXPECT_LE(med.p99, med.slo * 23 / 20);
+    EXPECT_GT(high.p99, high.slo * 2);
+}
+
+TEST(PaperClaims, NmapSavesEnergyVersusPerformance)
+{
+    // Fig. 13: NMAP reduces energy at every load, most at low load.
+    double savings[3];
+    int i = 0;
+    for (LoadLevel l :
+         {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
+        ExperimentResult nmap = run(FreqPolicy::kNmap, l);
+        ExperimentResult perf = run(FreqPolicy::kPerformance, l);
+        savings[i] = 1.0 - nmap.energyJoules / perf.energyJoules;
+        EXPECT_GT(savings[i], 0.0) << loadLevelName(l);
+        ++i;
+    }
+    // Savings shrink as load grows (35.7% -> 9.1% in the paper).
+    EXPECT_GT(savings[0], savings[2]);
+}
+
+TEST(PaperClaims, NmapCheaperThanNcap)
+{
+    // Fig. 15: NMAP reduces energy vs NCAP at every load (per-core
+    // DVFS + no sleep-state disable).
+    for (LoadLevel l :
+         {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
+        ExperimentResult nmap = run(FreqPolicy::kNmap, l);
+        ExperimentResult ncap = run(FreqPolicy::kNcap, l);
+        EXPECT_LT(nmap.energyJoules, ncap.energyJoules)
+            << loadLevelName(l);
+        // NCAP (tuned) also meets the SLO.
+        EXPECT_LE(ncap.p99, ncap.slo * 11 / 10) << loadLevelName(l);
+    }
+}
+
+TEST(PaperClaims, NcapVariantsSimilarLatency)
+{
+    // Fig. 14: NCAP and NCAP-menu show no notable P99 difference.
+    ExperimentResult a = run(FreqPolicy::kNcap, LoadLevel::kHigh);
+    ExperimentResult b = run(FreqPolicy::kNcapMenu, LoadLevel::kHigh);
+    EXPECT_LT(std::abs(toMicroseconds(a.p99) - toMicroseconds(b.p99)),
+              0.35 * toMicroseconds(a.p99));
+}
+
+TEST(PaperClaims, SleepPoliciesBarelyMoveTailLatency)
+{
+    // Fig. 8 / Section 5.2: menu vs disable vs c6only P99 within noise
+    // at a 1 ms SLO.
+    ExperimentResult menu = run(FreqPolicy::kPerformance,
+                                LoadLevel::kHigh,
+                                AppProfile::memcached(),
+                                IdlePolicy::kMenu);
+    ExperimentResult dis = run(FreqPolicy::kPerformance,
+                               LoadLevel::kHigh,
+                               AppProfile::memcached(),
+                               IdlePolicy::kDisable);
+    ExperimentResult c6 = run(FreqPolicy::kPerformance,
+                              LoadLevel::kHigh,
+                              AppProfile::memcached(),
+                              IdlePolicy::kC6Only);
+    EXPECT_LT(toMicroseconds(dis.p99 - menu.p99),
+              0.2 * toMicroseconds(menu.p99));
+    EXPECT_LT(toMicroseconds(c6.p99 - menu.p99),
+              0.2 * toMicroseconds(menu.p99));
+}
+
+TEST(PaperClaims, SleepPoliciesMoveEnergyALot)
+{
+    // Fig. 8: disable costs much more energy than menu; c6only saves.
+    ExperimentResult menu = run(FreqPolicy::kPerformance,
+                                LoadLevel::kMed,
+                                AppProfile::memcached(),
+                                IdlePolicy::kMenu);
+    ExperimentResult dis = run(FreqPolicy::kPerformance,
+                               LoadLevel::kMed,
+                               AppProfile::memcached(),
+                               IdlePolicy::kDisable);
+    ExperimentResult c6 = run(FreqPolicy::kPerformance,
+                              LoadLevel::kMed,
+                              AppProfile::memcached(),
+                              IdlePolicy::kC6Only);
+    EXPECT_GT(dis.energyJoules, menu.energyJoules * 1.3);
+    EXPECT_LT(c6.energyJoules, menu.energyJoules);
+}
+
+TEST(PaperClaims, PollingRatioGrowsWithLoad)
+{
+    // Section 3.1: the polling-to-interrupt ratio rises with load —
+    // the signal NMAP is built on.
+    ExperimentResult low = run(FreqPolicy::kPerformance,
+                               LoadLevel::kLow);
+    ExperimentResult high =
+        run(FreqPolicy::kPerformance, LoadLevel::kHigh);
+    double ratio_low = static_cast<double>(low.pktsPollMode) /
+                       static_cast<double>(low.pktsIntrMode);
+    double ratio_high = static_cast<double>(high.pktsPollMode) /
+                        static_cast<double>(high.pktsIntrMode);
+    EXPECT_GT(ratio_high, ratio_low * 1.5);
+}
+
+TEST(PaperClaims, KsoftirqdActivityGrowsWithLoad)
+{
+    ExperimentResult low = run(FreqPolicy::kPerformance,
+                               LoadLevel::kLow);
+    ExperimentResult high =
+        run(FreqPolicy::kPerformance, LoadLevel::kHigh);
+    EXPECT_GT(high.ksoftirqdWakes, low.ksoftirqdWakes * 5);
+}
+
+TEST(PaperClaims, NginxOrderingsReproduce)
+{
+    // The nginx columns of Fig. 12/14: performance and NMAP compliant
+    // at high load, ondemand violating, NMAP-simpl in between.
+    AppProfile ng = AppProfile::nginx();
+    ExperimentResult perf =
+        run(FreqPolicy::kPerformance, LoadLevel::kHigh, ng);
+    ExperimentResult od =
+        run(FreqPolicy::kOndemand, LoadLevel::kHigh, ng);
+    // nginx profiling differs from the frozen memcached thresholds;
+    // profile properly for the NMAP row.
+    ExperimentConfig cfg;
+    cfg.app = ng;
+    cfg.freqPolicy = FreqPolicy::kNmap;
+    cfg.load = LoadLevel::kHigh;
+    cfg.warmup = milliseconds(100);
+    cfg.duration = milliseconds(600);
+    ExperimentResult nmap = Experiment(cfg).run();
+
+    EXPECT_LE(perf.p99, perf.slo);
+    EXPECT_GT(od.p99, od.slo);
+    EXPECT_LE(nmap.p99, nmap.slo);
+    EXPECT_LT(nmap.energyJoules, perf.energyJoules);
+}
+
+TEST(PaperClaims, AdaptiveNmapMeetsSloWithoutProfiling)
+{
+    // Extension: the online-threshold variant must hold the paper's
+    // headline property with no offline profiling pass at all.
+    for (LoadLevel l : {LoadLevel::kMed, LoadLevel::kHigh}) {
+        ExperimentResult r = run(FreqPolicy::kNmapAdaptive, l);
+        EXPECT_LE(r.p99, r.slo * 11 / 10) << loadLevelName(l);
+    }
+}
+
+TEST(PaperClaims, NmapMakesFewTransitions)
+{
+    // NMAP's design goal: react fast *without* repetitive V/F
+    // transitions (which would hit the ~520 us re-transition latency).
+    ExperimentResult nmap = run(FreqPolicy::kNmap, LoadLevel::kHigh);
+    ExperimentResult simpl =
+        run(FreqPolicy::kNmapSimpl, LoadLevel::kHigh);
+    EXPECT_LT(nmap.pstateTransitions, simpl.pstateTransitions / 2);
+}
+
+} // namespace
+} // namespace nmapsim

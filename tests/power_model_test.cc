@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit and property tests for the analytic power models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "cpu/package_power.hh"
+#include "cpu/power_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    const CpuProfile &profile_ = CpuProfile::xeonGold6134();
+    CorePowerModel model_{profile_.power};
+
+    const PState &p0() { return profile_.pstates.state(0); }
+    const PState &
+    pmin()
+    {
+        return profile_.pstates.state(
+            static_cast<std::size_t>(profile_.pstates.maxIndex()));
+    }
+};
+
+TEST_F(PowerModelTest, BusyExceedsIdleExceedsSleep)
+{
+    double busy = model_.power(CState::kC0, true, false, p0());
+    double idle = model_.power(CState::kC0, false, false, p0());
+    double c1 = model_.power(CState::kC1, false, false, p0());
+    double c6 = model_.power(CState::kC6, false, false, p0());
+    EXPECT_GT(busy, idle);
+    EXPECT_GT(idle, c1);
+    EXPECT_GT(c1, c6);
+    EXPECT_GT(c6, 0.0);
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInPState)
+{
+    // Busy power strictly decreases from P0 to Pmin.
+    double prev = 1e9;
+    for (std::size_t i = 0; i < profile_.pstates.numStates(); ++i) {
+        double w = model_.power(CState::kC0, true, false,
+                                profile_.pstates.state(i));
+        EXPECT_LT(w, prev);
+        prev = w;
+    }
+}
+
+TEST_F(PowerModelTest, VoltageSquaredScaling)
+{
+    // Dynamic component scales with V^2 f: busy delta between P0 and
+    // Pmin should exceed the frequency ratio alone.
+    double hi = model_.power(CState::kC0, true, false, p0());
+    double lo = model_.power(CState::kC0, true, false, pmin());
+    double freq_ratio = p0().freqHz / pmin().freqHz;
+    EXPECT_GT(hi / lo, freq_ratio * 0.9);
+}
+
+TEST_F(PowerModelTest, WakingDrawsLeakageOnly)
+{
+    double waking = model_.power(CState::kC0, true, true, p0());
+    double c1 = model_.power(CState::kC1, false, false, p0());
+    EXPECT_DOUBLE_EQ(waking, c1);
+}
+
+TEST_F(PowerModelTest, C6IndependentOfPState)
+{
+    EXPECT_DOUBLE_EQ(model_.power(CState::kC6, false, false, p0()),
+                     model_.power(CState::kC6, false, false, pmin()));
+}
+
+TEST(CoreEnergyTest, BusyCoreAccumulatesMoreEnergy)
+{
+    const CpuProfile &profile = CpuProfile::xeonGold6134();
+    EventQueue eq;
+    Rng rng(1);
+    Core busy(0, eq, profile, rng);
+    Core idle(1, eq, profile, rng);
+    busy.setBusy(true);
+
+    // Advance simulated time with a dummy event.
+    EventFunctionWrapper done([] {}, "done");
+    eq.schedule(&done, seconds(1));
+    eq.runAll();
+
+    EXPECT_GT(busy.meter().energyJoules(eq.now()),
+              idle.meter().energyJoules(eq.now()));
+}
+
+TEST(CoreEnergyTest, LowerPStateUsesLessEnergy)
+{
+    const CpuProfile &profile = CpuProfile::xeonGold6134();
+    EventQueue eq;
+    Rng rng(1);
+    Core fast(0, eq, profile, rng);
+    Core slow(1, eq, profile, rng);
+    fast.setBusy(true);
+    slow.setBusy(true);
+    slow.dvfs().requestPState(profile.pstates.maxIndex());
+
+    EventFunctionWrapper done([] {}, "done");
+    eq.schedule(&done, seconds(1));
+    eq.runAll();
+
+    EXPECT_GT(fast.meter().energyJoules(eq.now()),
+              slow.meter().energyJoules(eq.now()) * 2.0);
+}
+
+TEST(PackagePowerTest, TracksMeanVoltage)
+{
+    const CpuProfile &profile = CpuProfile::xeonGold6134();
+    EventQueue eq;
+    Rng rng(1);
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<Core *> ptrs;
+    for (int i = 0; i < 2; ++i) {
+        cores.push_back(std::make_unique<Core>(i, eq, profile, rng));
+        ptrs.push_back(cores.back().get());
+    }
+    PackagePower pkg(eq, ptrs);
+    double at_p0 = pkg.watts();
+
+    for (Core *c : ptrs)
+        c->dvfs().requestPState(profile.pstates.maxIndex());
+    eq.runAll();
+    double at_pmin = pkg.watts();
+
+    EXPECT_GT(at_p0, at_pmin);
+    double vmax = profile.pstates.state(0).voltage;
+    double vmin =
+        profile.pstates
+            .state(static_cast<std::size_t>(profile.pstates.maxIndex()))
+            .voltage;
+    EXPECT_NEAR(at_p0 - at_pmin,
+                profile.power.uncoreVoltCoeff * (vmax - vmin), 1e-9);
+}
+
+TEST(PackagePowerTest, MixedVoltagesAverage)
+{
+    const CpuProfile &profile = CpuProfile::xeonGold6134();
+    EventQueue eq;
+    Rng rng(1);
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<Core *> ptrs;
+    for (int i = 0; i < 2; ++i) {
+        cores.push_back(std::make_unique<Core>(i, eq, profile, rng));
+        ptrs.push_back(cores.back().get());
+    }
+    PackagePower pkg(eq, ptrs);
+    double both_p0 = pkg.watts();
+    ptrs[0]->dvfs().requestPState(profile.pstates.maxIndex());
+    eq.runAll();
+    double mixed = pkg.watts();
+
+    ptrs[1]->dvfs().requestPState(profile.pstates.maxIndex());
+    eq.runAll();
+    double both_pmin = pkg.watts();
+
+    EXPECT_NEAR(mixed, (both_p0 + both_pmin) / 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parameterised property tests: invariants that must hold across the
+ * whole configuration space (policies x loads x seeds), exercised with
+ * TEST_P sweeps on the full end-to-end rig.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.hh"
+
+namespace nmapsim {
+namespace {
+
+using PolicyLoadSeed = std::tuple<FreqPolicy, LoadLevel, unsigned>;
+
+class RigInvariants
+    : public ::testing::TestWithParam<PolicyLoadSeed>
+{
+  protected:
+    ExperimentResult
+    runShort()
+    {
+        auto [policy, load, seed] = GetParam();
+        ExperimentConfig cfg;
+        cfg.app = AppProfile::memcached();
+        cfg.freqPolicy = policy;
+        cfg.load = load;
+        cfg.seed = seed;
+        cfg.warmup = milliseconds(50);
+        cfg.duration = milliseconds(200);
+        // Fixed NMAP thresholds keep the sweep cheap (no profiling
+        // sub-run per case).
+        cfg.nmap.niThreshold = 14.0;
+        cfg.nmap.cuThreshold = 0.5;
+        return Experiment(cfg).run();
+    }
+};
+
+TEST_P(RigInvariants, ConservationAndSanity)
+{
+    ExperimentResult r = runShort();
+
+    // Packet conservation: no drops, nearly everything answered.
+    // Exception: powersave pins Pmin, which genuinely cannot sustain
+    // the high load — its backlog grows without bound by design.
+    auto [policy, load, seed] = GetParam();
+    EXPECT_EQ(r.nicDrops, 0u);
+    EXPECT_GE(r.requestsSent, r.responsesReceived);
+    if (!(policy == FreqPolicy::kPowersave && load == LoadLevel::kHigh))
+        EXPECT_GT(r.responsesReceived, r.requestsSent * 9 / 10);
+
+    // Latency is physical: at least one wire round trip.
+    EXPECT_GE(r.p50, microseconds(10));
+    EXPECT_GE(r.p99, r.p50);
+    EXPECT_GE(r.maxLatency, r.p99);
+    EXPECT_GE(r.meanLatency, 0.0);
+
+    // Energy and power are positive and bounded by the package's
+    // physical envelope (8 cores x ~11 W + uncore).
+    EXPECT_GT(r.energyJoules, 0.0);
+    EXPECT_GT(r.avgPowerWatts, 1.0);
+    EXPECT_LT(r.avgPowerWatts, 120.0);
+
+    // Busy fraction is a fraction.
+    EXPECT_GE(r.busyFraction, 0.0);
+    EXPECT_LE(r.busyFraction, 1.0);
+
+    // Mode counters only move when traffic exists.
+    EXPECT_GT(r.pktsIntrMode + r.pktsPollMode, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, RigInvariants,
+    ::testing::Combine(
+        ::testing::Values(FreqPolicy::kPerformance,
+                          FreqPolicy::kPowersave, FreqPolicy::kOndemand,
+                          FreqPolicy::kConservative,
+                          FreqPolicy::kIntelPowersave, FreqPolicy::kNmap,
+                          FreqPolicy::kNmapSimpl,
+                          FreqPolicy::kNmapAdaptive,
+                          FreqPolicy::kNmapChipWide, FreqPolicy::kNcap,
+                          FreqPolicy::kNcapMenu, FreqPolicy::kParties),
+        ::testing::Values(LoadLevel::kLow, LoadLevel::kHigh),
+        ::testing::Values(3u)),
+    [](const ::testing::TestParamInfo<PolicyLoadSeed> &info) {
+        std::string name =
+            std::string(freqPolicyName(std::get<0>(info.param))) + "_" +
+            loadLevelName(std::get<1>(info.param)) + "_s" +
+            std::to_string(std::get<2>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+class IdleInvariants : public ::testing::TestWithParam<IdlePolicy>
+{
+};
+
+TEST_P(IdleInvariants, SleepPolicyKeepsSloMachineryIntact)
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.freqPolicy = FreqPolicy::kPerformance;
+    cfg.idlePolicy = GetParam();
+    cfg.load = LoadLevel::kMed;
+    cfg.warmup = milliseconds(50);
+    cfg.duration = milliseconds(200);
+    ExperimentResult r = Experiment(cfg).run();
+
+    EXPECT_EQ(r.nicDrops, 0u);
+    EXPECT_GT(r.responsesReceived, 0u);
+    // Section 5.2: sleep policy choices do not blow up tail latency at
+    // millisecond SLOs.
+    EXPECT_LT(r.p99, 4 * cfg.app.slo);
+
+    if (GetParam() == IdlePolicy::kDisable) {
+        EXPECT_EQ(r.cc6Wakes, 0u);
+        EXPECT_EQ(r.cc1Wakes, 0u);
+    }
+    if (GetParam() == IdlePolicy::kC6Only) {
+        EXPECT_EQ(r.cc1Wakes, 0u);
+        EXPECT_GT(r.cc6Wakes, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SleepSweep, IdleInvariants,
+    ::testing::Values(IdlePolicy::kMenu, IdlePolicy::kDisable,
+                      IdlePolicy::kC6Only, IdlePolicy::kTeo),
+    [](const ::testing::TestParamInfo<IdlePolicy> &info) {
+        return std::string(idlePolicyName(info.param));
+    });
+
+class SeedStability : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SeedStability, NmapMeetsSloAtHighLoadAcrossSeeds)
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.freqPolicy = FreqPolicy::kNmap;
+    cfg.load = LoadLevel::kHigh;
+    cfg.seed = GetParam();
+    cfg.warmup = milliseconds(100);
+    cfg.duration = milliseconds(400);
+    cfg.nmap.niThreshold = 14.0;
+    cfg.nmap.cuThreshold = 0.5;
+    ExperimentResult r = Experiment(cfg).run();
+    // The paper's headline: NMAP keeps P99 near the SLO at high load
+    // (small seed-to-seed jitter allowed).
+    EXPECT_LT(r.p99, cfg.app.slo * 5 / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedStability,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace nmapsim

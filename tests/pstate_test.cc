@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for P-state tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/pstate.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(PStateTableTest, LinearConstruction)
+{
+    PStateTable t = PStateTable::linear(3.2e9, 1.2e9, 1.2, 0.7, 16);
+    EXPECT_EQ(t.numStates(), 16u);
+    EXPECT_DOUBLE_EQ(t.state(0).freqHz, 3.2e9);
+    EXPECT_DOUBLE_EQ(t.state(15).freqHz, 1.2e9);
+    EXPECT_DOUBLE_EQ(t.state(0).voltage, 1.2);
+    EXPECT_DOUBLE_EQ(t.state(15).voltage, 0.7);
+}
+
+TEST(PStateTableTest, FrequenciesStrictlyDescend)
+{
+    PStateTable t = PStateTable::linear(4.0e9, 0.8e9, 1.25, 0.65, 16);
+    for (std::size_t i = 1; i < t.numStates(); ++i)
+        EXPECT_LT(t.state(i).freqHz, t.state(i - 1).freqHz);
+}
+
+TEST(PStateTableTest, NonDescendingStatesAreFatal)
+{
+    std::vector<PState> bad{{1e9, 1.0}, {2e9, 1.1}};
+    EXPECT_THROW(PStateTable{bad}, FatalError);
+}
+
+TEST(PStateTableTest, EmptyTableIsFatal)
+{
+    EXPECT_THROW(PStateTable{std::vector<PState>{}}, FatalError);
+}
+
+TEST(PStateTableTest, TooFewLinearStatesIsFatal)
+{
+    EXPECT_THROW(PStateTable::linear(2e9, 1e9, 1.0, 0.8, 1), FatalError);
+}
+
+TEST(PStateTableTest, ClampIndex)
+{
+    PStateTable t = PStateTable::linear(3.2e9, 1.2e9, 1.2, 0.7, 16);
+    EXPECT_EQ(t.clampIndex(-3), 0);
+    EXPECT_EQ(t.clampIndex(5), 5);
+    EXPECT_EQ(t.clampIndex(99), 15);
+    EXPECT_EQ(t.maxIndex(), 15);
+}
+
+TEST(PStateTableTest, IndexForFreqPicksSlowestSufficientState)
+{
+    PStateTable t = PStateTable::linear(3.2e9, 1.2e9, 1.2, 0.7, 16);
+    // Exactly P0.
+    EXPECT_EQ(t.indexForFreq(3.2e9), 0);
+    // Slightly below P15: P15 does not satisfy, so slowest >= freq.
+    int idx = t.indexForFreq(1.25e9);
+    EXPECT_GE(t.state(static_cast<std::size_t>(idx)).freqHz, 1.25e9);
+    EXPECT_LT(idx, t.maxIndex() + 1);
+    // Demand below the table minimum maps to Pmin.
+    EXPECT_EQ(t.indexForFreq(0.1e9), t.maxIndex());
+    // Demand above the table maximum maps to P0.
+    EXPECT_EQ(t.indexForFreq(9e9), 0);
+}
+
+TEST(PStateTableTest, IndexForUtilOndemandRule)
+{
+    PStateTable t = PStateTable::linear(3.2e9, 1.2e9, 1.2, 0.7, 16);
+    // util above up_threshold jumps to P0.
+    EXPECT_EQ(t.indexForUtil(0.95, 0.8), 0);
+    EXPECT_EQ(t.indexForUtil(0.80, 0.8), 0);
+    // Zero utilisation gives the slowest state.
+    EXPECT_EQ(t.indexForUtil(0.0, 0.8), t.maxIndex());
+    // Mid utilisation gives a state whose frequency covers
+    // util/up_threshold of fmax.
+    int idx = t.indexForUtil(0.5, 0.8);
+    EXPECT_GE(t.state(static_cast<std::size_t>(idx)).freqHz,
+              3.2e9 * 0.5 / 0.8 - 1.0);
+}
+
+TEST(PStateTableTest, IndexForUtilMonotone)
+{
+    PStateTable t = PStateTable::linear(3.2e9, 1.2e9, 1.2, 0.7, 16);
+    int prev = t.maxIndex();
+    for (double util = 0.0; util <= 1.0; util += 0.05) {
+        int idx = t.indexForUtil(util, 0.8);
+        EXPECT_LE(idx, prev); // higher util never picks a slower state
+        prev = idx;
+    }
+}
+
+} // namespace
+} // namespace nmapsim

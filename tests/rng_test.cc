@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds)
+{
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::int64_t v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, NormalMeanAndStdev)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, TruncatedNormalRespectsFloor)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.truncatedNormal(1.0, 5.0, 0.5), 0.5);
+}
+
+TEST(RngTest, LognormalMeanMatchesFormula)
+{
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)
+    Rng rng(19);
+    double mu = std::log(1000.0);
+    double sigma = 0.5;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormal(mu, sigma);
+    double expected = std::exp(mu + sigma * sigma / 2.0);
+    EXPECT_NEAR(sum / n / expected, 1.0, 0.02);
+}
+
+TEST(RngTest, GeometricMeanMatches)
+{
+    Rng rng(23);
+    double p = 1.0 / 16.0;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        auto v = rng.geometric(p);
+        EXPECT_GE(v, 1);
+        sum += static_cast<double>(v);
+    }
+    EXPECT_NEAR(sum / n, 16.0, 0.5);
+}
+
+TEST(RngTest, GeometricWithCertaintyIsOne)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 1);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng parent(41);
+    Rng child = parent.fork();
+    // The child stream must differ from the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic)
+{
+    Rng a(99);
+    Rng b(99);
+    Rng ca = a.fork();
+    Rng cb = b.fork();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+} // namespace
+} // namespace nmapsim

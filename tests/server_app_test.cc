@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the server application wired into the OS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "net/nic.hh"
+#include "net/wire.hh"
+#include "os/server_os.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workload/server_app.hh"
+
+namespace nmapsim {
+namespace {
+
+class ServerAppTest : public ::testing::Test
+{
+  protected:
+    ServerAppTest()
+    {
+        for (int i = 0; i < 2; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                i, eq_, CpuProfile::xeonGold6134(), rng_));
+            ptrs_.push_back(cores_.back().get());
+        }
+        nic_config_.numQueues = 2;
+        nic_ = std::make_unique<Nic>(eq_, nic_config_);
+        tx_ = std::make_unique<Wire>(eq_, 10e9, microseconds(5));
+        tx_->setSink(
+            [this](const Packet &p) { responses_.push_back(p); });
+        nic_->setTxWire(tx_.get());
+        os_ = std::make_unique<ServerOs>(ptrs_, *nic_, OsConfig{});
+        app_ = std::make_unique<ServerApp>(
+            *os_, *nic_, AppProfile::memcached(), rng_.fork());
+        os_->start();
+    }
+
+    void
+    sendRequest(std::uint32_t flow, std::uint64_t id)
+    {
+        Packet p;
+        p.requestId = id;
+        p.kind = Packet::Kind::kRequest;
+        p.flowHash = flow;
+        p.sizeBytes = 128;
+        p.sendTime = eq_.now();
+        nic_->receive(p);
+    }
+
+    EventQueue eq_;
+    Rng rng_{33};
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> ptrs_;
+    NicConfig nic_config_;
+    std::unique_ptr<Nic> nic_;
+    std::unique_ptr<Wire> tx_;
+    std::unique_ptr<ServerOs> os_;
+    std::unique_ptr<ServerApp> app_;
+    std::vector<Packet> responses_;
+};
+
+TEST_F(ServerAppTest, RequestProducesResponse)
+{
+    sendRequest(0, 42);
+    eq_.runUntil(milliseconds(1));
+    ASSERT_EQ(responses_.size(), 1u);
+    EXPECT_EQ(responses_[0].requestId, 42u);
+    EXPECT_EQ(responses_[0].kind, Packet::Kind::kResponse);
+    EXPECT_EQ(app_->requestsCompleted(), 1u);
+    EXPECT_EQ(app_->requestsReceived(), 1u);
+}
+
+TEST_F(ServerAppTest, ResponseEchoesFlowAndTimestamp)
+{
+    EventFunctionWrapper send(
+        [this] { sendRequest(3, 7); }, "send");
+    eq_.schedule(&send, microseconds(100));
+    eq_.runUntil(milliseconds(1));
+    ASSERT_EQ(responses_.size(), 1u);
+    EXPECT_EQ(responses_[0].flowHash, 3u);
+    EXPECT_EQ(responses_[0].sendTime, microseconds(100));
+    EXPECT_EQ(responses_[0].sizeBytes,
+              AppProfile::memcached().responseBytes);
+}
+
+TEST_F(ServerAppTest, AllRequestsConserved)
+{
+    for (std::uint64_t i = 0; i < 200; ++i)
+        sendRequest(static_cast<std::uint32_t>(i % 7), i);
+    eq_.runUntil(milliseconds(20));
+    EXPECT_EQ(app_->requestsReceived(), 200u);
+    EXPECT_EQ(app_->requestsCompleted(), 200u);
+    EXPECT_EQ(responses_.size(), 200u);
+    EXPECT_EQ(app_->totalQueued(), 0u);
+    EXPECT_EQ(nic_->packetsDropped(), 0u);
+}
+
+TEST_F(ServerAppTest, QueuesAreSteeredPerCore)
+{
+    // Flow 0 -> queue 0, flow 1 -> queue 1; the NIC is masked only
+    // while NAPI runs, so check queue assignment via completion.
+    sendRequest(0, 1);
+    sendRequest(1, 2);
+    eq_.runUntil(milliseconds(1));
+    EXPECT_EQ(app_->requestsCompleted(), 2u);
+    // Both cores did work.
+    EXPECT_GT(ptrs_[0]->busyTime(), 0);
+    EXPECT_GT(ptrs_[1]->busyTime(), 0);
+}
+
+TEST_F(ServerAppTest, FifoWithinCore)
+{
+    for (std::uint64_t i = 0; i < 10; ++i)
+        sendRequest(0, i); // all to core 0
+    eq_.runUntil(milliseconds(5));
+    ASSERT_EQ(responses_.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(responses_[i].requestId, i);
+}
+
+} // namespace
+} // namespace nmapsim

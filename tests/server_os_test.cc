@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the ServerOs assembly: RSS queue/core binding,
+ * observer fan-out, deliver routing and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "governors/cpuidle_policies.hh"
+#include "net/nic.hh"
+#include "os/server_os.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+class ServerOsTest : public ::testing::Test
+{
+  protected:
+    ServerOsTest()
+    {
+        for (int i = 0; i < 4; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                i, eq_, CpuProfile::xeonGold6134(), rng_));
+            ptrs_.push_back(cores_.back().get());
+        }
+        nic_config_.numQueues = 4;
+        nic_ = std::make_unique<Nic>(eq_, nic_config_);
+        os_ = std::make_unique<ServerOs>(ptrs_, *nic_, OsConfig{});
+    }
+
+    void
+    sendToFlow(std::uint32_t flow)
+    {
+        Packet p;
+        p.kind = Packet::Kind::kRequest;
+        p.flowHash = flow;
+        p.sizeBytes = 128;
+        nic_->receive(p);
+    }
+
+    EventQueue eq_;
+    Rng rng_{55};
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> ptrs_;
+    NicConfig nic_config_;
+    std::unique_ptr<Nic> nic_;
+    std::unique_ptr<ServerOs> os_;
+};
+
+TEST_F(ServerOsTest, DeliverReportsOwningCore)
+{
+    std::vector<std::pair<int, std::uint32_t>> delivered;
+    os_->setDeliver([&](int core, const Packet &p) {
+        delivered.push_back({core, p.flowHash});
+    });
+    os_->start();
+    sendToFlow(1); // queue 1 -> core 1
+    sendToFlow(6); // queue 2 -> core 2
+    eq_.runUntil(milliseconds(1));
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0].first, 1);
+    EXPECT_EQ(delivered[1].first, 2);
+}
+
+TEST_F(ServerOsTest, ObserversSeeHardIrqAndPolls)
+{
+    struct Recorder : NapiObserver
+    {
+        int irqs = 0;
+        std::uint32_t pkts = 0;
+        void onHardIrq(int) override { ++irqs; }
+        void
+        onPollProcessed(int, std::uint32_t i, std::uint32_t p) override
+        {
+            pkts += i + p;
+        }
+    } rec;
+    os_->addObserver(&rec);
+    os_->start();
+    for (int i = 0; i < 5; ++i)
+        sendToFlow(0);
+    eq_.runUntil(milliseconds(1));
+    EXPECT_GE(rec.irqs, 1);
+    // 5 rx + later tx completions would need a tx wire; rx only here.
+    EXPECT_GE(rec.pkts, 5u);
+}
+
+TEST_F(ServerOsTest, MultipleObserversAllNotified)
+{
+    struct Counter : NapiObserver
+    {
+        int irqs = 0;
+        void onHardIrq(int) override { ++irqs; }
+    } a, b;
+    os_->addObserver(&a);
+    os_->addObserver(&b);
+    os_->start();
+    sendToFlow(3);
+    eq_.runUntil(milliseconds(1));
+    EXPECT_EQ(a.irqs, b.irqs);
+    EXPECT_GE(a.irqs, 1);
+}
+
+TEST_F(ServerOsTest, SharedIdleGovernorAppliesToAllCores)
+{
+    C6OnlyIdleGovernor c6;
+    os_->setIdleGovernor(&c6);
+    os_->start();
+    for (Core *core : ptrs_)
+        EXPECT_EQ(core->cstates().state(), CState::kC6);
+}
+
+TEST_F(ServerOsTest, AccessorsExposePerCoreMachinery)
+{
+    EXPECT_EQ(os_->numCores(), 4);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(&os_->core(i), ptrs_[static_cast<std::size_t>(i)]);
+        EXPECT_FALSE(os_->napi(i).active());
+    }
+}
+
+TEST_F(ServerOsTest, CoreQueueCountMismatchIsFatal)
+{
+    NicConfig wrong;
+    wrong.numQueues = 2; // 4 cores, 2 queues
+    Nic nic(eq_, wrong);
+    EXPECT_THROW(ServerOs(ptrs_, nic, OsConfig{}), FatalError);
+}
+
+TEST_F(ServerOsTest, NoCoresIsFatal)
+{
+    NicConfig cfg;
+    cfg.numQueues = 1;
+    Nic nic(eq_, cfg);
+    std::vector<Core *> none;
+    EXPECT_THROW(ServerOs(none, nic, OsConfig{}), FatalError);
+}
+
+TEST_F(ServerOsTest, CoresProcessIndependently)
+{
+    os_->setDeliver([](int, const Packet &) {});
+    os_->start();
+    // Saturate core 0's queue with a big backlog while core 3 gets a
+    // single packet: core 3 must finish long before core 0 drains.
+    for (int i = 0; i < 500; ++i)
+        sendToFlow(0);
+    sendToFlow(3);
+    eq_.runUntil(milliseconds(1));
+    EXPECT_TRUE(os_->sched(3).idle());
+    EXPECT_GT(os_->napi(0).pktsPollingMode(), 0u);
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the streaming summary statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryTest, SingleSample)
+{
+    SummaryStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+}
+
+TEST(SummaryTest, KnownMoments)
+{
+    SummaryStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, NegativeValues)
+{
+    SummaryStats s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SummaryTest, ResetClearsState)
+{
+    SummaryStats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(SummaryTest, NumericallyStableForLargeOffsets)
+{
+    // Welford should not lose the variance of values around 1e9.
+    SummaryStats s;
+    for (int i = 0; i < 1000; ++i)
+        s.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+    EXPECT_NEAR(s.variance(), 1.0, 0.01);
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the time-series accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/time.hh"
+#include "stats/timeseries.hh"
+
+namespace nmapsim {
+namespace {
+
+TEST(TimeSeriesTest, AccumulatesIntoBuckets)
+{
+    TimeSeries ts(milliseconds(1));
+    ts.add(microseconds(100), 2.0);
+    ts.add(microseconds(900), 3.0);
+    ts.add(milliseconds(1), 7.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(0), 5.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(1), 7.0);
+    EXPECT_DOUBLE_EQ(ts.total(), 12.0);
+}
+
+TEST(TimeSeriesTest, EmptyBucketsReadZero)
+{
+    TimeSeries ts(milliseconds(1));
+    ts.add(milliseconds(5), 1.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(0), 0.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(3), 0.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(5), 1.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(100), 0.0); // past the end
+}
+
+TEST(TimeSeriesTest, AtQueriesByTime)
+{
+    TimeSeries ts(milliseconds(1));
+    ts.add(milliseconds(2.5), 4.0);
+    EXPECT_DOUBLE_EQ(ts.at(milliseconds(2.1)), 4.0);
+    EXPECT_DOUBLE_EQ(ts.at(milliseconds(3.0)), 0.0);
+}
+
+TEST(TimeSeriesTest, StartOffsetShiftsBuckets)
+{
+    TimeSeries ts(milliseconds(1), milliseconds(10));
+    ts.add(milliseconds(10.5), 1.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(0), 1.0);
+    EXPECT_EQ(ts.bucketTime(0), milliseconds(10.5));
+}
+
+TEST(TimeSeriesTest, LevelSeriesFillsForward)
+{
+    TimeSeries ts(milliseconds(1));
+    ts.setLevel(0, 15.0);
+    ts.setLevel(milliseconds(3), 2.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(0), 15.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(1), 15.0); // fill forward
+    EXPECT_DOUBLE_EQ(ts.bucket(2), 15.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(3), 2.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(10), 2.0); // beyond the end holds level
+}
+
+TEST(TimeSeriesTest, LevelOverwrittenWithinBucket)
+{
+    TimeSeries ts(milliseconds(1));
+    ts.setLevel(microseconds(100), 5.0);
+    ts.setLevel(microseconds(800), 9.0);
+    EXPECT_DOUBLE_EQ(ts.bucket(0), 9.0);
+}
+
+TEST(TimeSeriesTest, InvalidBucketWidthIsFatal)
+{
+    EXPECT_THROW(TimeSeries(0), FatalError);
+    EXPECT_THROW(TimeSeries(-5), FatalError);
+}
+
+TEST(EventMarkSeriesTest, RecordsAndCounts)
+{
+    EventMarkSeries marks;
+    marks.mark(10);
+    marks.mark(20);
+    marks.mark(30);
+    EXPECT_EQ(marks.count(), 3u);
+    EXPECT_EQ(marks.countInWindow(10, 30), 2u); // [10, 30)
+    EXPECT_EQ(marks.countInWindow(0, 100), 3u);
+    EXPECT_EQ(marks.countInWindow(31, 100), 0u);
+}
+
+} // namespace
+} // namespace nmapsim

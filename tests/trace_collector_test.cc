@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the TraceCollector (the Fig. 2/7/9 data source).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "harness/trace_collector.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+class TraceCollectorTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq_;
+    Rng rng_{66};
+
+    void
+    advanceTo(Tick t)
+    {
+        EventFunctionWrapper done([] {}, "done");
+        eq_.schedule(&done, t);
+        eq_.runAll();
+    }
+};
+
+TEST_F(TraceCollectorTest, AggregatesPacketsAcrossCores)
+{
+    TraceCollector tc(eq_, 0);
+    tc.onPollProcessed(0, 10, 5);
+    tc.onPollProcessed(3, 7, 2); // different core, same bucket
+    EXPECT_DOUBLE_EQ(tc.intrSeries().at(0), 17.0);
+    EXPECT_DOUBLE_EQ(tc.pollSeries().at(0), 7.0);
+}
+
+TEST_F(TraceCollectorTest, BucketsByTime)
+{
+    TraceCollector tc(eq_, 0, milliseconds(1));
+    tc.onPollProcessed(0, 4, 0);
+    advanceTo(milliseconds(2.5));
+    tc.onPollProcessed(0, 6, 0);
+    EXPECT_DOUBLE_EQ(tc.intrSeries().bucket(0), 4.0);
+    EXPECT_DOUBLE_EQ(tc.intrSeries().bucket(1), 0.0);
+    EXPECT_DOUBLE_EQ(tc.intrSeries().bucket(2), 6.0);
+}
+
+TEST_F(TraceCollectorTest, KsoftirqdMarksOnlyWatchedCore)
+{
+    TraceCollector tc(eq_, 2);
+    tc.onKsoftirqdWake(0);
+    tc.onKsoftirqdWake(2);
+    tc.onKsoftirqdWake(2);
+    EXPECT_EQ(tc.ksoftirqdWakes().count(), 2u);
+}
+
+TEST_F(TraceCollectorTest, PStateTraceFollowsFrequency)
+{
+    Core core(0, eq_, CpuProfile::xeonGold6134(), rng_);
+    TraceCollector tc(eq_, 0, milliseconds(1));
+    tc.attachPStateTrace(core);
+    EXPECT_DOUBLE_EQ(tc.pstateSeries().at(0), 0.0); // boots at P0
+
+    advanceTo(milliseconds(1));
+    core.dvfs().requestPState(15);
+    eq_.runAll();
+    advanceTo(milliseconds(3));
+    // Level series: P15 from the bucket of the change onwards.
+    EXPECT_DOUBLE_EQ(tc.pstateSeries().at(milliseconds(2.5)), 15.0);
+    EXPECT_DOUBLE_EQ(tc.pstateSeries().at(0), 0.0);
+}
+
+TEST_F(TraceCollectorTest, ZeroCountPollsLeaveNoBucketEntry)
+{
+    TraceCollector tc(eq_, 0);
+    tc.onPollProcessed(0, 0, 0); // an empty poll call
+    EXPECT_DOUBLE_EQ(tc.intrSeries().total(), 0.0);
+    EXPECT_DOUBLE_EQ(tc.pollSeries().total(), 0.0);
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the link model (serialisation + propagation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+
+namespace nmapsim {
+namespace {
+
+Packet
+makePacket(std::uint64_t id, std::uint32_t bytes)
+{
+    Packet p;
+    p.requestId = id;
+    p.sizeBytes = bytes;
+    return p;
+}
+
+TEST(WireTest, DeliversAfterSerializationAndPropagation)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, microseconds(5));
+    std::vector<Tick> arrivals;
+    wire.setSink([&](const Packet &) { arrivals.push_back(eq.now()); });
+
+    wire.send(makePacket(1, 1250)); // 1250 B at 10 Gb/s = 1 us
+    eq.runAll();
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_EQ(arrivals[0], microseconds(6));
+}
+
+TEST(WireTest, SerializesBackToBackAtLineRate)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    std::vector<Tick> arrivals;
+    wire.setSink([&](const Packet &) { arrivals.push_back(eq.now()); });
+
+    // A train of 4 packets sent at the same instant leaves the wire
+    // spaced by the serialisation time.
+    for (int i = 0; i < 4; ++i)
+        wire.send(makePacket(static_cast<std::uint64_t>(i), 1250));
+    eq.runAll();
+    ASSERT_EQ(arrivals.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(arrivals[static_cast<std::size_t>(i)],
+                  microseconds(i + 1));
+}
+
+TEST(WireTest, PreservesFifoOrder)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, microseconds(2));
+    std::vector<std::uint64_t> ids;
+    wire.setSink([&](const Packet &p) { ids.push_back(p.requestId); });
+    for (std::uint64_t i = 0; i < 10; ++i)
+        wire.send(makePacket(i, 100));
+    eq.runAll();
+    ASSERT_EQ(ids.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(ids[i], i);
+}
+
+TEST(WireTest, IdleGapResetsPipeline)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    std::vector<Tick> arrivals;
+    wire.setSink([&](const Packet &) { arrivals.push_back(eq.now()); });
+    wire.send(makePacket(1, 1250));
+    eq.runAll();
+    // Second send long after the first: full serialisation again,
+    // starting from the send instant.
+    Tick gap_start = eq.now() + milliseconds(1);
+    EventFunctionWrapper sender(
+        [&] { wire.send(makePacket(2, 1250)); }, "sender");
+    eq.schedule(&sender, gap_start);
+    eq.runAll();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[1], gap_start + microseconds(1));
+}
+
+TEST(WireTest, CountsDeliveredPackets)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    wire.setSink([](const Packet &) {});
+    for (int i = 0; i < 7; ++i)
+        wire.send(makePacket(static_cast<std::uint64_t>(i), 64));
+    eq.runAll();
+    EXPECT_EQ(wire.packetsDelivered(), 7u);
+}
+
+TEST(WireTest, TinyPacketStillTakesTime)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    Tick arrival = -1;
+    wire.setSink([&](const Packet &) { arrival = eq.now(); });
+    wire.send(makePacket(1, 1));
+    eq.runAll();
+    EXPECT_GE(arrival, 1);
+}
+
+} // namespace
+} // namespace nmapsim
