@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chipwide.dir/ablation_chipwide.cpp.o"
+  "CMakeFiles/ablation_chipwide.dir/ablation_chipwide.cpp.o.d"
+  "ablation_chipwide"
+  "ablation_chipwide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chipwide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idle_governors.dir/ablation_idle_governors.cpp.o"
+  "CMakeFiles/ablation_idle_governors.dir/ablation_idle_governors.cpp.o.d"
+  "ablation_idle_governors"
+  "ablation_idle_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retransition.dir/ablation_retransition.cpp.o"
+  "CMakeFiles/ablation_retransition.dir/ablation_retransition.cpp.o.d"
+  "ablation_retransition"
+  "ablation_retransition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retransition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timer_itr.dir/ablation_timer_itr.cpp.o"
+  "CMakeFiles/ablation_timer_itr.dir/ablation_timer_itr.cpp.o.d"
+  "ablation_timer_itr"
+  "ablation_timer_itr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timer_itr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

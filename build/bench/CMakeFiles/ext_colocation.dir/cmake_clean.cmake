@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_colocation.dir/ext_colocation.cpp.o"
+  "CMakeFiles/ext_colocation.dir/ext_colocation.cpp.o.d"
+  "ext_colocation"
+  "ext_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_usec_slo.dir/ext_usec_slo.cpp.o"
+  "CMakeFiles/ext_usec_slo.dir/ext_usec_slo.cpp.o.d"
+  "ext_usec_slo"
+  "ext_usec_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_usec_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_napi_modes.dir/fig02_napi_modes.cpp.o"
+  "CMakeFiles/fig02_napi_modes.dir/fig02_napi_modes.cpp.o.d"
+  "fig02_napi_modes"
+  "fig02_napi_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_napi_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

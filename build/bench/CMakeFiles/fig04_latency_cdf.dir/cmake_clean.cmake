@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_latency_cdf.dir/fig04_latency_cdf.cpp.o"
+  "CMakeFiles/fig04_latency_cdf.dir/fig04_latency_cdf.cpp.o.d"
+  "fig04_latency_cdf"
+  "fig04_latency_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_latency_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cc6_trace.dir/fig07_cc6_trace.cpp.o"
+  "CMakeFiles/fig07_cc6_trace.dir/fig07_cc6_trace.cpp.o.d"
+  "fig07_cc6_trace"
+  "fig07_cc6_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cc6_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sleep_policies.dir/fig08_sleep_policies.cpp.o"
+  "CMakeFiles/fig08_sleep_policies.dir/fig08_sleep_policies.cpp.o.d"
+  "fig08_sleep_policies"
+  "fig08_sleep_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sleep_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

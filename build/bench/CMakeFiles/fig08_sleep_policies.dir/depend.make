@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_sleep_policies.
+# This may be replaced when dependencies are built.

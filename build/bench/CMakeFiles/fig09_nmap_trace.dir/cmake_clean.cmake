@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nmap_trace.dir/fig09_nmap_trace.cpp.o"
+  "CMakeFiles/fig09_nmap_trace.dir/fig09_nmap_trace.cpp.o.d"
+  "fig09_nmap_trace"
+  "fig09_nmap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nmap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nmap_latency_trace.dir/fig10_nmap_latency_trace.cpp.o"
+  "CMakeFiles/fig10_nmap_latency_trace.dir/fig10_nmap_latency_trace.cpp.o.d"
+  "fig10_nmap_latency_trace"
+  "fig10_nmap_latency_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nmap_latency_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_energy_comparison.dir/fig13_energy_comparison.cpp.o"
+  "CMakeFiles/fig13_energy_comparison.dir/fig13_energy_comparison.cpp.o.d"
+  "fig13_energy_comparison"
+  "fig13_energy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_energy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_varying_load.dir/fig16_varying_load.cpp.o"
+  "CMakeFiles/fig16_varying_load.dir/fig16_varying_load.cpp.o.d"
+  "fig16_varying_load"
+  "fig16_varying_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_varying_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

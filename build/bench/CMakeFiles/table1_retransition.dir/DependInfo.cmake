@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_retransition.cpp" "bench/CMakeFiles/table1_retransition.dir/table1_retransition.cpp.o" "gcc" "bench/CMakeFiles/table1_retransition.dir/table1_retransition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/nmapsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nmapsim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmap/CMakeFiles/nmapsim_nmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nmapsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/nmapsim_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/nmapsim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nmapsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nmapsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nmapsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nmapsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

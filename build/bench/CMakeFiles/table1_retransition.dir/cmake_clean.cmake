@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_retransition.dir/table1_retransition.cpp.o"
+  "CMakeFiles/table1_retransition.dir/table1_retransition.cpp.o.d"
+  "table1_retransition"
+  "table1_retransition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_retransition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

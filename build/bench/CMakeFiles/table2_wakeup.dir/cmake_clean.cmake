@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wakeup.dir/table2_wakeup.cpp.o"
+  "CMakeFiles/table2_wakeup.dir/table2_wakeup.cpp.o.d"
+  "table2_wakeup"
+  "table2_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_dvfs_trace.dir/bursty_dvfs_trace.cpp.o"
+  "CMakeFiles/bursty_dvfs_trace.dir/bursty_dvfs_trace.cpp.o.d"
+  "bursty_dvfs_trace"
+  "bursty_dvfs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_dvfs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

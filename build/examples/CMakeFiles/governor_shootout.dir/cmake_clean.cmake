@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_shootout.dir/governor_shootout.cpp.o"
+  "CMakeFiles/governor_shootout.dir/governor_shootout.cpp.o.d"
+  "governor_shootout"
+  "governor_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nginx_server.dir/nginx_server.cpp.o"
+  "CMakeFiles/nginx_server.dir/nginx_server.cpp.o.d"
+  "nginx_server"
+  "nginx_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nginx_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

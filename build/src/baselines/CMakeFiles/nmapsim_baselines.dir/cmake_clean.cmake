@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_baselines.dir/ncap.cc.o"
+  "CMakeFiles/nmapsim_baselines.dir/ncap.cc.o.d"
+  "CMakeFiles/nmapsim_baselines.dir/parties.cc.o"
+  "CMakeFiles/nmapsim_baselines.dir/parties.cc.o.d"
+  "libnmapsim_baselines.a"
+  "libnmapsim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/cpu_profile.cc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/cpu_profile.cc.o" "gcc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/cpu_profile.cc.o.d"
+  "/root/repo/src/cpu/cstate.cc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/cstate.cc.o" "gcc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/cstate.cc.o.d"
+  "/root/repo/src/cpu/dvfs_actuator.cc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/dvfs_actuator.cc.o" "gcc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/dvfs_actuator.cc.o.d"
+  "/root/repo/src/cpu/package_power.cc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/package_power.cc.o" "gcc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/package_power.cc.o.d"
+  "/root/repo/src/cpu/power_model.cc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/power_model.cc.o" "gcc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/power_model.cc.o.d"
+  "/root/repo/src/cpu/pstate.cc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/pstate.cc.o" "gcc" "src/cpu/CMakeFiles/nmapsim_cpu.dir/pstate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nmapsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nmapsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_cpu.dir/core.cc.o"
+  "CMakeFiles/nmapsim_cpu.dir/core.cc.o.d"
+  "CMakeFiles/nmapsim_cpu.dir/cpu_profile.cc.o"
+  "CMakeFiles/nmapsim_cpu.dir/cpu_profile.cc.o.d"
+  "CMakeFiles/nmapsim_cpu.dir/cstate.cc.o"
+  "CMakeFiles/nmapsim_cpu.dir/cstate.cc.o.d"
+  "CMakeFiles/nmapsim_cpu.dir/dvfs_actuator.cc.o"
+  "CMakeFiles/nmapsim_cpu.dir/dvfs_actuator.cc.o.d"
+  "CMakeFiles/nmapsim_cpu.dir/package_power.cc.o"
+  "CMakeFiles/nmapsim_cpu.dir/package_power.cc.o.d"
+  "CMakeFiles/nmapsim_cpu.dir/power_model.cc.o"
+  "CMakeFiles/nmapsim_cpu.dir/power_model.cc.o.d"
+  "CMakeFiles/nmapsim_cpu.dir/pstate.cc.o"
+  "CMakeFiles/nmapsim_cpu.dir/pstate.cc.o.d"
+  "libnmapsim_cpu.a"
+  "libnmapsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

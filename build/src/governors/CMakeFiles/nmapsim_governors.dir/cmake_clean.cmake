@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_governors.dir/cpuidle_policies.cc.o"
+  "CMakeFiles/nmapsim_governors.dir/cpuidle_policies.cc.o.d"
+  "CMakeFiles/nmapsim_governors.dir/ondemand.cc.o"
+  "CMakeFiles/nmapsim_governors.dir/ondemand.cc.o.d"
+  "libnmapsim_governors.a"
+  "libnmapsim_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnmapsim_governors.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_harness.dir/colocation.cc.o"
+  "CMakeFiles/nmapsim_harness.dir/colocation.cc.o.d"
+  "CMakeFiles/nmapsim_harness.dir/experiment.cc.o"
+  "CMakeFiles/nmapsim_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/nmapsim_harness.dir/trace_collector.cc.o"
+  "CMakeFiles/nmapsim_harness.dir/trace_collector.cc.o.d"
+  "libnmapsim_harness.a"
+  "libnmapsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_net.dir/nic.cc.o"
+  "CMakeFiles/nmapsim_net.dir/nic.cc.o.d"
+  "CMakeFiles/nmapsim_net.dir/wire.cc.o"
+  "CMakeFiles/nmapsim_net.dir/wire.cc.o.d"
+  "libnmapsim_net.a"
+  "libnmapsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_nmap.dir/adaptive.cc.o"
+  "CMakeFiles/nmapsim_nmap.dir/adaptive.cc.o.d"
+  "CMakeFiles/nmapsim_nmap.dir/decision_engine.cc.o"
+  "CMakeFiles/nmapsim_nmap.dir/decision_engine.cc.o.d"
+  "CMakeFiles/nmapsim_nmap.dir/monitor.cc.o"
+  "CMakeFiles/nmapsim_nmap.dir/monitor.cc.o.d"
+  "CMakeFiles/nmapsim_nmap.dir/nmap_governor.cc.o"
+  "CMakeFiles/nmapsim_nmap.dir/nmap_governor.cc.o.d"
+  "CMakeFiles/nmapsim_nmap.dir/profiler.cc.o"
+  "CMakeFiles/nmapsim_nmap.dir/profiler.cc.o.d"
+  "libnmapsim_nmap.a"
+  "libnmapsim_nmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_nmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/core_sched.cc" "src/os/CMakeFiles/nmapsim_os.dir/core_sched.cc.o" "gcc" "src/os/CMakeFiles/nmapsim_os.dir/core_sched.cc.o.d"
+  "/root/repo/src/os/napi.cc" "src/os/CMakeFiles/nmapsim_os.dir/napi.cc.o" "gcc" "src/os/CMakeFiles/nmapsim_os.dir/napi.cc.o.d"
+  "/root/repo/src/os/server_os.cc" "src/os/CMakeFiles/nmapsim_os.dir/server_os.cc.o" "gcc" "src/os/CMakeFiles/nmapsim_os.dir/server_os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/nmapsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nmapsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nmapsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nmapsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_os.dir/core_sched.cc.o"
+  "CMakeFiles/nmapsim_os.dir/core_sched.cc.o.d"
+  "CMakeFiles/nmapsim_os.dir/napi.cc.o"
+  "CMakeFiles/nmapsim_os.dir/napi.cc.o.d"
+  "CMakeFiles/nmapsim_os.dir/server_os.cc.o"
+  "CMakeFiles/nmapsim_os.dir/server_os.cc.o.d"
+  "libnmapsim_os.a"
+  "libnmapsim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

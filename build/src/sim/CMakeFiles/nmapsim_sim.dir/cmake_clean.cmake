@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/nmapsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/nmapsim_sim.dir/logging.cc.o"
+  "CMakeFiles/nmapsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/nmapsim_sim.dir/rng.cc.o"
+  "CMakeFiles/nmapsim_sim.dir/rng.cc.o.d"
+  "libnmapsim_sim.a"
+  "libnmapsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_stats.dir/energy_meter.cc.o"
+  "CMakeFiles/nmapsim_stats.dir/energy_meter.cc.o.d"
+  "CMakeFiles/nmapsim_stats.dir/latency_recorder.cc.o"
+  "CMakeFiles/nmapsim_stats.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/nmapsim_stats.dir/table.cc.o"
+  "CMakeFiles/nmapsim_stats.dir/table.cc.o.d"
+  "CMakeFiles/nmapsim_stats.dir/timeseries.cc.o"
+  "CMakeFiles/nmapsim_stats.dir/timeseries.cc.o.d"
+  "libnmapsim_stats.a"
+  "libnmapsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

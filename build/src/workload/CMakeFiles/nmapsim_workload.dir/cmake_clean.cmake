@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmapsim_workload.dir/app_profile.cc.o"
+  "CMakeFiles/nmapsim_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/nmapsim_workload.dir/client.cc.o"
+  "CMakeFiles/nmapsim_workload.dir/client.cc.o.d"
+  "CMakeFiles/nmapsim_workload.dir/loadgen.cc.o"
+  "CMakeFiles/nmapsim_workload.dir/loadgen.cc.o.d"
+  "CMakeFiles/nmapsim_workload.dir/server_app.cc.o"
+  "CMakeFiles/nmapsim_workload.dir/server_app.cc.o.d"
+  "libnmapsim_workload.a"
+  "libnmapsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmapsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_profile_test.dir/cpu_profile_test.cc.o"
+  "CMakeFiles/cpu_profile_test.dir/cpu_profile_test.cc.o.d"
+  "cpu_profile_test"
+  "cpu_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpuidle_test.dir/cpuidle_test.cc.o"
+  "CMakeFiles/cpuidle_test.dir/cpuidle_test.cc.o.d"
+  "cpuidle_test"
+  "cpuidle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpuidle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstate_test.dir/cstate_test.cc.o"
+  "CMakeFiles/cstate_test.dir/cstate_test.cc.o.d"
+  "cstate_test"
+  "cstate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_actuator_test.dir/dvfs_actuator_test.cc.o"
+  "CMakeFiles/dvfs_actuator_test.dir/dvfs_actuator_test.cc.o.d"
+  "dvfs_actuator_test"
+  "dvfs_actuator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_actuator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

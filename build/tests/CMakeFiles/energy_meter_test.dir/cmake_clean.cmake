@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_meter_test.dir/energy_meter_test.cc.o"
+  "CMakeFiles/energy_meter_test.dir/energy_meter_test.cc.o.d"
+  "energy_meter_test"
+  "energy_meter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

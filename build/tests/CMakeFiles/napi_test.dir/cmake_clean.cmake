@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/napi_test.dir/napi_test.cc.o"
+  "CMakeFiles/napi_test.dir/napi_test.cc.o.d"
+  "napi_test"
+  "napi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/napi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncap_test.dir/ncap_test.cc.o"
+  "CMakeFiles/ncap_test.dir/ncap_test.cc.o.d"
+  "ncap_test"
+  "ncap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

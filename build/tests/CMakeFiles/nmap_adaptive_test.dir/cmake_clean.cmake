@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmap_adaptive_test.dir/nmap_adaptive_test.cc.o"
+  "CMakeFiles/nmap_adaptive_test.dir/nmap_adaptive_test.cc.o.d"
+  "nmap_adaptive_test"
+  "nmap_adaptive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmap_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmap_engine_test.dir/nmap_engine_test.cc.o"
+  "CMakeFiles/nmap_engine_test.dir/nmap_engine_test.cc.o.d"
+  "nmap_engine_test"
+  "nmap_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmap_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmap_monitor_test.dir/nmap_monitor_test.cc.o"
+  "CMakeFiles/nmap_monitor_test.dir/nmap_monitor_test.cc.o.d"
+  "nmap_monitor_test"
+  "nmap_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmap_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

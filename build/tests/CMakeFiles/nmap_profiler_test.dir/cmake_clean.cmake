@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmap_profiler_test.dir/nmap_profiler_test.cc.o"
+  "CMakeFiles/nmap_profiler_test.dir/nmap_profiler_test.cc.o.d"
+  "nmap_profiler_test"
+  "nmap_profiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmap_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

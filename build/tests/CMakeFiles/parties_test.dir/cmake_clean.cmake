@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parties_test.dir/parties_test.cc.o"
+  "CMakeFiles/parties_test.dir/parties_test.cc.o.d"
+  "parties_test"
+  "parties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstate_test.dir/pstate_test.cc.o"
+  "CMakeFiles/pstate_test.dir/pstate_test.cc.o.d"
+  "pstate_test"
+  "pstate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_app_test.dir/server_app_test.cc.o"
+  "CMakeFiles/server_app_test.dir/server_app_test.cc.o.d"
+  "server_app_test"
+  "server_app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

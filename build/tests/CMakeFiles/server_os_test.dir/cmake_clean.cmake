@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_os_test.dir/server_os_test.cc.o"
+  "CMakeFiles/server_os_test.dir/server_os_test.cc.o.d"
+  "server_os_test"
+  "server_os_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
