@@ -15,9 +15,13 @@
  * The dangerous stale direction is inheriting thresholds that are too
  * *high* for the new application (NI_TH above anything its sessions
  * reach): the Network Intensive trigger then fires late or never.
+ *
+ * Both profiling passes and all 18 variant runs fan out on the sweep
+ * pool.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -26,30 +30,18 @@ using namespace nmapsim;
 
 namespace {
 
-void
-runApp(const AppProfile &app, double own_ni, double own_cu,
-       double stale_ni, double stale_cu)
+struct Variant
 {
-    std::printf("\n--- %s (SLO %.0f ms; own NI_TH=%.1f CU_TH=%.2f, "
-                "stale NI_TH=%.1f CU_TH=%.2f) ---\n",
-                app.name.c_str(), toMilliseconds(app.slo), own_ni,
-                own_cu, stale_ni, stale_cu);
+    const char *name;
+    FreqPolicy policy;
+    double ni;
+    double cu;
+};
 
-    struct Variant
-    {
-        const char *name;
-        FreqPolicy policy;
-        double ni;
-        double cu;
-    };
-    const Variant variants[] = {
-        {"offline (correct)", FreqPolicy::kNmap, own_ni, own_cu},
-        {"offline (stale)", FreqPolicy::kNmap, stale_ni, stale_cu},
-        {"online adaptive", FreqPolicy::kNmapAdaptive, 0, 0},
-    };
-
-    Table table({"variant", "load", "P99 (us)", "xSLO", "> SLO (%)",
-                 "energy (J)", "NI_TH end", "CU_TH end"});
+std::vector<ExperimentConfig>
+appPoints(const AppProfile &app, const std::vector<Variant> &variants)
+{
+    std::vector<ExperimentConfig> points;
     for (const Variant &v : variants) {
         for (LoadLevel load :
              {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
@@ -59,7 +51,31 @@ runApp(const AppProfile &app, double own_ni, double own_cu,
                 cfg.nmap.niThreshold = v.ni;
                 cfg.nmap.cuThreshold = v.cu;
             }
-            ExperimentResult r = Experiment(cfg).run();
+            points.push_back(cfg);
+        }
+    }
+    return points;
+}
+
+void
+printApp(const AppProfile &app, double own_ni, double own_cu,
+         double stale_ni, double stale_cu,
+         const std::vector<Variant> &variants,
+         const std::vector<ExperimentResult> &results,
+         std::size_t offset)
+{
+    std::printf("\n--- %s (SLO %.0f ms; own NI_TH=%.1f CU_TH=%.2f, "
+                "stale NI_TH=%.1f CU_TH=%.2f) ---\n",
+                app.name.c_str(), toMilliseconds(app.slo), own_ni,
+                own_cu, stale_ni, stale_cu);
+
+    Table table({"variant", "load", "P99 (us)", "xSLO", "> SLO (%)",
+                 "energy (J)", "NI_TH end", "CU_TH end"});
+    std::size_t idx = offset;
+    for (const Variant &v : variants) {
+        for (LoadLevel load :
+             {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
+            const ExperimentResult &r = results[idx++];
             table.addRow({
                 v.name,
                 loadLevelName(load),
@@ -85,16 +101,35 @@ main()
     bench::banner("Ablation",
                   "offline vs stale vs online NMAP thresholds");
 
-    ExperimentConfig mc_base;
-    mc_base.app = AppProfile::memcached();
-    auto [mc_ni, mc_cu] = Experiment::profileThresholds(mc_base);
+    AppProfile mc = AppProfile::memcached();
+    AppProfile ng = AppProfile::nginx();
+    std::vector<std::pair<double, double>> thresholds =
+        bench::profileApps({mc, ng}, "ablation_adaptive");
+    auto [mc_ni, mc_cu] = thresholds[0];
+    auto [ng_ni, ng_cu] = thresholds[1];
 
-    ExperimentConfig ng_base;
-    ng_base.app = AppProfile::nginx();
-    auto [ng_ni, ng_cu] = Experiment::profileThresholds(ng_base);
+    const std::vector<Variant> mc_variants = {
+        {"offline (correct)", FreqPolicy::kNmap, mc_ni, mc_cu},
+        {"offline (stale)", FreqPolicy::kNmap, ng_ni, ng_cu},
+        {"online adaptive", FreqPolicy::kNmapAdaptive, 0, 0},
+    };
+    const std::vector<Variant> ng_variants = {
+        {"offline (correct)", FreqPolicy::kNmap, ng_ni, ng_cu},
+        {"offline (stale)", FreqPolicy::kNmap, mc_ni, mc_cu},
+        {"online adaptive", FreqPolicy::kNmapAdaptive, 0, 0},
+    };
 
-    runApp(AppProfile::memcached(), mc_ni, mc_cu, ng_ni, ng_cu);
-    runApp(AppProfile::nginx(), ng_ni, ng_cu, mc_ni, mc_cu);
+    std::vector<ExperimentConfig> points = appPoints(mc, mc_variants);
+    const std::size_t ng_offset = points.size();
+    std::vector<ExperimentConfig> ng_points =
+        appPoints(ng, ng_variants);
+    points.insert(points.end(), ng_points.begin(), ng_points.end());
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "ablation_adaptive");
+
+    printApp(mc, mc_ni, mc_cu, ng_ni, ng_cu, mc_variants, results, 0);
+    printApp(ng, ng_ni, ng_cu, mc_ni, mc_cu, ng_variants, results,
+             ng_offset);
 
     std::cout
         << "\nExpected: the adaptive variant meets the SLO on both "

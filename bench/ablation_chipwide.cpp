@@ -6,10 +6,12 @@
  * With RSS spreading load evenly the two modes are close; the per-core
  * advantage appears when traffic is skewed onto a subset of cores —
  * chip-wide DVFS must then burn every core at P0 for the hottest
- * core's sake. The bench sweeps connection skew at medium load.
+ * core's sake. The bench sweeps connection skew at medium load; the
+ * six (skew x mode) points run as one parallel sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -23,22 +25,32 @@ main()
                   "per-core vs chip-wide NMAP under load skew");
 
     AppProfile app = AppProfile::memcached();
-    ExperimentConfig base;
-    base.app = app;
-    auto [ni, cu] = Experiment::profileThresholds(base);
+    auto [ni, cu] = bench::profileApps({app}, "ablation_chipwide")[0];
 
-    Table table({"skew", "mode", "P99 (us)", "xSLO", "energy (J)",
-                 "delta vs per-core"});
-    for (double skew : {0.0, 0.5, 1.0}) {
-        double percore_energy = 0.0;
-        for (FreqPolicy policy :
-             {FreqPolicy::kNmap, FreqPolicy::kNmapChipWide}) {
+    const std::vector<double> skews = {0.0, 0.5, 1.0};
+    const std::vector<FreqPolicy> policies = {
+        FreqPolicy::kNmap, FreqPolicy::kNmapChipWide};
+    std::vector<ExperimentConfig> points;
+    for (double skew : skews) {
+        for (FreqPolicy policy : policies) {
             ExperimentConfig cfg =
                 bench::cellConfig(app, LoadLevel::kMed, policy);
             cfg.connectionSkew = skew;
             cfg.nmap.niThreshold = ni;
             cfg.nmap.cuThreshold = cu;
-            ExperimentResult r = Experiment(cfg).run();
+            points.push_back(cfg);
+        }
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "ablation_chipwide");
+
+    Table table({"skew", "mode", "P99 (us)", "xSLO", "energy (J)",
+                 "delta vs per-core"});
+    std::size_t idx = 0;
+    for (double skew : skews) {
+        double percore_energy = 0.0;
+        for (FreqPolicy policy : policies) {
+            const ExperimentResult &r = results[idx++];
             if (policy == FreqPolicy::kNmap)
                 percore_energy = r.energyJoules;
             table.addRow({

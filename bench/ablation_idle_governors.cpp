@@ -2,10 +2,12 @@
  * @file
  * Extension evaluation: the TEO-style cpuidle governor against the
  * paper's three sleep policies (menu, disable, c6only), under both the
- * performance governor and NMAP.
+ * performance governor and NMAP. The eight (policy x sleep) points run
+ * as one parallel sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -18,26 +20,33 @@ main()
     bench::banner("Ablation", "cpuidle governors incl. TEO extension");
 
     AppProfile app = AppProfile::memcached();
-    ExperimentConfig base;
-    base.app = app;
-    auto [ni, cu] = Experiment::profileThresholds(base);
+    auto [ni, cu] =
+        bench::profileApps({app}, "ablation_idle_governors")[0];
 
-    for (FreqPolicy policy :
-         {FreqPolicy::kPerformance, FreqPolicy::kNmap}) {
+    const std::vector<FreqPolicy> policies = {
+        FreqPolicy::kPerformance, FreqPolicy::kNmap};
+    const std::vector<IdlePolicy> idles = {
+        IdlePolicy::kMenu, IdlePolicy::kTeo, IdlePolicy::kC6Only,
+        IdlePolicy::kDisable};
+
+    ExperimentConfig base =
+        bench::cellConfig(app, LoadLevel::kMed, FreqPolicy::kNmap);
+    base.nmap.niThreshold = ni;
+    base.nmap.cuThreshold = cu;
+    SweepSpec spec(base);
+    spec.policies(policies).idlePolicies(idles);
+    std::vector<ExperimentResult> results =
+        bench::runAll(spec.build(), "ablation_idle_governors");
+
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
         std::printf("\n--- %s governor, medium load ---\n",
-                    freqPolicyName(policy));
+                    freqPolicyName(policies[pi]));
         Table table({"sleep policy", "P99 (us)", "energy (J)",
                      "CC6 wakes", "CC1 wakes"});
-        for (IdlePolicy idle :
-             {IdlePolicy::kMenu, IdlePolicy::kTeo, IdlePolicy::kC6Only,
-              IdlePolicy::kDisable}) {
-            ExperimentConfig cfg =
-                bench::cellConfig(app, LoadLevel::kMed, policy, idle);
-            cfg.nmap.niThreshold = ni;
-            cfg.nmap.cuThreshold = cu;
-            ExperimentResult r = Experiment(cfg).run();
+        for (std::size_t ii = 0; ii < idles.size(); ++ii) {
+            const ExperimentResult &r = results[spec.index(pi, ii)];
             table.addRow({
-                idlePolicyName(idle),
+                idlePolicyName(idles[ii]),
                 Table::num(toMicroseconds(r.p99), 0),
                 Table::num(r.energyJoules, 1),
                 std::to_string(r.cc6Wakes),

@@ -9,10 +9,11 @@
  * 10 us). NMAP-simpl's oscillation between ksoftirqd wake/sleep issues
  * frequent transitions, so the re-transition penalty should account
  * for most of its high-load failure; NMAP switches rarely and should
- * barely notice.
+ * barely notice. The six (policy x CPU) points run as one sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -26,23 +27,34 @@ main()
                   "re-transition latency on vs off (Section 5.1)");
 
     AppProfile app = AppProfile::memcached();
-    ExperimentConfig base;
-    base.app = app;
-    auto [ni, cu] = Experiment::profileThresholds(base);
+    auto [ni, cu] =
+        bench::profileApps({app}, "ablation_retransition")[0];
 
-    Table table({"policy", "CPU", "P99 (us)", "xSLO", "> SLO (%)",
-                 "V/F transitions", "energy (J)"});
-    for (FreqPolicy policy :
-         {FreqPolicy::kOndemand, FreqPolicy::kNmapSimpl,
-          FreqPolicy::kNmap}) {
-        for (const char *cpu :
-             {"Xeon Gold 6134", "Xeon Gold 6134 (fast VR)"}) {
+    const std::vector<FreqPolicy> policies = {
+        FreqPolicy::kOndemand, FreqPolicy::kNmapSimpl,
+        FreqPolicy::kNmap};
+    const std::vector<const char *> cpus = {
+        "Xeon Gold 6134", "Xeon Gold 6134 (fast VR)"};
+    std::vector<ExperimentConfig> points;
+    for (FreqPolicy policy : policies) {
+        for (const char *cpu : cpus) {
             ExperimentConfig cfg =
                 bench::cellConfig(app, LoadLevel::kHigh, policy);
             cfg.cpuProfile = cpu;
             cfg.nmap.niThreshold = ni;
             cfg.nmap.cuThreshold = cu;
-            ExperimentResult r = Experiment(cfg).run();
+            points.push_back(cfg);
+        }
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "ablation_retransition");
+
+    Table table({"policy", "CPU", "P99 (us)", "xSLO", "> SLO (%)",
+                 "V/F transitions", "energy (J)"});
+    std::size_t idx = 0;
+    for (FreqPolicy policy : policies) {
+        for (const char *cpu : cpus) {
+            const ExperimentResult &r = results[idx++];
             table.addRow({
                 freqPolicyName(policy),
                 cpu,

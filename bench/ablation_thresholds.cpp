@@ -7,10 +7,11 @@
  * the profiled point (the thresholds need only land in the right
  * decade), SLO violations when NI_TH is far too high (late Network
  * Intensive trigger) and wasted energy when CU_TH is far too low
- * (never falls back).
+ * (never falls back). Both sweeps run as one parallel batch.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -23,20 +24,39 @@ main()
     bench::banner("Ablation", "NMAP threshold sensitivity");
 
     AppProfile app = AppProfile::memcached();
-    ExperimentConfig base;
-    base.app = app;
-    auto [ni0, cu0] = Experiment::profileThresholds(base);
+    auto [ni0, cu0] =
+        bench::profileApps({app}, "ablation_thresholds")[0];
     std::printf("profiled point: NI_TH=%.1f CU_TH=%.2f\n\n", ni0, cu0);
 
-    std::cout << "NI_TH sweep (CU_TH fixed at the profiled value):\n";
-    Table ni_table({"NI_TH", "P99 (us)", "xSLO", "> SLO (%)",
-                    "energy (J)", "NI entries"});
-    for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0}) {
+    const std::vector<double> ni_mults = {0.25, 0.5, 1.0, 2.0,
+                                          4.0,  16.0, 64.0};
+    const std::vector<double> cu_mults = {0.1, 0.5, 1.0,
+                                          2.0, 4.0, 8.0};
+
+    std::vector<ExperimentConfig> points;
+    for (double mult : ni_mults) {
         ExperimentConfig cfg =
             bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
         cfg.nmap.niThreshold = ni0 * mult;
         cfg.nmap.cuThreshold = cu0;
-        ExperimentResult r = Experiment(cfg).run();
+        points.push_back(cfg);
+    }
+    for (double mult : cu_mults) {
+        ExperimentConfig cfg =
+            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
+        cfg.nmap.niThreshold = ni0;
+        cfg.nmap.cuThreshold = cu0 * mult;
+        points.push_back(cfg);
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "ablation_thresholds");
+
+    std::cout << "NI_TH sweep (CU_TH fixed at the profiled value):\n";
+    Table ni_table({"NI_TH", "P99 (us)", "xSLO", "> SLO (%)",
+                    "energy (J)", "NI entries"});
+    std::size_t idx = 0;
+    for (double mult : ni_mults) {
+        const ExperimentResult &r = results[idx++];
         ni_table.addRow({
             Table::num(ni0 * mult, 1),
             Table::num(toMicroseconds(r.p99), 0),
@@ -53,12 +73,8 @@ main()
     std::cout << "\nCU_TH sweep (NI_TH fixed at the profiled value):\n";
     Table cu_table({"CU_TH", "P99 (us)", "xSLO", "> SLO (%)",
                     "energy (J)", "NI entries"});
-    for (double mult : {0.1, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-        ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
-        cfg.nmap.niThreshold = ni0;
-        cfg.nmap.cuThreshold = cu0 * mult;
-        ExperimentResult r = Experiment(cfg).run();
+    for (double mult : cu_mults) {
+        const ExperimentResult &r = results[idx++];
         cu_table.addRow({
             Table::num(cu0 * mult, 2),
             Table::num(toMicroseconds(r.p99), 0),

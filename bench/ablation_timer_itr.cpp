@@ -9,9 +9,14 @@
  * notification path, which is asynchronous). The ITR shapes the very
  * signal NMAP consumes: very long moderation periods batch packets
  * into fewer, larger sessions and inflate the polling counts.
+ *
+ * Two parallel stages: the per-ITR profiling passes fan out first
+ * (each ITR changes the signal, so each needs its own thresholds),
+ * then the timer and ITR experiment points run as one sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -25,20 +30,52 @@ main()
                   "NMAP timer interval and NIC interrupt moderation");
 
     AppProfile app = AppProfile::memcached();
-    ExperimentConfig base;
-    base.app = app;
-    auto [ni, cu] = Experiment::profileThresholds(base);
+    auto [ni, cu] = bench::profileApps({app}, "ablation_timer_itr")[0];
 
-    std::cout << "decision-timer sweep (high load):\n";
-    Table timer_table({"timer (ms)", "P99 (us)", "xSLO", "energy (J)",
-                       "mode switches"});
-    for (double ms : {1.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    const std::vector<double> timer_ms = {1.0,  5.0,  10.0,
+                                          20.0, 50.0, 100.0};
+    const std::vector<double> itr_us = {1.0, 5.0, 10.0, 50.0, 200.0};
+
+    // Stage 1: per-ITR profiling (the signal changes with the ITR, so
+    // re-run the offline profiling under the same moderation setting).
+    std::vector<ExperimentConfig> itr_bases;
+    for (double us : itr_us) {
+        ExperimentConfig cfg =
+            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
+        cfg.nic.itr = microseconds(us);
+        itr_bases.push_back(cfg);
+    }
+    SweepOptions opts;
+    opts.tag = "ablation_timer_itr";
+    std::vector<SweepSlot<std::pair<double, double>>> itr_thresholds =
+        SweepRunner(opts).profile(itr_bases);
+
+    // Stage 2: all experiment points in one sweep.
+    std::vector<ExperimentConfig> points;
+    for (double ms : timer_ms) {
         ExperimentConfig cfg =
             bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
         cfg.nmap.timerInterval = milliseconds(ms);
         cfg.nmap.niThreshold = ni;
         cfg.nmap.cuThreshold = cu;
-        ExperimentResult r = Experiment(cfg).run();
+        points.push_back(cfg);
+    }
+    for (std::size_t i = 0; i < itr_us.size(); ++i) {
+        ExperimentConfig cfg = itr_bases[i];
+        auto [ni2, cu2] = itr_thresholds[i].value();
+        cfg.nmap.niThreshold = ni2;
+        cfg.nmap.cuThreshold = cu2;
+        points.push_back(cfg);
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "ablation_timer_itr");
+
+    std::cout << "decision-timer sweep (high load):\n";
+    Table timer_table({"timer (ms)", "P99 (us)", "xSLO", "energy (J)",
+                       "mode switches"});
+    std::size_t idx = 0;
+    for (double ms : timer_ms) {
+        const ExperimentResult &r = results[idx++];
         timer_table.addRow({
             Table::num(ms, 0),
             Table::num(toMicroseconds(r.p99), 0),
@@ -55,16 +92,8 @@ main()
                  "NMAP re-profiled per ITR):\n";
     Table itr_table({"ITR (us)", "P99 (us)", "poll/intr ratio",
                      "ksoftirqd wakes", "energy (J)"});
-    for (double us : {1.0, 5.0, 10.0, 50.0, 200.0}) {
-        ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
-        cfg.nic.itr = microseconds(us);
-        // The signal changes with the ITR, so re-run the offline
-        // profiling under the same moderation setting.
-        auto [ni2, cu2] = Experiment::profileThresholds(cfg);
-        cfg.nmap.niThreshold = ni2;
-        cfg.nmap.cuThreshold = cu2;
-        ExperimentResult r = Experiment(cfg).run();
+    for (double us : itr_us) {
+        const ExperimentResult &r = results[idx++];
         double ratio =
             r.pktsIntrMode
                 ? static_cast<double>(r.pktsPollMode) /

@@ -16,8 +16,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 namespace nmapsim {
 namespace bench {
@@ -65,43 +68,48 @@ cellConfig(const AppProfile &app, LoadLevel load, FreqPolicy policy,
 }
 
 /**
- * Profile the Section 4.2 thresholds once per app and cache them so
- * the matrix benches do not re-run the profiling simulation per cell.
+ * Run every point on the shared sweep thread pool (NMAPSIM_JOBS wide)
+ * and unwrap the outcomes in submission order. A failed point rethrows
+ * its own exception here — a bench wants a config error to abort.
  */
-class NmapThresholdCache
+inline std::vector<ExperimentResult>
+runAll(const std::vector<ExperimentConfig> &points,
+       const std::string &tag)
 {
-  public:
-    std::pair<double, double>
-    get(const AppProfile &app)
-    {
-        if (app.name == "memcached") {
-            if (!haveMc_) {
-                mc_ = profileFor(app);
-                haveMc_ = true;
-            }
-            return mc_;
-        }
-        if (!haveNg_) {
-            ng_ = profileFor(app);
-            haveNg_ = true;
-        }
-        return ng_;
-    }
+    SweepOptions opts;
+    opts.tag = tag;
+    std::vector<SweepOutcome> outcomes = SweepRunner(opts).run(points);
+    std::vector<ExperimentResult> results;
+    results.reserve(outcomes.size());
+    for (SweepOutcome &outcome : outcomes)
+        results.push_back(std::move(outcome.value()));
+    return results;
+}
 
-  private:
-    static std::pair<double, double>
-    profileFor(const AppProfile &app)
-    {
-        ExperimentConfig cfg =
-            cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
-        return Experiment::profileThresholds(cfg);
-    }
-
-    bool haveMc_ = false;
-    bool haveNg_ = false;
-    std::pair<double, double> mc_{};
-    std::pair<double, double> ng_{};
-};
+/**
+ * Profile the Section 4.2 thresholds for several applications
+ * concurrently (each profiling pass is itself a full simulation).
+ * Returns (NI_TH, CU_TH) per application, in argument order.
+ */
+inline std::vector<std::pair<double, double>>
+profileApps(const std::vector<AppProfile> &apps,
+            const std::string &tag = "bench")
+{
+    std::vector<ExperimentConfig> points;
+    points.reserve(apps.size());
+    for (const AppProfile &app : apps)
+        points.push_back(
+            cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap));
+    SweepOptions opts;
+    opts.tag = tag;
+    std::vector<SweepSlot<std::pair<double, double>>> slots =
+        SweepRunner(opts).profile(points);
+    std::vector<std::pair<double, double>> thresholds;
+    thresholds.reserve(slots.size());
+    for (SweepSlot<std::pair<double, double>> &slot : slots)
+        thresholds.push_back(slot.value());
+    return thresholds;
+}
 
 } // namespace bench
 } // namespace nmapsim

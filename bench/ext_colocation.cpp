@@ -16,10 +16,15 @@
  * behind nginx's long request slices, not by DVFS — the isolation
  * problem that motivates partitioning controllers like Parties and
  * Heracles, beyond what any frequency policy can fix.
+ *
+ * Colocation runs are not plain Experiments, so this bench fans out
+ * through the sweep subsystem's generic runParallel() engine.
  */
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "harness/colocation.hh"
@@ -37,26 +42,34 @@ struct Variant
     double cu;
 };
 
+ColocationConfig
+variantConfig(const TenantConfig &a, const TenantConfig &b,
+              const Variant &v)
+{
+    ColocationConfig cfg;
+    cfg.tenants = {a, b};
+    cfg.freqPolicy = v.policy;
+    cfg.duration = static_cast<Tick>(
+        static_cast<double>(seconds(1)) * bench::durationScale());
+    if (v.policy == FreqPolicy::kNmap) {
+        cfg.nmap.niThreshold = v.ni;
+        cfg.nmap.cuThreshold = v.cu;
+    }
+    return cfg;
+}
+
 void
-runScenario(const char *title, const TenantConfig &a,
-            const TenantConfig &b, const std::vector<Variant> &variants)
+printScenario(const char *title, const std::vector<Variant> &variants,
+              const std::vector<SweepSlot<ColocationResult>> &slots,
+              std::size_t offset)
 {
     std::printf("\n--- %s ---\n", title);
     Table table({"policy", "tenant0 P99 (us)", "xSLO",
                  "tenant1 P99 (us)", "xSLO", "energy (J)"});
-    for (const Variant &v : variants) {
-        ColocationConfig cfg;
-        cfg.tenants = {a, b};
-        cfg.freqPolicy = v.policy;
-        cfg.duration = static_cast<Tick>(
-            static_cast<double>(seconds(1)) * bench::durationScale());
-        if (v.policy == FreqPolicy::kNmap) {
-            cfg.nmap.niThreshold = v.ni;
-            cfg.nmap.cuThreshold = v.cu;
-        }
-        ColocationResult r = ColocationExperiment(cfg).run();
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const ColocationResult &r = slots[offset + vi].value();
         table.addRow({
-            v.name,
+            variants[vi].name,
             Table::num(toMicroseconds(r.tenants[0].p99), 0),
             Table::num(static_cast<double>(r.tenants[0].p99) /
                            static_cast<double>(r.tenants[0].slo),
@@ -78,12 +91,12 @@ main()
 {
     bench::banner("Extension", "colocated latency-critical tenants");
 
-    ExperimentConfig mc_base;
-    mc_base.app = AppProfile::memcached();
-    auto [mc_ni, mc_cu] = Experiment::profileThresholds(mc_base);
-    ExperimentConfig ng_base;
-    ng_base.app = AppProfile::nginx();
-    auto [ng_ni, ng_cu] = Experiment::profileThresholds(ng_base);
+    std::vector<std::pair<double, double>> thresholds =
+        bench::profileApps(
+            {AppProfile::memcached(), AppProfile::nginx()},
+            "ext_colocation");
+    auto [mc_ni, mc_cu] = thresholds[0];
+    auto [ng_ni, ng_cu] = thresholds[1];
 
     const std::vector<Variant> variants = {
         {"performance", FreqPolicy::kPerformance, 0, 0},
@@ -105,12 +118,29 @@ main()
     ng_low.app = AppProfile::nginx();
     ng_low.load = LoadLevel::kLow;
 
-    runScenario("Scenario A: memcached(med) + memcached(low), "
-                "homogeneous",
-                mc_med, mc_low, variants);
-    runScenario("Scenario B: memcached(med) + nginx(low), "
-                "heterogeneous",
-                mc_med, ng_low, variants);
+    // Both scenarios' variants fan out as one batch of colocation
+    // tasks on the generic parallel engine.
+    std::vector<ColocationConfig> configs;
+    for (const Variant &v : variants)
+        configs.push_back(variantConfig(mc_med, mc_low, v));
+    for (const Variant &v : variants)
+        configs.push_back(variantConfig(mc_med, ng_low, v));
+
+    std::vector<std::function<ColocationResult()>> tasks;
+    for (const ColocationConfig &cfg : configs)
+        tasks.emplace_back(
+            [&cfg] { return ColocationExperiment(cfg).run(); });
+    SweepOptions opts;
+    opts.tag = "ext_colocation";
+    std::vector<SweepSlot<ColocationResult>> slots =
+        runParallel(tasks, opts);
+
+    printScenario("Scenario A: memcached(med) + memcached(low), "
+                  "homogeneous",
+                  variants, slots, 0);
+    printScenario("Scenario B: memcached(med) + nginx(low), "
+                  "heterogeneous",
+                  variants, slots, variants.size());
 
     std::cout
         << "\nFindings: (A) with compatible tenants, colocated NMAP "

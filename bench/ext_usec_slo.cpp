@@ -9,10 +9,12 @@
  * sleep-policy comparison on a key/value workload with a 100 us P99
  * SLO, where that wake-up penalty is a quarter of the budget — the
  * regime where the paper expects "more sophisticated sleep state
- * management" to be required.
+ * management" to be required. The (load x sleep) grid runs as one
+ * parallel sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -30,21 +32,29 @@ main()
                 app.name.c_str(), app.meanServiceCycles(),
                 toMicroseconds(app.slo));
 
-    for (LoadLevel load : {LoadLevel::kLow, LoadLevel::kMed}) {
+    const std::vector<LoadLevel> loads = {LoadLevel::kLow,
+                                          LoadLevel::kMed};
+    const std::vector<IdlePolicy> idles = {
+        IdlePolicy::kMenu, IdlePolicy::kTeo, IdlePolicy::kC6Only,
+        IdlePolicy::kDisable};
+    SweepSpec spec(bench::cellConfig(app, LoadLevel::kLow,
+                                     FreqPolicy::kPerformance));
+    spec.idlePolicies(idles).loads(loads);
+    std::vector<ExperimentResult> results =
+        bench::runAll(spec.build(), "ext_usec_slo");
+
+    for (std::size_t li = 0; li < loads.size(); ++li) {
         std::printf("\n--- %s load (avg %.0fK RPS), performance "
                     "governor ---\n",
-                    loadLevelName(load),
-                    app.level(load).avgRps() / 1e3);
+                    loadLevelName(loads[li]),
+                    app.level(loads[li]).avgRps() / 1e3);
         Table table({"sleep policy", "P99 (us)", "xSLO", "> SLO (%)",
                      "energy (J)", "CC6 wakes", "CC1 wakes"});
-        for (IdlePolicy idle :
-             {IdlePolicy::kMenu, IdlePolicy::kTeo, IdlePolicy::kC6Only,
-              IdlePolicy::kDisable}) {
-            ExperimentConfig cfg = bench::cellConfig(
-                app, load, FreqPolicy::kPerformance, idle);
-            ExperimentResult r = Experiment(cfg).run();
+        for (std::size_t ii = 0; ii < idles.size(); ++ii) {
+            const ExperimentResult &r =
+                results[spec.index(0, ii, li)];
             table.addRow({
-                idlePolicyName(idle),
+                idlePolicyName(idles[ii]),
                 Table::num(toMicroseconds(r.p99), 1),
                 Table::num(static_cast<double>(r.p99) /
                                static_cast<double>(app.slo),

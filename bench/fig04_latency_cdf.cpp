@@ -3,10 +3,11 @@
  * Reproduces Fig. 4: CDF of response latency at high load for
  * memcached and nginx under the ondemand and performance governors,
  * including the paper's headline percentages (fraction of requests
- * faster than the SLO).
+ * faster than the SLO). The four cells run as one parallel sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -16,12 +17,9 @@ using namespace nmapsim;
 namespace {
 
 void
-printCdf(const AppProfile &app, FreqPolicy policy)
+printCdf(const AppProfile &app, FreqPolicy policy,
+         const ExperimentResult &r)
 {
-    ExperimentConfig cfg =
-        bench::cellConfig(app, LoadLevel::kHigh, policy);
-    ExperimentResult r = Experiment(cfg).run();
-
     std::printf("\n--- %s, %s governor ---\n", app.name.c_str(),
                 freqPolicyName(policy));
     Table table({"latency (us)", "CDF"});
@@ -47,11 +45,23 @@ main()
 {
     bench::banner("Fig. 4",
                   "CDF of response latency, ondemand vs performance");
-    for (const AppProfile &app :
-         {AppProfile::memcached(), AppProfile::nginx()}) {
-        printCdf(app, FreqPolicy::kOndemand);
-        printCdf(app, FreqPolicy::kPerformance);
-    }
+    const std::vector<AppProfile> apps = {AppProfile::memcached(),
+                                          AppProfile::nginx()};
+    const std::vector<FreqPolicy> policies = {FreqPolicy::kOndemand,
+                                              FreqPolicy::kPerformance};
+
+    std::vector<ExperimentConfig> points;
+    for (const AppProfile &app : apps)
+        for (FreqPolicy policy : policies)
+            points.push_back(
+                bench::cellConfig(app, LoadLevel::kHigh, policy));
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "fig04");
+
+    std::size_t idx = 0;
+    for (const AppProfile &app : apps)
+        for (FreqPolicy policy : policies)
+            printCdf(app, policy, results[idx++]);
     std::cout << "\nPaper shape: with ondemand only 18.1% (memcached) "
                  "and 57.2% (nginx) of requests met the SLO; with "
                  "performance, 99.86% and 100% did. The reproduction "

@@ -2,10 +2,12 @@
  * @file
  * Reproduces Fig. 8: the memcached latency-load curve and energy
  * consumption under the three sleep policies (menu, disable, c6only)
- * with the performance governor (Section 5.2). SLO = 1 ms.
+ * with the performance governor (Section 5.2). SLO = 1 ms. The
+ * 21-point (load x sleep policy) grid runs as one parallel sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -25,27 +27,34 @@ main()
     const double duties = app.high.duty;
     std::vector<double> avg_loads{100e3, 250e3, 400e3, 550e3,
                                   650e3, 750e3, 820e3};
+    const std::vector<IdlePolicy> idles = {
+        IdlePolicy::kMenu, IdlePolicy::kDisable, IdlePolicy::kC6Only};
+
+    // Keep the duty, vary the in-burst height.
+    std::vector<double> rps_overrides;
+    for (double avg : avg_loads)
+        rps_overrides.push_back(avg / duties);
+    SweepSpec spec(bench::cellConfig(app, LoadLevel::kHigh,
+                                     FreqPolicy::kPerformance));
+    spec.idlePolicies(idles).rpsList(rps_overrides);
+    std::vector<ExperimentResult> results =
+        bench::runAll(spec.build(), "fig08");
 
     Table lat({"avg load (KRPS)", "menu P99 (us)", "disable P99 (us)",
                "c6only P99 (us)"});
     Table energy({"avg load (KRPS)", "menu (J)", "disable", "c6only",
                   "disable vs menu", "c6only vs menu"});
 
-    for (double avg : avg_loads) {
+    for (std::size_t ri = 0; ri < avg_loads.size(); ++ri) {
         double p99[3];
         double joules[3];
-        int i = 0;
-        for (IdlePolicy idle :
-             {IdlePolicy::kMenu, IdlePolicy::kDisable,
-              IdlePolicy::kC6Only}) {
-            ExperimentConfig cfg = bench::cellConfig(
-                app, LoadLevel::kHigh, FreqPolicy::kPerformance, idle);
-            cfg.rpsOverride = avg / duties; // keep the duty, vary height
-            ExperimentResult r = Experiment(cfg).run();
-            p99[i] = toMicroseconds(r.p99);
-            joules[i] = r.energyJoules;
-            ++i;
+        for (std::size_t ii = 0; ii < idles.size(); ++ii) {
+            const ExperimentResult &r =
+                results[spec.index(0, ii, 0, ri)];
+            p99[ii] = toMicroseconds(r.p99);
+            joules[ii] = r.energyJoules;
         }
+        double avg = avg_loads[ri];
         lat.addRow({Table::num(avg / 1e3, 0), Table::num(p99[0], 0),
                     Table::num(p99[1], 0), Table::num(p99[2], 0)});
         energy.addRow({Table::num(avg / 1e3, 0),

@@ -4,9 +4,12 @@
  * performance, NMAP-simpl and NMAP across {menu, disable, c6only}
  * sleep policies and {low, med, high} loads, for memcached and nginx.
  * Values are reported both in microseconds and normalised to the SLO.
+ *
+ * The 90-cell grid runs on the parallel sweep pool (NMAPSIM_JOBS).
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -17,36 +20,56 @@ int
 main()
 {
     bench::banner("Fig. 12", "P99 latency comparison (x SLO)");
-    bench::NmapThresholdCache thresholds;
 
-    const FreqPolicy policies[] = {
+    const std::vector<FreqPolicy> policies = {
         FreqPolicy::kIntelPowersave, FreqPolicy::kOndemand,
         FreqPolicy::kPerformance,    FreqPolicy::kNmapSimpl,
         FreqPolicy::kNmap,
     };
-    const IdlePolicy idles[] = {IdlePolicy::kMenu, IdlePolicy::kDisable,
-                                IdlePolicy::kC6Only};
+    const std::vector<IdlePolicy> idles = {
+        IdlePolicy::kMenu, IdlePolicy::kDisable, IdlePolicy::kC6Only};
+    const std::vector<LoadLevel> loads = {
+        LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh};
+    const std::vector<AppProfile> apps = {AppProfile::memcached(),
+                                          AppProfile::nginx()};
 
-    for (const AppProfile &app :
-         {AppProfile::memcached(), AppProfile::nginx()}) {
-        auto [ni, cu] = thresholds.get(app);
+    std::vector<std::pair<double, double>> thresholds =
+        bench::profileApps(apps, "fig12");
+
+    // One combined sweep: both apps' full grids fan out together.
+    std::vector<ExperimentConfig> points;
+    std::vector<SweepSpec> specs;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        ExperimentConfig base = bench::cellConfig(
+            apps[ai], LoadLevel::kLow, FreqPolicy::kOndemand);
+        base.nmap.niThreshold = thresholds[ai].first;
+        base.nmap.cuThreshold = thresholds[ai].second;
+        SweepSpec spec(base);
+        spec.policies(policies).idlePolicies(idles).loads(loads);
+        std::vector<ExperimentConfig> grid = spec.build();
+        points.insert(points.end(), grid.begin(), grid.end());
+        specs.push_back(std::move(spec));
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "fig12");
+
+    std::size_t offset = 0;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const AppProfile &app = apps[ai];
+        auto [ni, cu] = thresholds[ai];
         std::printf("\n--- %s (SLO %.0f ms; NI_TH=%.1f CU_TH=%.2f) "
                     "---\n",
                     app.name.c_str(), toMilliseconds(app.slo), ni, cu);
         Table table({"policy", "sleep", "low P99(us)", "xSLO",
                      "med P99(us)", "xSLO", "high P99(us)", "xSLO"});
-        for (FreqPolicy policy : policies) {
-            for (IdlePolicy idle : idles) {
-                std::vector<std::string> row{freqPolicyName(policy),
-                                             idlePolicyName(idle)};
-                for (LoadLevel load :
-                     {LoadLevel::kLow, LoadLevel::kMed,
-                      LoadLevel::kHigh}) {
-                    ExperimentConfig cfg =
-                        bench::cellConfig(app, load, policy, idle);
-                    cfg.nmap.niThreshold = ni;
-                    cfg.nmap.cuThreshold = cu;
-                    ExperimentResult r = Experiment(cfg).run();
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+            for (std::size_t ii = 0; ii < idles.size(); ++ii) {
+                std::vector<std::string> row{
+                    freqPolicyName(policies[pi]),
+                    idlePolicyName(idles[ii])};
+                for (std::size_t li = 0; li < loads.size(); ++li) {
+                    const ExperimentResult &r =
+                        results[offset + specs[ai].index(pi, ii, li)];
                     row.push_back(
                         Table::num(toMicroseconds(r.p99), 0));
                     row.push_back(Table::num(
@@ -58,6 +81,7 @@ main()
             }
         }
         table.print(std::cout);
+        offset += specs[ai].numPoints();
     }
     std::cout
         << "\nPaper shape: performance and NMAP stay at or below 1.0x "

@@ -2,10 +2,12 @@
  * @file
  * Reproduces Fig. 13: package energy of intel_powersave, ondemand,
  * performance, NMAP-simpl and NMAP across sleep policies and loads,
- * normalised to performance+menu (the paper's baseline).
+ * normalised to performance+menu (the paper's baseline). The grid runs
+ * as one parallel sweep; the baseline is read from its own grid cells.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -17,55 +19,72 @@ main()
 {
     bench::banner("Fig. 13",
                   "energy comparison (normalised to performance+menu)");
-    bench::NmapThresholdCache thresholds;
 
-    const FreqPolicy policies[] = {
+    const std::vector<FreqPolicy> policies = {
         FreqPolicy::kIntelPowersave, FreqPolicy::kOndemand,
         FreqPolicy::kPerformance,    FreqPolicy::kNmapSimpl,
         FreqPolicy::kNmap,
     };
-    const IdlePolicy idles[] = {IdlePolicy::kMenu, IdlePolicy::kDisable,
-                                IdlePolicy::kC6Only};
+    const std::size_t kPerformanceIdx = 2;
+    const std::size_t kMenuIdx = 0;
+    const std::vector<IdlePolicy> idles = {
+        IdlePolicy::kMenu, IdlePolicy::kDisable, IdlePolicy::kC6Only};
+    const std::vector<LoadLevel> loads = {
+        LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh};
+    const std::vector<AppProfile> apps = {AppProfile::memcached(),
+                                          AppProfile::nginx()};
 
-    for (const AppProfile &app :
-         {AppProfile::memcached(), AppProfile::nginx()}) {
-        auto [ni, cu] = thresholds.get(app);
+    std::vector<std::pair<double, double>> thresholds =
+        bench::profileApps(apps, "fig13");
 
-        // Baseline: performance + menu per load level.
+    std::vector<ExperimentConfig> points;
+    std::vector<SweepSpec> specs;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        ExperimentConfig base = bench::cellConfig(
+            apps[ai], LoadLevel::kLow, FreqPolicy::kOndemand);
+        base.nmap.niThreshold = thresholds[ai].first;
+        base.nmap.cuThreshold = thresholds[ai].second;
+        SweepSpec spec(base);
+        spec.policies(policies).idlePolicies(idles).loads(loads);
+        std::vector<ExperimentConfig> grid = spec.build();
+        points.insert(points.end(), grid.begin(), grid.end());
+        specs.push_back(std::move(spec));
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "fig13");
+
+    std::size_t offset = 0;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const AppProfile &app = apps[ai];
+        const SweepSpec &spec = specs[ai];
+
+        // Baseline: the grid's own performance+menu cells per load.
         double base[3];
-        int bi = 0;
-        for (LoadLevel load :
-             {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-            ExperimentConfig cfg = bench::cellConfig(
-                app, load, FreqPolicy::kPerformance, IdlePolicy::kMenu);
-            base[bi++] = Experiment(cfg).run().energyJoules;
-        }
+        for (std::size_t li = 0; li < loads.size(); ++li)
+            base[li] = results[offset + spec.index(kPerformanceIdx,
+                                                   kMenuIdx, li)]
+                           .energyJoules;
 
         std::printf("\n--- %s (baseline: performance+menu = 1.00; "
                     "absolute %.1f / %.1f / %.1f J) ---\n",
                     app.name.c_str(), base[0], base[1], base[2]);
         Table table({"policy", "sleep", "low", "med", "high"});
-        for (FreqPolicy policy : policies) {
-            for (IdlePolicy idle : idles) {
-                std::vector<std::string> row{freqPolicyName(policy),
-                                             idlePolicyName(idle)};
-                int li = 0;
-                for (LoadLevel load :
-                     {LoadLevel::kLow, LoadLevel::kMed,
-                      LoadLevel::kHigh}) {
-                    ExperimentConfig cfg =
-                        bench::cellConfig(app, load, policy, idle);
-                    cfg.nmap.niThreshold = ni;
-                    cfg.nmap.cuThreshold = cu;
-                    ExperimentResult r = Experiment(cfg).run();
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+            for (std::size_t ii = 0; ii < idles.size(); ++ii) {
+                std::vector<std::string> row{
+                    freqPolicyName(policies[pi]),
+                    idlePolicyName(idles[ii])};
+                for (std::size_t li = 0; li < loads.size(); ++li) {
+                    const ExperimentResult &r =
+                        results[offset + spec.index(pi, ii, li)];
                     row.push_back(Table::num(
                         r.energyJoules / base[li], 2));
-                    ++li;
                 }
                 table.addRow(row);
             }
         }
         table.print(std::cout);
+        offset += spec.numPoints();
     }
     std::cout
         << "\nPaper shape: c6only rows are the cheapest and disable "

@@ -2,10 +2,12 @@
  * @file
  * Reproduces Fig. 14: P99 latency of the state-of-the-art comparison —
  * NCAP-menu, NCAP, NMAP-simpl and NMAP — normalised to the SLO, for
- * both applications at the three load levels (Section 6.3).
+ * both applications at the three load levels (Section 6.3). Both
+ * apps' grids run as one parallel sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -17,31 +19,50 @@ main()
 {
     bench::banner("Fig. 14",
                   "P99 latency vs state of the art (normalised to SLO)");
-    bench::NmapThresholdCache thresholds;
 
-    const FreqPolicy policies[] = {
+    const std::vector<FreqPolicy> policies = {
         FreqPolicy::kNcapMenu,
         FreqPolicy::kNcap,
         FreqPolicy::kNmapSimpl,
         FreqPolicy::kNmap,
     };
+    const std::vector<LoadLevel> loads = {
+        LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh};
+    const std::vector<AppProfile> apps = {AppProfile::memcached(),
+                                          AppProfile::nginx()};
 
-    for (const AppProfile &app :
-         {AppProfile::memcached(), AppProfile::nginx()}) {
-        auto [ni, cu] = thresholds.get(app);
+    std::vector<std::pair<double, double>> thresholds =
+        bench::profileApps(apps, "fig14");
+
+    std::vector<ExperimentConfig> points;
+    std::vector<SweepSpec> specs;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        ExperimentConfig base = bench::cellConfig(
+            apps[ai], LoadLevel::kLow, FreqPolicy::kNmap);
+        base.nmap.niThreshold = thresholds[ai].first;
+        base.nmap.cuThreshold = thresholds[ai].second;
+        SweepSpec spec(base);
+        spec.policies(policies).loads(loads);
+        std::vector<ExperimentConfig> grid = spec.build();
+        points.insert(points.end(), grid.begin(), grid.end());
+        specs.push_back(std::move(spec));
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "fig14");
+
+    std::size_t offset = 0;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const AppProfile &app = apps[ai];
         std::printf("\n--- %s (SLO %.0f ms) ---\n", app.name.c_str(),
                     toMilliseconds(app.slo));
         Table table({"policy", "low (xSLO)", "med (xSLO)",
                      "high (xSLO)"});
-        for (FreqPolicy policy : policies) {
-            std::vector<std::string> row{freqPolicyName(policy)};
-            for (LoadLevel load :
-                 {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-                ExperimentConfig cfg =
-                    bench::cellConfig(app, load, policy);
-                cfg.nmap.niThreshold = ni;
-                cfg.nmap.cuThreshold = cu;
-                ExperimentResult r = Experiment(cfg).run();
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+            std::vector<std::string> row{
+                freqPolicyName(policies[pi])};
+            for (std::size_t li = 0; li < loads.size(); ++li) {
+                const ExperimentResult &r =
+                    results[offset + specs[ai].index(pi, 0, li)];
                 row.push_back(
                     Table::num(static_cast<double>(r.p99) /
                                    static_cast<double>(app.slo),
@@ -50,6 +71,7 @@ main()
             table.addRow(row);
         }
         table.print(std::cout);
+        offset += specs[ai].numPoints();
     }
     std::cout << "\nPaper shape: NCAP-menu and NCAP are nearly "
                  "identical (the processor rarely sleeps mid-burst); "

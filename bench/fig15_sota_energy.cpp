@@ -2,10 +2,12 @@
  * @file
  * Reproduces Fig. 15: energy of NCAP-menu, NCAP, NMAP-simpl and NMAP,
  * normalised to performance+menu, plus NMAP's savings relative to
- * NCAP (the paper's 4.2-14.8% numbers).
+ * NCAP (the paper's 4.2-14.8% numbers). Baseline cells and both apps'
+ * grids run as one parallel sweep.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "stats/table.hh"
@@ -18,49 +20,69 @@ main()
     bench::banner(
         "Fig. 15",
         "energy vs state of the art (normalised to performance+menu)");
-    bench::NmapThresholdCache thresholds;
 
-    const FreqPolicy policies[] = {
+    const std::vector<FreqPolicy> policies = {
         FreqPolicy::kNcapMenu,
         FreqPolicy::kNcap,
         FreqPolicy::kNmapSimpl,
         FreqPolicy::kNmap,
     };
+    const std::vector<LoadLevel> loads = {
+        LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh};
+    const std::vector<AppProfile> apps = {AppProfile::memcached(),
+                                          AppProfile::nginx()};
 
-    for (const AppProfile &app :
-         {AppProfile::memcached(), AppProfile::nginx()}) {
-        auto [ni, cu] = thresholds.get(app);
+    std::vector<std::pair<double, double>> thresholds =
+        bench::profileApps(apps, "fig15");
+
+    // Per app: 3 baseline points (performance+menu per load), then the
+    // 4x3 policy grid.
+    std::vector<ExperimentConfig> points;
+    std::vector<SweepSpec> specs;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        for (LoadLevel load : loads)
+            points.push_back(bench::cellConfig(
+                apps[ai], load, FreqPolicy::kPerformance,
+                IdlePolicy::kMenu));
+        ExperimentConfig base = bench::cellConfig(
+            apps[ai], LoadLevel::kLow, FreqPolicy::kNmap);
+        base.nmap.niThreshold = thresholds[ai].first;
+        base.nmap.cuThreshold = thresholds[ai].second;
+        SweepSpec spec(base);
+        spec.policies(policies).loads(loads);
+        std::vector<ExperimentConfig> grid = spec.build();
+        points.insert(points.end(), grid.begin(), grid.end());
+        specs.push_back(std::move(spec));
+    }
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "fig15");
+
+    std::size_t offset = 0;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const AppProfile &app = apps[ai];
+        const SweepSpec &spec = specs[ai];
 
         double base[3];
         double ncap[3] = {0, 0, 0};
         double nmap[3] = {0, 0, 0};
-        int bi = 0;
-        for (LoadLevel load :
-             {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-            ExperimentConfig cfg = bench::cellConfig(
-                app, load, FreqPolicy::kPerformance, IdlePolicy::kMenu);
-            base[bi++] = Experiment(cfg).run().energyJoules;
-        }
+        for (std::size_t li = 0; li < loads.size(); ++li)
+            base[li] = results[offset + li].energyJoules;
+        const std::size_t grid_offset = offset + loads.size();
 
         std::printf("\n--- %s ---\n", app.name.c_str());
         Table table({"policy", "low", "med", "high"});
-        for (FreqPolicy policy : policies) {
-            std::vector<std::string> row{freqPolicyName(policy)};
-            int li = 0;
-            for (LoadLevel load :
-                 {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-                ExperimentConfig cfg =
-                    bench::cellConfig(app, load, policy);
-                cfg.nmap.niThreshold = ni;
-                cfg.nmap.cuThreshold = cu;
-                ExperimentResult r = Experiment(cfg).run();
-                if (policy == FreqPolicy::kNcap)
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+            std::vector<std::string> row{
+                freqPolicyName(policies[pi])};
+            for (std::size_t li = 0; li < loads.size(); ++li) {
+                const ExperimentResult &r =
+                    results[grid_offset + spec.index(pi, 0, li)];
+                if (policies[pi] == FreqPolicy::kNcap)
                     ncap[li] = r.energyJoules;
-                if (policy == FreqPolicy::kNmap)
+                if (policies[pi] == FreqPolicy::kNmap)
                     nmap[li] = r.energyJoules;
                 row.push_back(
                     Table::num(r.energyJoules / base[li], 2));
-                ++li;
             }
             table.addRow(row);
         }
@@ -73,6 +95,7 @@ main()
                     Table::pct(nmap[2] / ncap[2] - 1.0).c_str(),
                     app.name == "memcached" ? "-4.2/-8.8/-9.0%"
                                             : "-12.0/-14.7/-11.0%");
+        offset = grid_offset + spec.numPoints();
     }
     std::cout << "\nPaper shape: NMAP consumes less than NCAP at every "
                  "load (per-core DVFS falls back faster and never "

@@ -3,7 +3,8 @@
  * Reproduces Fig. 16: memcached with a load level chosen at random
  * among {low, med, high} every period for 5 seconds — NMAP vs the
  * long-term feedback controller Parties. The paper reports 0.18% of
- * requests over the SLO for NMAP vs 26.62% for Parties.
+ * requests over the SLO for NMAP vs 26.62% for Parties. The two
+ * 5-second runs execute concurrently on the sweep pool.
  */
 
 #include <algorithm>
@@ -33,8 +34,8 @@ randomSchedule(const AppProfile &app, Tick start, Tick end, Tick step,
     return schedule;
 }
 
-void
-runPolicy(FreqPolicy policy, const bench::NmapThresholdCache &)
+ExperimentConfig
+policyConfig(FreqPolicy policy)
 {
     AppProfile app = AppProfile::memcached();
     ExperimentConfig cfg =
@@ -45,8 +46,13 @@ runPolicy(FreqPolicy policy, const bench::NmapThresholdCache &)
     cfg.loadSchedule = randomSchedule(
         app, cfg.warmup, cfg.warmup + cfg.duration, milliseconds(500),
         /*seed=*/777);
-    ExperimentResult r = Experiment(cfg).run();
+    return cfg;
+}
 
+void
+printPolicy(FreqPolicy policy, const ExperimentConfig &cfg,
+            const ExperimentResult &r)
+{
     std::printf("\n--- %s, randomly varying load over 5 s ---\n",
                 freqPolicyName(policy));
     // 250 ms summary buckets: median/max latency + P-state of core 0.
@@ -83,9 +89,15 @@ main()
 {
     bench::banner("Fig. 16",
                   "varying load: NMAP vs Parties (500 ms feedback)");
-    bench::NmapThresholdCache thresholds;
-    runPolicy(FreqPolicy::kNmap, thresholds);
-    runPolicy(FreqPolicy::kParties, thresholds);
+    const std::vector<FreqPolicy> policies = {FreqPolicy::kNmap,
+                                              FreqPolicy::kParties};
+    std::vector<ExperimentConfig> points;
+    for (FreqPolicy policy : policies)
+        points.push_back(policyConfig(policy));
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "fig16");
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        printPolicy(policies[i], points[i], results[i]);
     std::cout
         << "\nPaper shape: NMAP rides the load changes (only 0.18% of "
            "requests over the SLO; thresholds need no re-tuning as "

@@ -1,15 +1,18 @@
 /**
  * @file
  * Example: compare every frequency policy in the library on one
- * workload — the library's governor zoo in a single table.
+ * workload — the library's governor zoo in a single table. The ten
+ * policies run concurrently on the sweep pool (NMAPSIM_JOBS wide).
  *
  * Usage: ./build/examples/governor_shootout [memcached|nginx]
  */
 
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 
 using namespace nmapsim;
@@ -28,23 +31,31 @@ main(int argc, char **argv)
     base.app = app;
     auto [ni_th, cu_th] = Experiment::profileThresholds(base);
 
+    const std::vector<FreqPolicy> policies = {
+        FreqPolicy::kPowersave,   FreqPolicy::kIntelPowersave,
+        FreqPolicy::kOndemand,    FreqPolicy::kConservative,
+        FreqPolicy::kPerformance, FreqPolicy::kParties,
+        FreqPolicy::kNcapMenu,    FreqPolicy::kNcap,
+        FreqPolicy::kNmapSimpl,   FreqPolicy::kNmap};
+
+    base.load = LoadLevel::kHigh;
+    base.duration = seconds(1);
+    base.nmap.niThreshold = ni_th;
+    base.nmap.cuThreshold = cu_th;
+    SweepSpec spec(base);
+    spec.policies(policies);
+
+    SweepOptions opts;
+    opts.tag = "shootout";
+    std::vector<SweepOutcome> outcomes =
+        SweepRunner(opts).run(spec.build());
+
     Table table({"policy", "P99 (us)", "xSLO", "> SLO (%)",
                  "energy (J)", "avg power (W)", "V/F transitions"});
-    for (FreqPolicy policy :
-         {FreqPolicy::kPowersave, FreqPolicy::kIntelPowersave,
-          FreqPolicy::kOndemand, FreqPolicy::kConservative,
-          FreqPolicy::kPerformance, FreqPolicy::kParties,
-          FreqPolicy::kNcapMenu, FreqPolicy::kNcap,
-          FreqPolicy::kNmapSimpl, FreqPolicy::kNmap}) {
-        ExperimentConfig cfg = base;
-        cfg.freqPolicy = policy;
-        cfg.load = LoadLevel::kHigh;
-        cfg.duration = seconds(1);
-        cfg.nmap.niThreshold = ni_th;
-        cfg.nmap.cuThreshold = cu_th;
-        ExperimentResult r = Experiment(cfg).run();
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        const ExperimentResult &r = outcomes[spec.index(pi)].value();
         table.addRow({
-            freqPolicyName(policy),
+            freqPolicyName(policies[pi]),
             Table::num(toMicroseconds(r.p99), 0),
             Table::num(static_cast<double>(r.p99) /
                            static_cast<double>(app.slo),

@@ -347,6 +347,8 @@ Experiment::run()
     result.requestsSent = client.requestsSent();
     result.responsesReceived = client.responsesReceived();
     result.nicDrops = nic.packetsDropped();
+    result.nicRxHarvested = nic.rxHarvested();
+    result.nicTxConsumed = nic.txConsumed();
     result.ksoftirqdWakes = ksoft_counter.wakes();
 
     for (int i = 0; i < config_.numCores; ++i) {

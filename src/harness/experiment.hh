@@ -136,6 +136,8 @@ struct ExperimentResult
     std::uint64_t requestsSent = 0;
     std::uint64_t responsesReceived = 0;
     std::uint64_t nicDrops = 0;
+    std::uint64_t nicRxHarvested = 0; //!< Rx packets NAPI pulled off rings
+    std::uint64_t nicTxConsumed = 0;  //!< Tx completions NAPI consumed
 
     std::uint64_t pktsIntrMode = 0;
     std::uint64_t pktsPollMode = 0;

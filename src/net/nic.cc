@@ -59,6 +59,7 @@ Nic::popRx(int q, Packet &out)
         return false;
     out = queue.rx.front();
     queue.rx.pop_front();
+    ++rxHarvested_;
     return true;
 }
 
@@ -68,6 +69,7 @@ Nic::consumeTx(int q, std::uint32_t n)
     Queue &queue = queues_[static_cast<std::size_t>(q)];
     std::uint32_t taken = std::min(n, queue.txPending);
     queue.txPending -= taken;
+    txConsumed_ += taken;
     return taken;
 }
 

@@ -103,6 +103,12 @@ class Nic
     std::uint64_t packetsDropped() const { return dropped_; }
     std::uint64_t interruptsRaised() const { return irqsRaised_; }
     std::uint64_t packetsTransmitted() const { return transmitted_; }
+
+    /** Rx packets the OS harvested from the rings via popRx(). */
+    std::uint64_t rxHarvested() const { return rxHarvested_; }
+
+    /** Tx completions the OS consumed via consumeTx(). */
+    std::uint64_t txConsumed() const { return txConsumed_; }
     /**@}*/
 
     /** Queue index RSS assigns to @p flow_hash. */
@@ -141,6 +147,8 @@ class Nic
     std::uint64_t dropped_ = 0;
     std::uint64_t irqsRaised_ = 0;
     std::uint64_t transmitted_ = 0;
+    std::uint64_t rxHarvested_ = 0;
+    std::uint64_t txConsumed_ = 0;
 };
 
 } // namespace nmapsim

@@ -47,6 +47,17 @@ NapiContext::beginPoll()
     stashTx_ = nic_.consumeTx(
         queue_, static_cast<std::uint32_t>(config_.txCleanBudget));
 
+    // Attribute the batch to its mode at harvest time, so every packet
+    // taken off the NIC is counted even if the run ends mid-poll. The
+    // split mirrors completePoll(): the session's first poll() call is
+    // interrupt mode, everything later is polling mode.
+    std::uint32_t harvested =
+        static_cast<std::uint32_t>(stash_.size()) + stashTx_;
+    if (sessionPollCalls_ == 0)
+        pktsIntr_ += harvested;
+    else
+        pktsPoll_ += harvested;
+
     double cycles = config_.pollOverheadCycles;
     cycles += static_cast<double>(stash_.size()) * config_.rxPacketCycles;
     cycles += static_cast<double>(stashTx_) * config_.txCompletionCycles;
@@ -81,8 +92,6 @@ NapiContext::completePoll(bool in_ksoftirqd)
     else
         poll = processed;
     ++sessionPollCalls_;
-    pktsIntr_ += intr;
-    pktsPoll_ += poll;
     if (pollHook_)
         pollHook_(intr, poll);
 

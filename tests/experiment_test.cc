@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "harness/experiment.hh"
 #include "sim/logging.hh"
 
@@ -135,6 +137,56 @@ TEST(ExperimentTest, ThresholdProfilingProducesSaneValues)
     EXPECT_LT(ni, 10000.0);
     EXPECT_GT(cu, 0.0);
     EXPECT_LT(cu, 100.0);
+}
+
+TEST(ExperimentTest, ThresholdProfilingFiniteAndDeterministic)
+{
+    // Section 4.2: the profiling pass runs under the performance
+    // governor regardless of the config's requested policy, and must
+    // yield finite, positive thresholds with NI_TH > 0.
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow);
+    auto [ni, cu] = Experiment::profileThresholds(cfg);
+    EXPECT_TRUE(std::isfinite(ni));
+    EXPECT_TRUE(std::isfinite(cu));
+    EXPECT_GT(ni, 0.0);
+    EXPECT_GT(cu, 0.0);
+
+    // Profiling is itself a deterministic simulation.
+    auto [ni2, cu2] = Experiment::profileThresholds(cfg);
+    EXPECT_DOUBLE_EQ(ni, ni2);
+    EXPECT_DOUBLE_EQ(cu, cu2);
+
+    // Both apps profile successfully, to different values.
+    ExperimentConfig ng = cfg;
+    ng.app = AppProfile::nginx();
+    auto [ng_ni, ng_cu] = Experiment::profileThresholds(ng);
+    EXPECT_TRUE(std::isfinite(ng_ni));
+    EXPECT_GT(ng_ni, 0.0);
+    EXPECT_NE(ng_ni, ni);
+}
+
+TEST(ExperimentTest, AutoProfileWiresThresholdsIntoNmapRun)
+{
+    // autoProfileNmap (the default) must install exactly the values
+    // profileThresholds reports into the subsequent NMAP run.
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
+    ASSERT_TRUE(cfg.autoProfileNmap);
+    ASSERT_LE(cfg.nmap.niThreshold, 0.0);
+    auto [ni, cu] = Experiment::profileThresholds(cfg);
+    ExperimentResult r = Experiment(cfg).run();
+    EXPECT_DOUBLE_EQ(r.niThresholdUsed, ni);
+    EXPECT_DOUBLE_EQ(r.cuThresholdUsed, cu);
+}
+
+TEST(ExperimentTest, AutoProfileDisabledLeavesThresholdsUnset)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
+    cfg.autoProfileNmap = false;
+    ExperimentResult r = Experiment(cfg).run();
+    EXPECT_LE(r.niThresholdUsed, 0.0);
 }
 
 TEST(ExperimentTest, NmapUsesProfiledThresholds)

@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "harness/experiment.hh"
+#include "sim/rng.hh"
 
 namespace nmapsim {
 namespace {
@@ -50,8 +51,10 @@ TEST_P(RigInvariants, ConservationAndSanity)
     auto [policy, load, seed] = GetParam();
     EXPECT_EQ(r.nicDrops, 0u);
     EXPECT_GE(r.requestsSent, r.responsesReceived);
-    if (!(policy == FreqPolicy::kPowersave && load == LoadLevel::kHigh))
+    if (!(policy == FreqPolicy::kPowersave &&
+          load == LoadLevel::kHigh)) {
         EXPECT_GT(r.responsesReceived, r.requestsSent * 9 / 10);
+    }
 
     // Latency is physical: at least one wire round trip.
     EXPECT_GE(r.p50, microseconds(10));
@@ -71,6 +74,13 @@ TEST_P(RigInvariants, ConservationAndSanity)
 
     // Mode counters only move when traffic exists.
     EXPECT_GT(r.pktsIntrMode + r.pktsPollMode, 0u);
+
+    // Conservation: responses + drops never exceed requests, and the
+    // NAPI mode counters partition exactly the packets the OS pulled
+    // off the NIC (Rx harvests + Tx completions).
+    EXPECT_GE(r.requestsSent, r.responsesReceived + r.nicDrops);
+    EXPECT_EQ(r.pktsIntrMode + r.pktsPollMode,
+              r.nicRxHarvested + r.nicTxConsumed);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -159,6 +169,61 @@ TEST_P(SeedStability, NmapMeetsSloAtHighLoadAcrossSeeds)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedStability,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class PacketConservation : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/**
+ * Conservation must hold for *randomised* configurations, not just the
+ * curated policy grid: derive a config from the seed (policy, load,
+ * burst height, connection skew, core count) and check the packet
+ * accounting identities end to end.
+ */
+TEST_P(PacketConservation, HoldsForRandomConfigs)
+{
+    const unsigned seed = GetParam();
+    Rng rng(seed);
+
+    const FreqPolicy policies[] = {
+        FreqPolicy::kPerformance, FreqPolicy::kOndemand,
+        FreqPolicy::kNmap,        FreqPolicy::kNmapSimpl,
+        FreqPolicy::kNcap,        FreqPolicy::kParties,
+    };
+    const LoadLevel loads[] = {LoadLevel::kLow, LoadLevel::kMed,
+                               LoadLevel::kHigh};
+
+    ExperimentConfig cfg;
+    cfg.app = rng.bernoulli(0.5) ? AppProfile::memcached()
+                                 : AppProfile::nginx();
+    cfg.freqPolicy = policies[rng.uniformInt(0, 5)];
+    cfg.load = loads[rng.uniformInt(0, 2)];
+    cfg.numCores = static_cast<int>(rng.uniformInt(2, 8));
+    cfg.connectionSkew = rng.uniform(0.0, 1.0);
+    cfg.rpsOverride = cfg.app.level(cfg.load).rps *
+                      rng.uniform(0.5, 1.2);
+    cfg.seed = seed;
+    cfg.warmup = milliseconds(30);
+    cfg.duration = milliseconds(150);
+    cfg.nmap.niThreshold = 14.0;
+    cfg.nmap.cuThreshold = 0.5;
+    ExperimentResult r = Experiment(cfg).run();
+
+    // Client-side conservation: the server cannot answer requests that
+    // were never sent, and drops are a subset of what was sent.
+    EXPECT_GE(r.requestsSent, r.responsesReceived + r.nicDrops);
+
+    // OS-side conservation: interrupt-mode plus polling-mode packets
+    // is exactly the work NAPI took from the NIC, nothing more or
+    // less, whatever the policy, skew or core count.
+    EXPECT_EQ(r.pktsIntrMode + r.pktsPollMode,
+              r.nicRxHarvested + r.nicTxConsumed);
+    EXPECT_GT(r.pktsIntrMode + r.pktsPollMode, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, PacketConservation,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u,
+                                           66u));
 
 } // namespace
 } // namespace nmapsim

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Determinism-equivalence tests for the parallel sweep runner: a sweep
+ * must produce bit-identical scalar results regardless of the worker
+ * count, in submission order, and a throwing point must surface its
+ * error without poisoning sibling points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+ExperimentConfig
+shortConfig(FreqPolicy policy, LoadLevel load, std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.freqPolicy = policy;
+    cfg.load = load;
+    cfg.seed = seed;
+    cfg.warmup = milliseconds(20);
+    cfg.duration = milliseconds(60);
+    // Explicit thresholds: no nested profiling run per point.
+    cfg.nmap.niThreshold = 14.0;
+    cfg.nmap.cuThreshold = 0.5;
+    return cfg;
+}
+
+SweepOptions
+quiet(int jobs = 0)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    return opts;
+}
+
+/** Every scalar field of ExperimentResult must match exactly. */
+void
+expectSameScalars(const ExperimentResult &a, const ExperimentResult &b)
+{
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.maxLatency, b.maxLatency);
+    EXPECT_DOUBLE_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_DOUBLE_EQ(a.fracOverSlo, b.fracOverSlo);
+    EXPECT_EQ(a.slo, b.slo);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_DOUBLE_EQ(a.avgPowerWatts, b.avgPowerWatts);
+    EXPECT_EQ(a.requestsSent, b.requestsSent);
+    EXPECT_EQ(a.responsesReceived, b.responsesReceived);
+    EXPECT_EQ(a.nicDrops, b.nicDrops);
+    EXPECT_EQ(a.nicRxHarvested, b.nicRxHarvested);
+    EXPECT_EQ(a.nicTxConsumed, b.nicTxConsumed);
+    EXPECT_EQ(a.pktsIntrMode, b.pktsIntrMode);
+    EXPECT_EQ(a.pktsPollMode, b.pktsPollMode);
+    EXPECT_EQ(a.ksoftirqdWakes, b.ksoftirqdWakes);
+    EXPECT_EQ(a.pstateTransitions, b.pstateTransitions);
+    EXPECT_EQ(a.cc6Wakes, b.cc6Wakes);
+    EXPECT_EQ(a.cc1Wakes, b.cc1Wakes);
+    EXPECT_DOUBLE_EQ(a.busyFraction, b.busyFraction);
+    EXPECT_DOUBLE_EQ(a.niThresholdUsed, b.niThresholdUsed);
+    EXPECT_DOUBLE_EQ(a.cuThresholdUsed, b.cuThresholdUsed);
+}
+
+TEST(SweepTest, SameConfigAndSeedRunTwiceIsIdentical)
+{
+    ExperimentConfig cfg =
+        shortConfig(FreqPolicy::kOndemand, LoadLevel::kMed, 7);
+    std::vector<SweepOutcome> first =
+        SweepRunner(quiet()).run({cfg});
+    std::vector<SweepOutcome> second =
+        SweepRunner(quiet()).run({cfg});
+    ASSERT_TRUE(first[0].ok());
+    ASSERT_TRUE(second[0].ok());
+    expectSameScalars(first[0].value(), second[0].value());
+}
+
+TEST(SweepTest, OneThreadAndEightThreadsAgreeInOrder)
+{
+    // 12-point grid: 2 policies x 2 loads x 3 seeds.
+    std::vector<ExperimentConfig> points =
+        SweepSpec(shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow,
+                              1))
+            .policies({FreqPolicy::kOndemand, FreqPolicy::kNmap})
+            .loads({LoadLevel::kLow, LoadLevel::kHigh})
+            .seeds({1, 2, 3})
+            .build();
+    ASSERT_EQ(points.size(), 12u);
+
+    std::vector<SweepOutcome> serial =
+        SweepRunner(quiet(1)).run(points);
+    std::vector<SweepOutcome> parallel =
+        SweepRunner(quiet(8)).run(points);
+
+    ASSERT_EQ(serial.size(), 12u);
+    ASSERT_EQ(parallel.size(), 12u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        ASSERT_TRUE(serial[i].ok());
+        ASSERT_TRUE(parallel[i].ok());
+        expectSameScalars(serial[i].value(), parallel[i].value());
+    }
+
+    // Order check: distinct loads must land at their submission slot,
+    // not in completion order (the low-load point finishes first).
+    EXPECT_LT(parallel[0].value().requestsSent,
+              parallel[3].value().requestsSent);
+}
+
+TEST(SweepTest, ThrowingPointDoesNotPoisonSiblings)
+{
+    ExperimentConfig good =
+        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow, 5);
+    ExperimentConfig bad = good;
+    bad.duration = 0; // Experiment() rejects this with FatalError
+    std::vector<ExperimentConfig> points{good, bad, good};
+
+    std::vector<SweepOutcome> outcomes =
+        SweepRunner(quiet(4)).run(points);
+    ASSERT_EQ(outcomes.size(), 3u);
+
+    ASSERT_TRUE(outcomes[0].ok());
+    ASSERT_TRUE(outcomes[2].ok());
+    EXPECT_FALSE(outcomes[1].ok());
+    EXPECT_NE(outcomes[1].error().find("duration"), std::string::npos);
+    EXPECT_THROW(outcomes[1].value(), FatalError);
+
+    // The sibling points are exactly what a solo run produces.
+    ExperimentResult solo = Experiment(good).run();
+    expectSameScalars(outcomes[0].value(), solo);
+    expectSameScalars(outcomes[2].value(), solo);
+}
+
+TEST(SweepTest, GenericEngineRunsNonExperimentTasks)
+{
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 16; ++i)
+        tasks.emplace_back([i] { return i * i; });
+    tasks.emplace_back(
+        []() -> int { throw FatalError("boom"); });
+
+    SweepOptions opts = quiet(4);
+    std::vector<SweepSlot<int>> slots = runParallel(tasks, opts);
+    ASSERT_EQ(slots.size(), 17u);
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(slots[static_cast<std::size_t>(i)].ok());
+        EXPECT_EQ(slots[static_cast<std::size_t>(i)].value(), i * i);
+        EXPECT_GE(slots[static_cast<std::size_t>(i)].wallSeconds(),
+                  0.0);
+    }
+    EXPECT_FALSE(slots[16].ok());
+    EXPECT_EQ(slots[16].error(), "boom");
+    EXPECT_THROW(slots[16].value(), FatalError);
+}
+
+TEST(SweepTest, ProfileFanOutMatchesSerialProfiling)
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    std::vector<SweepSlot<std::pair<double, double>>> slots =
+        SweepRunner(quiet(2)).profile({cfg, cfg});
+    ASSERT_TRUE(slots[0].ok());
+    ASSERT_TRUE(slots[1].ok());
+    auto [ni, cu] = Experiment::profileThresholds(cfg);
+    EXPECT_DOUBLE_EQ(slots[0].value().first, ni);
+    EXPECT_DOUBLE_EQ(slots[0].value().second, cu);
+    EXPECT_DOUBLE_EQ(slots[1].value().first, ni);
+    EXPECT_DOUBLE_EQ(slots[1].value().second, cu);
+}
+
+TEST(SweepTest, SpecEnumeratesPoliciesOuterSeedsInner)
+{
+    SweepSpec spec =
+        SweepSpec(shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow,
+                              0))
+            .policies({FreqPolicy::kPerformance, FreqPolicy::kNmap})
+            .seeds({10, 20, 30});
+    EXPECT_EQ(spec.numPoints(), 6u);
+
+    std::vector<ExperimentConfig> points = spec.build();
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_EQ(points[0].freqPolicy, FreqPolicy::kPerformance);
+    EXPECT_EQ(points[0].seed, 10u);
+    EXPECT_EQ(points[2].seed, 30u);
+    EXPECT_EQ(points[3].freqPolicy, FreqPolicy::kNmap);
+    EXPECT_EQ(points[3].seed, 10u);
+    EXPECT_EQ(spec.index(1, 0, 0, 0, 0), 3u);
+    EXPECT_EQ(spec.index(1, 0, 0, 0, 2), 5u);
+
+    // Unset dimensions inherit the base config.
+    EXPECT_EQ(points[5].load, LoadLevel::kLow);
+    EXPECT_EQ(points[5].idlePolicy, IdlePolicy::kMenu);
+}
+
+TEST(SweepTest, RpsListInstallsOverrides)
+{
+    std::vector<ExperimentConfig> points =
+        SweepSpec(shortConfig(FreqPolicy::kPerformance,
+                              LoadLevel::kHigh, 42))
+            .rpsList({100e3, 500e3})
+            .build();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].rpsOverride, 100e3);
+    EXPECT_DOUBLE_EQ(points[1].rpsOverride, 500e3);
+}
+
+TEST(SweepTest, JobsResolutionHonoursEnvAndPointCount)
+{
+    // Explicit request wins.
+    EXPECT_EQ(resolveJobs(3, 100), 3);
+    // Capped at the point count.
+    EXPECT_EQ(resolveJobs(8, 2), 2);
+    EXPECT_EQ(resolveJobs(8, 0), 8);
+
+    ::setenv("NMAPSIM_JOBS", "5", 1);
+    EXPECT_EQ(resolveJobs(0, 100), 5);
+    EXPECT_EQ(resolveJobs(2, 100), 2); // explicit beats env
+    ::setenv("NMAPSIM_JOBS", "0", 1);  // invalid: fall through
+    EXPECT_GE(resolveJobs(0, 100), 1);
+    ::unsetenv("NMAPSIM_JOBS");
+    EXPECT_GE(resolveJobs(0, 100), 1);
+}
+
+TEST(SweepTest, EmptySweepReturnsNoOutcomes)
+{
+    std::vector<SweepOutcome> outcomes =
+        SweepRunner(quiet()).run({});
+    EXPECT_TRUE(outcomes.empty());
+}
+
+} // namespace
+} // namespace nmapsim
