@@ -33,7 +33,7 @@ namespace {
 struct Variant
 {
     const char *name;
-    FreqPolicy policy;
+    std::string policy;
     double ni;
     double cu;
 };
@@ -47,9 +47,9 @@ appPoints(const AppProfile &app, const std::vector<Variant> &variants)
              {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
             ExperimentConfig cfg = bench::cellConfig(app, load,
                                                      v.policy);
-            if (v.policy == FreqPolicy::kNmap) {
-                cfg.nmap.niThreshold = v.ni;
-                cfg.nmap.cuThreshold = v.cu;
+            if (v.policy == "NMAP") {
+                cfg.params.set("nmap.ni_th", v.ni);
+                cfg.params.set("nmap.cu_th", v.cu);
             }
             points.push_back(cfg);
         }
@@ -109,14 +109,14 @@ main()
     auto [ng_ni, ng_cu] = thresholds[1];
 
     const std::vector<Variant> mc_variants = {
-        {"offline (correct)", FreqPolicy::kNmap, mc_ni, mc_cu},
-        {"offline (stale)", FreqPolicy::kNmap, ng_ni, ng_cu},
-        {"online adaptive", FreqPolicy::kNmapAdaptive, 0, 0},
+        {"offline (correct)", "NMAP", mc_ni, mc_cu},
+        {"offline (stale)", "NMAP", ng_ni, ng_cu},
+        {"online adaptive", "NMAP-adaptive", 0, 0},
     };
     const std::vector<Variant> ng_variants = {
-        {"offline (correct)", FreqPolicy::kNmap, ng_ni, ng_cu},
-        {"offline (stale)", FreqPolicy::kNmap, mc_ni, mc_cu},
-        {"online adaptive", FreqPolicy::kNmapAdaptive, 0, 0},
+        {"offline (correct)", "NMAP", ng_ni, ng_cu},
+        {"offline (stale)", "NMAP", mc_ni, mc_cu},
+        {"online adaptive", "NMAP-adaptive", 0, 0},
     };
 
     std::vector<ExperimentConfig> points = appPoints(mc, mc_variants);

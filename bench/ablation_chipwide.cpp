@@ -28,16 +28,16 @@ main()
     auto [ni, cu] = bench::profileApps({app}, "ablation_chipwide")[0];
 
     const std::vector<double> skews = {0.0, 0.5, 1.0};
-    const std::vector<FreqPolicy> policies = {
-        FreqPolicy::kNmap, FreqPolicy::kNmapChipWide};
+    const std::vector<std::string> policies = {
+        "NMAP", "NMAP-chipwide"};
     std::vector<ExperimentConfig> points;
     for (double skew : skews) {
-        for (FreqPolicy policy : policies) {
+        for (const std::string &policy : policies) {
             ExperimentConfig cfg =
                 bench::cellConfig(app, LoadLevel::kMed, policy);
             cfg.connectionSkew = skew;
-            cfg.nmap.niThreshold = ni;
-            cfg.nmap.cuThreshold = cu;
+            cfg.params.set("nmap.ni_th", ni);
+            cfg.params.set("nmap.cu_th", cu);
             points.push_back(cfg);
         }
     }
@@ -49,19 +49,19 @@ main()
     std::size_t idx = 0;
     for (double skew : skews) {
         double percore_energy = 0.0;
-        for (FreqPolicy policy : policies) {
+        for (const std::string &policy : policies) {
             const ExperimentResult &r = results[idx++];
-            if (policy == FreqPolicy::kNmap)
+            if (policy == "NMAP")
                 percore_energy = r.energyJoules;
             table.addRow({
                 Table::num(skew, 1),
-                policy == FreqPolicy::kNmap ? "per-core" : "chip-wide",
+                policy == "NMAP" ? "per-core" : "chip-wide",
                 Table::num(toMicroseconds(r.p99), 0),
                 Table::num(static_cast<double>(r.p99) /
                                static_cast<double>(app.slo),
                            2),
                 Table::num(r.energyJoules, 1),
-                policy == FreqPolicy::kNmap
+                policy == "NMAP"
                     ? "-"
                     : Table::pct(r.energyJoules / percore_energy - 1.0),
             });

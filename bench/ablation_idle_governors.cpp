@@ -23,16 +23,16 @@ main()
     auto [ni, cu] =
         bench::profileApps({app}, "ablation_idle_governors")[0];
 
-    const std::vector<FreqPolicy> policies = {
-        FreqPolicy::kPerformance, FreqPolicy::kNmap};
-    const std::vector<IdlePolicy> idles = {
-        IdlePolicy::kMenu, IdlePolicy::kTeo, IdlePolicy::kC6Only,
-        IdlePolicy::kDisable};
+    const std::vector<std::string> policies = {
+        "performance", "NMAP"};
+    const std::vector<std::string> idles = {
+        "menu", "teo", "c6only",
+        "disable"};
 
     ExperimentConfig base =
-        bench::cellConfig(app, LoadLevel::kMed, FreqPolicy::kNmap);
-    base.nmap.niThreshold = ni;
-    base.nmap.cuThreshold = cu;
+        bench::cellConfig(app, LoadLevel::kMed, "NMAP");
+    base.params.set("nmap.ni_th", ni);
+    base.params.set("nmap.cu_th", cu);
     SweepSpec spec(base);
     spec.policies(policies).idlePolicies(idles);
     std::vector<ExperimentResult> results =
@@ -40,13 +40,13 @@ main()
 
     for (std::size_t pi = 0; pi < policies.size(); ++pi) {
         std::printf("\n--- %s governor, medium load ---\n",
-                    freqPolicyName(policies[pi]));
+                    policies[pi].c_str());
         Table table({"sleep policy", "P99 (us)", "energy (J)",
                      "CC6 wakes", "CC1 wakes"});
         for (std::size_t ii = 0; ii < idles.size(); ++ii) {
             const ExperimentResult &r = results[spec.index(pi, ii)];
             table.addRow({
-                idlePolicyName(idles[ii]),
+                idles[ii].c_str(),
                 Table::num(toMicroseconds(r.p99), 0),
                 Table::num(r.energyJoules, 1),
                 std::to_string(r.cc6Wakes),

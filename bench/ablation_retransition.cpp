@@ -30,19 +30,19 @@ main()
     auto [ni, cu] =
         bench::profileApps({app}, "ablation_retransition")[0];
 
-    const std::vector<FreqPolicy> policies = {
-        FreqPolicy::kOndemand, FreqPolicy::kNmapSimpl,
-        FreqPolicy::kNmap};
+    const std::vector<std::string> policies = {
+        "ondemand", "NMAP-simpl",
+        "NMAP"};
     const std::vector<const char *> cpus = {
         "Xeon Gold 6134", "Xeon Gold 6134 (fast VR)"};
     std::vector<ExperimentConfig> points;
-    for (FreqPolicy policy : policies) {
+    for (const std::string &policy : policies) {
         for (const char *cpu : cpus) {
             ExperimentConfig cfg =
                 bench::cellConfig(app, LoadLevel::kHigh, policy);
             cfg.cpuProfile = cpu;
-            cfg.nmap.niThreshold = ni;
-            cfg.nmap.cuThreshold = cu;
+            cfg.params.set("nmap.ni_th", ni);
+            cfg.params.set("nmap.cu_th", cu);
             points.push_back(cfg);
         }
     }
@@ -52,11 +52,11 @@ main()
     Table table({"policy", "CPU", "P99 (us)", "xSLO", "> SLO (%)",
                  "V/F transitions", "energy (J)"});
     std::size_t idx = 0;
-    for (FreqPolicy policy : policies) {
+    for (const std::string &policy : policies) {
         for (const char *cpu : cpus) {
             const ExperimentResult &r = results[idx++];
             table.addRow({
-                freqPolicyName(policy),
+                policy.c_str(),
                 cpu,
                 Table::num(toMicroseconds(r.p99), 0),
                 Table::num(static_cast<double>(r.p99) /

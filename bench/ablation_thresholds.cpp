@@ -36,16 +36,16 @@ main()
     std::vector<ExperimentConfig> points;
     for (double mult : ni_mults) {
         ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
-        cfg.nmap.niThreshold = ni0 * mult;
-        cfg.nmap.cuThreshold = cu0;
+            bench::cellConfig(app, LoadLevel::kHigh, "NMAP");
+        cfg.params.set("nmap.ni_th", ni0 * mult);
+        cfg.params.set("nmap.cu_th", cu0);
         points.push_back(cfg);
     }
     for (double mult : cu_mults) {
         ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
-        cfg.nmap.niThreshold = ni0;
-        cfg.nmap.cuThreshold = cu0 * mult;
+            bench::cellConfig(app, LoadLevel::kHigh, "NMAP");
+        cfg.params.set("nmap.ni_th", ni0);
+        cfg.params.set("nmap.cu_th", cu0 * mult);
         points.push_back(cfg);
     }
     std::vector<ExperimentResult> results =

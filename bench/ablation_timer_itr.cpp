@@ -41,7 +41,7 @@ main()
     std::vector<ExperimentConfig> itr_bases;
     for (double us : itr_us) {
         ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
+            bench::cellConfig(app, LoadLevel::kHigh, "NMAP");
         cfg.nic.itr = microseconds(us);
         itr_bases.push_back(cfg);
     }
@@ -54,17 +54,17 @@ main()
     std::vector<ExperimentConfig> points;
     for (double ms : timer_ms) {
         ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
-        cfg.nmap.timerInterval = milliseconds(ms);
-        cfg.nmap.niThreshold = ni;
-        cfg.nmap.cuThreshold = cu;
+            bench::cellConfig(app, LoadLevel::kHigh, "NMAP");
+        cfg.params.setTick("nmap.timer_interval", milliseconds(ms));
+        cfg.params.set("nmap.ni_th", ni);
+        cfg.params.set("nmap.cu_th", cu);
         points.push_back(cfg);
     }
     for (std::size_t i = 0; i < itr_us.size(); ++i) {
         ExperimentConfig cfg = itr_bases[i];
         auto [ni2, cu2] = itr_thresholds[i].value();
-        cfg.nmap.niThreshold = ni2;
-        cfg.nmap.cuThreshold = cu2;
+        cfg.params.set("nmap.ni_th", ni2);
+        cfg.params.set("nmap.cu_th", cu2);
         points.push_back(cfg);
     }
     std::vector<ExperimentResult> results =

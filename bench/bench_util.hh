@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/result_io.hh"
 #include "harness/sweep.hh"
+#include "stats/result_writer.hh"
 
 namespace nmapsim {
 namespace bench {
@@ -51,8 +53,8 @@ durationScale()
 
 /** Default experiment config for one app/load/policy cell. */
 inline ExperimentConfig
-cellConfig(const AppProfile &app, LoadLevel load, FreqPolicy policy,
-           IdlePolicy idle = IdlePolicy::kMenu)
+cellConfig(const AppProfile &app, LoadLevel load,
+           const std::string &policy, const std::string &idle = "menu")
 {
     ExperimentConfig cfg;
     cfg.app = app;
@@ -65,6 +67,40 @@ cellConfig(const AppProfile &app, LoadLevel load, FreqPolicy policy,
                           durationScale());
     cfg.seed = 42;
     return cfg;
+}
+
+/**
+ * Optional machine-readable sink: when NMAPSIM_BENCH_JSON=PATH is set,
+ * every (config, result) pair a bench runs through runAll() is also
+ * recorded and written to PATH as a JSON array at process exit. The
+ * table output on stdout is unchanged either way.
+ */
+inline ResultWriter *
+jsonSink()
+{
+    static ResultWriter *sink = []() -> ResultWriter * {
+        const char *path = std::getenv("NMAPSIM_BENCH_JSON");
+        if (path == nullptr || *path == '\0')
+            return nullptr;
+        static ResultWriter writer;
+        static std::string out = path;
+        std::atexit([] { writer.writeJsonFile(out); });
+        return &writer;
+    }();
+    return sink;
+}
+
+/** Record (config, result) pairs into the NMAPSIM_BENCH_JSON sink. */
+inline void
+recordResults(const std::vector<ExperimentConfig> &points,
+              const std::vector<ExperimentResult> &results)
+{
+    ResultWriter *sink = jsonSink();
+    if (sink == nullptr)
+        return;
+    for (std::size_t i = 0;
+         i < points.size() && i < results.size(); ++i)
+        appendResultRecord(*sink, points[i], results[i]);
 }
 
 /**
@@ -83,6 +119,7 @@ runAll(const std::vector<ExperimentConfig> &points,
     results.reserve(outcomes.size());
     for (SweepOutcome &outcome : outcomes)
         results.push_back(std::move(outcome.value()));
+    recordResults(points, results);
     return results;
 }
 
@@ -99,7 +136,7 @@ profileApps(const std::vector<AppProfile> &apps,
     points.reserve(apps.size());
     for (const AppProfile &app : apps)
         points.push_back(
-            cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap));
+            cellConfig(app, LoadLevel::kHigh, "NMAP"));
     SweepOptions opts;
     opts.tag = tag;
     std::vector<SweepSlot<std::pair<double, double>>> slots =

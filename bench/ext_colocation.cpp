@@ -37,7 +37,7 @@ namespace {
 struct Variant
 {
     const char *name;
-    FreqPolicy policy;
+    std::string policy;
     double ni;
     double cu;
 };
@@ -51,9 +51,9 @@ variantConfig(const TenantConfig &a, const TenantConfig &b,
     cfg.freqPolicy = v.policy;
     cfg.duration = static_cast<Tick>(
         static_cast<double>(seconds(1)) * bench::durationScale());
-    if (v.policy == FreqPolicy::kNmap) {
-        cfg.nmap.niThreshold = v.ni;
-        cfg.nmap.cuThreshold = v.cu;
+    if (v.policy == "NMAP") {
+        cfg.params.set("nmap.ni_th", v.ni);
+        cfg.params.set("nmap.cu_th", v.cu);
     }
     return cfg;
 }
@@ -99,11 +99,11 @@ main()
     auto [ng_ni, ng_cu] = thresholds[1];
 
     const std::vector<Variant> variants = {
-        {"performance", FreqPolicy::kPerformance, 0, 0},
-        {"ondemand", FreqPolicy::kOndemand, 0, 0},
-        {"NMAP (mc thresholds)", FreqPolicy::kNmap, mc_ni, mc_cu},
-        {"NMAP (nginx thresholds)", FreqPolicy::kNmap, ng_ni, ng_cu},
-        {"NMAP-adaptive", FreqPolicy::kNmapAdaptive, 0, 0},
+        {"performance", "performance", 0, 0},
+        {"ondemand", "ondemand", 0, 0},
+        {"NMAP (mc thresholds)", "NMAP", mc_ni, mc_cu},
+        {"NMAP (nginx thresholds)", "NMAP", ng_ni, ng_cu},
+        {"NMAP-adaptive", "NMAP-adaptive", 0, 0},
     };
 
     TenantConfig mc_med;

@@ -34,11 +34,11 @@ main()
 
     const std::vector<LoadLevel> loads = {LoadLevel::kLow,
                                           LoadLevel::kMed};
-    const std::vector<IdlePolicy> idles = {
-        IdlePolicy::kMenu, IdlePolicy::kTeo, IdlePolicy::kC6Only,
-        IdlePolicy::kDisable};
+    const std::vector<std::string> idles = {
+        "menu", "teo", "c6only",
+        "disable"};
     SweepSpec spec(bench::cellConfig(app, LoadLevel::kLow,
-                                     FreqPolicy::kPerformance));
+                                     "performance"));
     spec.idlePolicies(idles).loads(loads);
     std::vector<ExperimentResult> results =
         bench::runAll(spec.build(), "ext_usec_slo");
@@ -54,7 +54,7 @@ main()
             const ExperimentResult &r =
                 results[spec.index(0, ii, li)];
             table.addRow({
-                idlePolicyName(idles[ii]),
+                idles[ii].c_str(),
                 Table::num(toMicroseconds(r.p99), 1),
                 Table::num(static_cast<double>(r.p99) /
                                static_cast<double>(app.slo),

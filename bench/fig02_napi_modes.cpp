@@ -16,7 +16,7 @@ using namespace nmapsim;
 namespace {
 
 void
-printTrace(const AppProfile &app, FreqPolicy policy, Tick window)
+printTrace(const AppProfile &app, const std::string &policy, Tick window)
 {
     ExperimentConfig cfg =
         bench::cellConfig(app, LoadLevel::kHigh, policy);
@@ -25,7 +25,7 @@ printTrace(const AppProfile &app, FreqPolicy policy, Tick window)
     ExperimentResult r = Experiment(cfg).run();
 
     std::printf("\n--- %s, %s governor, high load ---\n",
-                app.name.c_str(), freqPolicyName(policy));
+                app.name.c_str(), policy.c_str());
     Table table({"t (ms)", "pkts intr", "pkts poll", "P-state(core0)",
                  "ksoftirqd wakes"});
     const TraceCollector &tc = *r.traces;
@@ -64,8 +64,8 @@ main()
                   "NAPI mode transitions under the ondemand governor");
     Tick window = static_cast<Tick>(
         static_cast<double>(milliseconds(200)) * bench::durationScale());
-    printTrace(AppProfile::memcached(), FreqPolicy::kOndemand, window);
-    printTrace(AppProfile::nginx(), FreqPolicy::kOndemand, window);
+    printTrace(AppProfile::memcached(), "ondemand", window);
+    printTrace(AppProfile::nginx(), "ondemand", window);
     std::cout << "\nPaper shape: polling-mode packets dominate at the "
                  "burst peaks and ksoftirqd wakes there, while the "
                  "ondemand governor raises the P-state only in the "

@@ -20,7 +20,7 @@ using namespace nmapsim;
 namespace {
 
 void
-printLatencyTrace(const AppProfile &app, FreqPolicy policy)
+printLatencyTrace(const AppProfile &app, const std::string &policy)
 {
     ExperimentConfig cfg =
         bench::cellConfig(app, LoadLevel::kHigh, policy);
@@ -29,7 +29,7 @@ printLatencyTrace(const AppProfile &app, FreqPolicy policy)
     ExperimentResult r = Experiment(cfg).run();
 
     std::printf("\n--- %s, %s governor (SLO %.0f ms) ---\n",
-                app.name.c_str(), freqPolicyName(policy),
+                app.name.c_str(), policy.c_str(),
                 toMilliseconds(app.slo));
 
     // Bucket the scatter into 10 ms windows.
@@ -70,8 +70,8 @@ main()
                             "ondemand vs performance");
     for (const AppProfile &app :
          {AppProfile::memcached(), AppProfile::nginx()}) {
-        printLatencyTrace(app, FreqPolicy::kOndemand);
-        printLatencyTrace(app, FreqPolicy::kPerformance);
+        printLatencyTrace(app, "ondemand");
+        printLatencyTrace(app, "performance");
     }
     std::cout << "\nPaper shape: ondemand shows multi-millisecond "
                  "latency spikes aligned with the bursts; performance "

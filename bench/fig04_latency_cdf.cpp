@@ -17,11 +17,11 @@ using namespace nmapsim;
 namespace {
 
 void
-printCdf(const AppProfile &app, FreqPolicy policy,
+printCdf(const AppProfile &app, const std::string &policy,
          const ExperimentResult &r)
 {
     std::printf("\n--- %s, %s governor ---\n", app.name.c_str(),
-                freqPolicyName(policy));
+                policy.c_str());
     Table table({"latency (us)", "CDF"});
     // Print a compact 20-point CDF.
     std::size_t step = r.cdf.size() / 20;
@@ -47,12 +47,12 @@ main()
                   "CDF of response latency, ondemand vs performance");
     const std::vector<AppProfile> apps = {AppProfile::memcached(),
                                           AppProfile::nginx()};
-    const std::vector<FreqPolicy> policies = {FreqPolicy::kOndemand,
-                                              FreqPolicy::kPerformance};
+    const std::vector<std::string> policies = {"ondemand",
+                                              "performance"};
 
     std::vector<ExperimentConfig> points;
     for (const AppProfile &app : apps)
-        for (FreqPolicy policy : policies)
+        for (const std::string &policy : policies)
             points.push_back(
                 bench::cellConfig(app, LoadLevel::kHigh, policy));
     std::vector<ExperimentResult> results =
@@ -60,7 +60,7 @@ main()
 
     std::size_t idx = 0;
     for (const AppProfile &app : apps)
-        for (FreqPolicy policy : policies)
+        for (const std::string &policy : policies)
             printCdf(app, policy, results[idx++]);
     std::cout << "\nPaper shape: with ondemand only 18.1% (memcached) "
                  "and 57.2% (nginx) of requests met the SLO; with "

@@ -18,8 +18,8 @@ void
 printTrace(LoadLevel load, Tick window)
 {
     ExperimentConfig cfg = bench::cellConfig(
-        AppProfile::memcached(), load, FreqPolicy::kPerformance,
-        IdlePolicy::kMenu);
+        AppProfile::memcached(), load, "performance",
+        "menu");
     cfg.collectTraces = true;
     cfg.duration = window + milliseconds(50);
     ExperimentResult r = Experiment(cfg).run();

@@ -27,15 +27,15 @@ main()
     const double duties = app.high.duty;
     std::vector<double> avg_loads{100e3, 250e3, 400e3, 550e3,
                                   650e3, 750e3, 820e3};
-    const std::vector<IdlePolicy> idles = {
-        IdlePolicy::kMenu, IdlePolicy::kDisable, IdlePolicy::kC6Only};
+    const std::vector<std::string> idles = {
+        "menu", "disable", "c6only"};
 
     // Keep the duty, vary the in-burst height.
     std::vector<double> rps_overrides;
     for (double avg : avg_loads)
         rps_overrides.push_back(avg / duties);
     SweepSpec spec(bench::cellConfig(app, LoadLevel::kHigh,
-                                     FreqPolicy::kPerformance));
+                                     "performance"));
     spec.idlePolicies(idles).rpsList(rps_overrides);
     std::vector<ExperimentResult> results =
         bench::runAll(spec.build(), "fig08");

@@ -23,7 +23,7 @@ main()
     for (const AppProfile &app :
          {AppProfile::memcached(), AppProfile::nginx()}) {
         ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
+            bench::cellConfig(app, LoadLevel::kHigh, "NMAP");
         cfg.collectTraces = true;
         cfg.duration = window + milliseconds(50);
         ExperimentResult r = Experiment(cfg).run();

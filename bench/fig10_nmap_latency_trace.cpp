@@ -24,7 +24,7 @@ main()
     for (const AppProfile &app :
          {AppProfile::memcached(), AppProfile::nginx()}) {
         ExperimentConfig cfg =
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap);
+            bench::cellConfig(app, LoadLevel::kHigh, "NMAP");
         cfg.collectLatencyTrace = true;
         cfg.duration = milliseconds(500);
         ExperimentResult r = Experiment(cfg).run();

@@ -23,7 +23,7 @@ main()
     std::vector<ExperimentConfig> points;
     for (const AppProfile &app : apps)
         points.push_back(
-            bench::cellConfig(app, LoadLevel::kHigh, FreqPolicy::kNmap));
+            bench::cellConfig(app, LoadLevel::kHigh, "NMAP"));
     std::vector<ExperimentResult> results =
         bench::runAll(points, "fig11");
 

@@ -21,13 +21,13 @@ main()
 {
     bench::banner("Fig. 12", "P99 latency comparison (x SLO)");
 
-    const std::vector<FreqPolicy> policies = {
-        FreqPolicy::kIntelPowersave, FreqPolicy::kOndemand,
-        FreqPolicy::kPerformance,    FreqPolicy::kNmapSimpl,
-        FreqPolicy::kNmap,
+    const std::vector<std::string> policies = {
+        "intel_powersave", "ondemand",
+        "performance",    "NMAP-simpl",
+        "NMAP",
     };
-    const std::vector<IdlePolicy> idles = {
-        IdlePolicy::kMenu, IdlePolicy::kDisable, IdlePolicy::kC6Only};
+    const std::vector<std::string> idles = {
+        "menu", "disable", "c6only"};
     const std::vector<LoadLevel> loads = {
         LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh};
     const std::vector<AppProfile> apps = {AppProfile::memcached(),
@@ -41,9 +41,9 @@ main()
     std::vector<SweepSpec> specs;
     for (std::size_t ai = 0; ai < apps.size(); ++ai) {
         ExperimentConfig base = bench::cellConfig(
-            apps[ai], LoadLevel::kLow, FreqPolicy::kOndemand);
-        base.nmap.niThreshold = thresholds[ai].first;
-        base.nmap.cuThreshold = thresholds[ai].second;
+            apps[ai], LoadLevel::kLow, "ondemand");
+        base.params.set("nmap.ni_th", thresholds[ai].first);
+        base.params.set("nmap.cu_th", thresholds[ai].second);
         SweepSpec spec(base);
         spec.policies(policies).idlePolicies(idles).loads(loads);
         std::vector<ExperimentConfig> grid = spec.build();
@@ -65,8 +65,8 @@ main()
         for (std::size_t pi = 0; pi < policies.size(); ++pi) {
             for (std::size_t ii = 0; ii < idles.size(); ++ii) {
                 std::vector<std::string> row{
-                    freqPolicyName(policies[pi]),
-                    idlePolicyName(idles[ii])};
+                    policies[pi].c_str(),
+                    idles[ii].c_str()};
                 for (std::size_t li = 0; li < loads.size(); ++li) {
                     const ExperimentResult &r =
                         results[offset + specs[ai].index(pi, ii, li)];

@@ -20,11 +20,11 @@ main()
     bench::banner("Fig. 14",
                   "P99 latency vs state of the art (normalised to SLO)");
 
-    const std::vector<FreqPolicy> policies = {
-        FreqPolicy::kNcapMenu,
-        FreqPolicy::kNcap,
-        FreqPolicy::kNmapSimpl,
-        FreqPolicy::kNmap,
+    const std::vector<std::string> policies = {
+        "NCAP-menu",
+        "NCAP",
+        "NMAP-simpl",
+        "NMAP",
     };
     const std::vector<LoadLevel> loads = {
         LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh};
@@ -38,9 +38,9 @@ main()
     std::vector<SweepSpec> specs;
     for (std::size_t ai = 0; ai < apps.size(); ++ai) {
         ExperimentConfig base = bench::cellConfig(
-            apps[ai], LoadLevel::kLow, FreqPolicy::kNmap);
-        base.nmap.niThreshold = thresholds[ai].first;
-        base.nmap.cuThreshold = thresholds[ai].second;
+            apps[ai], LoadLevel::kLow, "NMAP");
+        base.params.set("nmap.ni_th", thresholds[ai].first);
+        base.params.set("nmap.cu_th", thresholds[ai].second);
         SweepSpec spec(base);
         spec.policies(policies).loads(loads);
         std::vector<ExperimentConfig> grid = spec.build();
@@ -59,7 +59,7 @@ main()
                      "high (xSLO)"});
         for (std::size_t pi = 0; pi < policies.size(); ++pi) {
             std::vector<std::string> row{
-                freqPolicyName(policies[pi])};
+                policies[pi].c_str()};
             for (std::size_t li = 0; li < loads.size(); ++li) {
                 const ExperimentResult &r =
                     results[offset + specs[ai].index(pi, 0, li)];

@@ -21,11 +21,11 @@ main()
         "Fig. 15",
         "energy vs state of the art (normalised to performance+menu)");
 
-    const std::vector<FreqPolicy> policies = {
-        FreqPolicy::kNcapMenu,
-        FreqPolicy::kNcap,
-        FreqPolicy::kNmapSimpl,
-        FreqPolicy::kNmap,
+    const std::vector<std::string> policies = {
+        "NCAP-menu",
+        "NCAP",
+        "NMAP-simpl",
+        "NMAP",
     };
     const std::vector<LoadLevel> loads = {
         LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh};
@@ -42,12 +42,12 @@ main()
     for (std::size_t ai = 0; ai < apps.size(); ++ai) {
         for (LoadLevel load : loads)
             points.push_back(bench::cellConfig(
-                apps[ai], load, FreqPolicy::kPerformance,
-                IdlePolicy::kMenu));
+                apps[ai], load, "performance",
+                "menu"));
         ExperimentConfig base = bench::cellConfig(
-            apps[ai], LoadLevel::kLow, FreqPolicy::kNmap);
-        base.nmap.niThreshold = thresholds[ai].first;
-        base.nmap.cuThreshold = thresholds[ai].second;
+            apps[ai], LoadLevel::kLow, "NMAP");
+        base.params.set("nmap.ni_th", thresholds[ai].first);
+        base.params.set("nmap.cu_th", thresholds[ai].second);
         SweepSpec spec(base);
         spec.policies(policies).loads(loads);
         std::vector<ExperimentConfig> grid = spec.build();
@@ -73,13 +73,13 @@ main()
         Table table({"policy", "low", "med", "high"});
         for (std::size_t pi = 0; pi < policies.size(); ++pi) {
             std::vector<std::string> row{
-                freqPolicyName(policies[pi])};
+                policies[pi].c_str()};
             for (std::size_t li = 0; li < loads.size(); ++li) {
                 const ExperimentResult &r =
                     results[grid_offset + spec.index(pi, 0, li)];
-                if (policies[pi] == FreqPolicy::kNcap)
+                if (policies[pi] == "NCAP")
                     ncap[li] = r.energyJoules;
-                if (policies[pi] == FreqPolicy::kNmap)
+                if (policies[pi] == "NMAP")
                     nmap[li] = r.energyJoules;
                 row.push_back(
                     Table::num(r.energyJoules / base[li], 2));

@@ -35,7 +35,7 @@ randomSchedule(const AppProfile &app, Tick start, Tick end, Tick step,
 }
 
 ExperimentConfig
-policyConfig(FreqPolicy policy)
+policyConfig(const std::string &policy)
 {
     AppProfile app = AppProfile::memcached();
     ExperimentConfig cfg =
@@ -50,11 +50,11 @@ policyConfig(FreqPolicy policy)
 }
 
 void
-printPolicy(FreqPolicy policy, const ExperimentConfig &cfg,
+printPolicy(const std::string &policy, const ExperimentConfig &cfg,
             const ExperimentResult &r)
 {
     std::printf("\n--- %s, randomly varying load over 5 s ---\n",
-                freqPolicyName(policy));
+                policy.c_str());
     // 250 ms summary buckets: median/max latency + P-state of core 0.
     std::map<Tick, std::vector<Tick>> buckets;
     for (const LatencySample &s : r.latencyTrace)
@@ -89,10 +89,10 @@ main()
 {
     bench::banner("Fig. 16",
                   "varying load: NMAP vs Parties (500 ms feedback)");
-    const std::vector<FreqPolicy> policies = {FreqPolicy::kNmap,
-                                              FreqPolicy::kParties};
+    const std::vector<std::string> policies = {"NMAP",
+                                              "Parties"};
     std::vector<ExperimentConfig> points;
-    for (FreqPolicy policy : policies)
+    for (const std::string &policy : policies)
         points.push_back(policyConfig(policy));
     std::vector<ExperimentResult> results =
         bench::runAll(points, "fig16");

@@ -93,7 +93,7 @@ BM_FullRigSimulatedMillisecond(benchmark::State &state)
         ExperimentConfig cfg;
         cfg.app = AppProfile::memcached();
         cfg.load = LoadLevel::kHigh;
-        cfg.freqPolicy = FreqPolicy::kOndemand;
+        cfg.freqPolicy = "ondemand";
         cfg.warmup = 0;
         cfg.duration = milliseconds(1);
         Experiment experiment(cfg);

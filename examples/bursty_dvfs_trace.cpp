@@ -18,18 +18,18 @@ using namespace nmapsim;
 
 namespace {
 
-FreqPolicy
+std::string
 parsePolicy(const char *arg)
 {
     if (std::strcmp(arg, "nmap") == 0)
-        return FreqPolicy::kNmap;
+        return "NMAP";
     if (std::strcmp(arg, "nmap-simpl") == 0)
-        return FreqPolicy::kNmapSimpl;
+        return "NMAP-simpl";
     if (std::strcmp(arg, "performance") == 0)
-        return FreqPolicy::kPerformance;
+        return "performance";
     if (std::strcmp(arg, "ncap") == 0)
-        return FreqPolicy::kNcap;
-    return FreqPolicy::kOndemand;
+        return "NCAP";
+    return "ondemand";
 }
 
 } // namespace
@@ -37,8 +37,8 @@ parsePolicy(const char *arg)
 int
 main(int argc, char **argv)
 {
-    FreqPolicy policy =
-        argc > 1 ? parsePolicy(argv[1]) : FreqPolicy::kOndemand;
+    std::string policy =
+        argc > 1 ? parsePolicy(argv[1]) : "ondemand";
     AppProfile app = AppProfile::memcached();
 
     ExperimentConfig cfg;
@@ -49,7 +49,7 @@ main(int argc, char **argv)
     cfg.duration = milliseconds(120); // a full burst + the idle tail
     ExperimentResult r = Experiment(cfg).run();
 
-    std::cout << "one burst under the " << freqPolicyName(policy)
+    std::cout << "one burst under the " << policy.c_str()
               << " governor (memcached, high load; P-state 0 = "
                  "3.2 GHz, 15 = 1.2 GHz)\n\n";
     Table table({"t (ms)", "pkts intr", "pkts poll", "ksoftirqd",

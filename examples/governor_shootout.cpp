@@ -31,17 +31,17 @@ main(int argc, char **argv)
     base.app = app;
     auto [ni_th, cu_th] = Experiment::profileThresholds(base);
 
-    const std::vector<FreqPolicy> policies = {
-        FreqPolicy::kPowersave,   FreqPolicy::kIntelPowersave,
-        FreqPolicy::kOndemand,    FreqPolicy::kConservative,
-        FreqPolicy::kPerformance, FreqPolicy::kParties,
-        FreqPolicy::kNcapMenu,    FreqPolicy::kNcap,
-        FreqPolicy::kNmapSimpl,   FreqPolicy::kNmap};
+    const std::vector<std::string> policies = {
+        "powersave",   "intel_powersave",
+        "ondemand",    "conservative",
+        "performance", "Parties",
+        "NCAP-menu",    "NCAP",
+        "NMAP-simpl",   "NMAP"};
 
     base.load = LoadLevel::kHigh;
     base.duration = seconds(1);
-    base.nmap.niThreshold = ni_th;
-    base.nmap.cuThreshold = cu_th;
+    base.params.set("nmap.ni_th", ni_th);
+    base.params.set("nmap.cu_th", cu_th);
     SweepSpec spec(base);
     spec.policies(policies);
 
@@ -55,7 +55,7 @@ main(int argc, char **argv)
     for (std::size_t pi = 0; pi < policies.size(); ++pi) {
         const ExperimentResult &r = outcomes[spec.index(pi)].value();
         table.addRow({
-            freqPolicyName(policies[pi]),
+            policies[pi].c_str(),
             Table::num(toMicroseconds(r.p99), 0),
             Table::num(static_cast<double>(r.p99) /
                            static_cast<double>(app.slo),

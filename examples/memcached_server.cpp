@@ -28,7 +28,7 @@ main()
     // Step 1: offline threshold profiling at the SLO-inflection load.
     ExperimentConfig base;
     base.app = app;
-    base.freqPolicy = FreqPolicy::kNmap;
+    base.freqPolicy = "NMAP";
     auto [ni_th, cu_th] = Experiment::profileThresholds(base);
     std::cout << "profiled thresholds: NI_TH = " << ni_th
               << " polling pkts/interrupt, CU_TH = " << cu_th
@@ -43,8 +43,8 @@ main()
         ExperimentConfig cfg = base;
         cfg.load = load;
         cfg.duration = seconds(1);
-        cfg.nmap.niThreshold = ni_th;
-        cfg.nmap.cuThreshold = cu_th;
+        cfg.params.set("nmap.ni_th", ni_th);
+        cfg.params.set("nmap.cu_th", cu_th);
         ExperimentResult r = Experiment(cfg).run();
 
         double ratio =

@@ -35,21 +35,21 @@ main()
             Table::num(avg / 1e3, 0) + "K"};
         double nmap_energy = 0.0;
         double perf_energy = 0.0;
-        for (FreqPolicy policy :
-             {FreqPolicy::kOndemand, FreqPolicy::kNmap,
-              FreqPolicy::kPerformance}) {
+        for (const std::string &policy :
+             {"ondemand", "NMAP",
+              "performance"}) {
             ExperimentConfig cfg = base;
             cfg.freqPolicy = policy;
             cfg.load = LoadLevel::kHigh; // duty/train shape of high
             cfg.rpsOverride = avg / app.high.duty;
             cfg.duration = seconds(1);
-            cfg.nmap.niThreshold = ni_th;
-            cfg.nmap.cuThreshold = cu_th;
+            cfg.params.set("nmap.ni_th", ni_th);
+            cfg.params.set("nmap.cu_th", cu_th);
             ExperimentResult r = Experiment(cfg).run();
             row.push_back(Table::num(toMilliseconds(r.p99), 2));
-            if (policy == FreqPolicy::kNmap)
+            if (policy == "NMAP")
                 nmap_energy = r.energyJoules;
-            if (policy == FreqPolicy::kPerformance)
+            if (policy == "performance")
                 perf_energy = r.energyJoules;
         }
         row.push_back(Table::pct(nmap_energy / perf_energy - 1.0));

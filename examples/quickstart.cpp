@@ -24,19 +24,19 @@ main()
     Table table({"policy", "P99 (ms)", "> SLO (%)", "energy (J)",
                  "avg power (W)", "ksoftirqd wakes", "P-state trans."});
 
-    for (FreqPolicy policy :
-         {FreqPolicy::kOndemand, FreqPolicy::kPerformance,
-          FreqPolicy::kNmap}) {
+    for (const std::string &policy :
+         {"ondemand", "performance",
+          "NMAP"}) {
         ExperimentConfig config;
         config.app = AppProfile::memcached();
         config.load = LoadLevel::kHigh;
         config.freqPolicy = policy;
-        config.idlePolicy = IdlePolicy::kMenu;
+        config.idlePolicy = "menu";
         config.duration = seconds(1);
 
         ExperimentResult r = Experiment(config).run();
         table.addRow({
-            freqPolicyName(policy),
+            policy.c_str(),
             Table::num(toMilliseconds(r.p99), 3),
             Table::num(r.fracOverSlo * 100.0, 2),
             Table::num(r.energyJoules, 1),

@@ -20,42 +20,12 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "harness/policy_registry.hh"
 #include "stats/table.hh"
 
 using namespace nmapsim;
 
 namespace {
-
-const struct
-{
-    const char *name;
-    FreqPolicy policy;
-} kPolicies[] = {
-    {"performance", FreqPolicy::kPerformance},
-    {"powersave", FreqPolicy::kPowersave},
-    {"userspace", FreqPolicy::kUserspace},
-    {"ondemand", FreqPolicy::kOndemand},
-    {"conservative", FreqPolicy::kConservative},
-    {"intel-powersave", FreqPolicy::kIntelPowersave},
-    {"nmap", FreqPolicy::kNmap},
-    {"nmap-simpl", FreqPolicy::kNmapSimpl},
-    {"nmap-adaptive", FreqPolicy::kNmapAdaptive},
-    {"nmap-chipwide", FreqPolicy::kNmapChipWide},
-    {"ncap", FreqPolicy::kNcap},
-    {"ncap-menu", FreqPolicy::kNcapMenu},
-    {"parties", FreqPolicy::kParties},
-};
-
-const struct
-{
-    const char *name;
-    IdlePolicy policy;
-} kIdlePolicies[] = {
-    {"menu", IdlePolicy::kMenu},
-    {"disable", IdlePolicy::kDisable},
-    {"c6only", IdlePolicy::kC6Only},
-    {"teo", IdlePolicy::kTeo},
-};
 
 void
 usage()
@@ -64,11 +34,17 @@ usage()
         "run_experiment — drive one nmapsim experiment from flags\n\n"
         "  --policy NAME      frequency policy (default nmap):\n"
         "                     ");
-    for (const auto &p : kPolicies)
-        std::printf("%s ", p.name);
+    for (const std::string &name :
+         PolicyRegistry::instance().freqNames())
+        std::printf("%s ", name.c_str());
     std::printf(
         "\n"
-        "  --idle NAME        sleep policy: menu disable c6only teo\n"
+        "  --idle NAME        sleep policy: ");
+    for (const std::string &name :
+         PolicyRegistry::instance().idleNames())
+        std::printf("%s ", name.c_str());
+    std::printf(
+        "\n"
         "  --app NAME         memcached | nginx (default memcached)\n"
         "  --load LEVEL       low | med | high (default high)\n"
         "  --rps X            override burst height (RPS during burst)\n"
@@ -90,8 +66,9 @@ usage()
 int
 main(int argc, char **argv)
 {
+    ensureBuiltinPolicies();
     ExperimentConfig cfg;
-    cfg.freqPolicy = FreqPolicy::kNmap;
+    cfg.freqPolicy = "NMAP";
     bool trace = false;
 
     auto next_value = [&](int &i) -> const char * {
@@ -108,31 +85,24 @@ main(int argc, char **argv)
             usage();
             return 0;
         } else if (std::strcmp(arg, "--policy") == 0) {
-            const char *v = next_value(i);
-            bool found = false;
-            for (const auto &p : kPolicies) {
-                if (std::strcmp(v, p.name) == 0) {
-                    cfg.freqPolicy = p.policy;
-                    found = true;
-                }
-            }
-            if (!found) {
-                std::fprintf(stderr, "unknown policy: %s\n", v);
+            std::string v = next_value(i);
+            // Pre-registry spelling of intel_powersave.
+            if (v == "intel-powersave")
+                v = "intel_powersave";
+            if (!PolicyRegistry::instance().hasFreq(v)) {
+                std::fprintf(stderr, "unknown policy: %s\n",
+                             v.c_str());
                 return 2;
             }
+            cfg.freqPolicy = v;
         } else if (std::strcmp(arg, "--idle") == 0) {
-            const char *v = next_value(i);
-            bool found = false;
-            for (const auto &p : kIdlePolicies) {
-                if (std::strcmp(v, p.name) == 0) {
-                    cfg.idlePolicy = p.policy;
-                    found = true;
-                }
-            }
-            if (!found) {
-                std::fprintf(stderr, "unknown idle policy: %s\n", v);
+            std::string v = next_value(i);
+            if (!PolicyRegistry::instance().hasIdle(v)) {
+                std::fprintf(stderr, "unknown idle policy: %s\n",
+                             v.c_str());
                 return 2;
             }
+            cfg.idlePolicy = v;
         } else if (std::strcmp(arg, "--app") == 0) {
             const char *v = next_value(i);
             if (std::strcmp(v, "nginx") == 0) {
@@ -171,11 +141,12 @@ main(int argc, char **argv)
             cfg.seed =
                 static_cast<std::uint64_t>(std::atoll(next_value(i)));
         } else if (std::strcmp(arg, "--ni-th") == 0) {
-            cfg.nmap.niThreshold = std::atof(next_value(i));
+            cfg.params.set("nmap.ni_th", std::atof(next_value(i)));
         } else if (std::strcmp(arg, "--cu-th") == 0) {
-            cfg.nmap.cuThreshold = std::atof(next_value(i));
+            cfg.params.set("nmap.cu_th", std::atof(next_value(i)));
         } else if (std::strcmp(arg, "--pstate") == 0) {
-            cfg.userspacePState = std::atoi(next_value(i));
+            cfg.params.set("userspace.pstate",
+                           std::atoi(next_value(i)));
         } else if (std::strcmp(arg, "--trace") == 0) {
             trace = true;
         } else {
@@ -188,8 +159,8 @@ main(int argc, char **argv)
 
     std::printf("app=%s policy=%s idle=%s load=%s cores=%d "
                 "duration=%.0fms seed=%llu\n",
-                cfg.app.name.c_str(), freqPolicyName(cfg.freqPolicy),
-                idlePolicyName(cfg.idlePolicy),
+                cfg.app.name.c_str(), cfg.freqPolicy.c_str(),
+                cfg.idlePolicy.c_str(),
                 loadLevelName(cfg.load), cfg.numCores,
                 toMilliseconds(cfg.duration),
                 static_cast<unsigned long long>(cfg.seed));

@@ -94,3 +94,44 @@ NcapGovernor::tick()
 }
 
 } // namespace nmapsim
+
+// --- Policy-registry entries -------------------------------------------
+
+#include "harness/policy_registry.hh"
+
+namespace nmapsim {
+
+void
+linkNcapPolicies()
+{
+}
+
+namespace {
+
+FreqPolicyInstance
+makeNcapVariant(PolicyContext &ctx, bool disable_sleep_on_burst)
+{
+    NcapConfig config;
+    config.monitorPeriod =
+        ctx.params.getTick("ncap.monitor_period", config.monitorPeriod);
+    config.rpsThreshold =
+        ctx.params.getDouble("ncap.rps_threshold", config.rpsThreshold);
+    config.disableSleepOnBurst = disable_sleep_on_burst;
+    auto ncap = std::make_unique<NcapGovernor>(ctx.eq, ctx.cores,
+                                               ctx.nic, config, ctx.gov);
+    if (disable_sleep_on_burst)
+        ncap->setIdleOverride(&ctx.requestSwitchableIdle());
+    return {std::move(ncap), nullptr};
+}
+
+FreqPolicyRegistrar regNcap(
+    "NCAP",
+    [](PolicyContext &ctx) { return makeNcapVariant(ctx, true); },
+    "NCAP (HPCA'17): NIC-rate chip-wide DVFS, sleep disabled on burst");
+FreqPolicyRegistrar regNcapMenu(
+    "NCAP-menu",
+    [](PolicyContext &ctx) { return makeNcapVariant(ctx, false); },
+    "NCAP without the sleep-state override");
+
+} // namespace
+} // namespace nmapsim

@@ -23,57 +23,12 @@
 
 #include "governors/freq_governor.hh"
 #include "governors/ondemand.hh"
+#include "governors/switchable_idle.hh"
 #include "net/nic.hh"
 #include "os/cpuidle.hh"
 #include "sim/event_queue.hh"
 
 namespace nmapsim {
-
-/**
- * Cpuidle wrapper that can disable deep sleep — the mechanism NCAP
- * uses during a detected burst. Forcing leaves only the C1 halt state
- * (like a PM-QoS zero-latency request), so wake-ups are instant but
- * the deep power savings of CC6 are unavailable.
- */
-class SwitchableIdleGovernor : public CpuIdleGovernor
-{
-  public:
-    explicit SwitchableIdleGovernor(CpuIdleGovernor &inner)
-        : inner_(inner)
-    {
-    }
-
-    void setForceAwake(bool force) { forceAwake_ = force; }
-    bool forceAwake() const { return forceAwake_; }
-
-    CState
-    selectState(int core, Tick now) override
-    {
-        return forceAwake_ ? CState::kC1 : inner_.selectState(core, now);
-    }
-
-    void
-    recordIdle(int core, Tick duration) override
-    {
-        inner_.recordIdle(core, duration);
-    }
-
-    Tick
-    promoteToC6After(int core) const override
-    {
-        return forceAwake_ ? 0 : inner_.promoteToC6After(core);
-    }
-
-    std::string
-    name() const override
-    {
-        return "switchable(" + inner_.name() + ")";
-    }
-
-  private:
-    CpuIdleGovernor &inner_;
-    bool forceAwake_ = false;
-};
 
 /** NCAP tunables. */
 struct NcapConfig

@@ -63,3 +63,45 @@ PartiesGovernor::tick()
 }
 
 } // namespace nmapsim
+
+// --- Policy-registry entry ---------------------------------------------
+
+#include "harness/policy_registry.hh"
+#include "workload/client.hh"
+
+namespace nmapsim {
+
+void
+linkPartiesPolicy()
+{
+}
+
+namespace {
+
+FreqPolicyInstance
+makeParties(PolicyContext &ctx)
+{
+    if (!ctx.client)
+        fatal("Parties needs a client-side tail-latency feed, which "
+              "this harness does not provide");
+    PartiesConfig config;
+    config.interval =
+        ctx.params.getTick("parties.interval", config.interval);
+    config.slo = ctx.params.getTick("parties.slo", 0);
+    if (config.slo <= 0)
+        config.slo = ctx.app.slo;
+    config.downSlack =
+        ctx.params.getDouble("parties.down_slack", config.downSlack);
+    config.upAggression = ctx.params.getDouble("parties.up_aggression",
+                                               config.upAggression);
+    return {std::make_unique<PartiesGovernor>(ctx.eq, ctx.cores,
+                                              *ctx.client, config),
+            nullptr};
+}
+
+FreqPolicyRegistrar regParties(
+    "Parties", &makeParties,
+    "Parties (ASPLOS'19) slack-driven chip-wide DVFS controller");
+
+} // namespace
+} // namespace nmapsim

@@ -100,3 +100,46 @@ TeoIdleGovernor::selectState(int core, Tick now)
 }
 
 } // namespace nmapsim
+
+// --- Policy-registry entries -------------------------------------------
+
+#include "harness/policy_registry.hh"
+
+namespace nmapsim {
+
+void
+linkCpuidlePolicies()
+{
+}
+
+namespace {
+
+IdlePolicyRegistrar regMenu(
+    "menu",
+    [](const IdleContext &ctx) -> std::unique_ptr<CpuIdleGovernor> {
+        return std::make_unique<MenuIdleGovernor>(ctx.profile,
+                                                  ctx.numCores);
+    },
+    "Linux menu governor: history-based idle prediction");
+IdlePolicyRegistrar regDisable(
+    "disable",
+    [](const IdleContext &) -> std::unique_ptr<CpuIdleGovernor> {
+        return std::make_unique<DisableIdleGovernor>();
+    },
+    "never sleep: idle cores spin in C0");
+IdlePolicyRegistrar regC6Only(
+    "c6only",
+    [](const IdleContext &) -> std::unique_ptr<CpuIdleGovernor> {
+        return std::make_unique<C6OnlyIdleGovernor>();
+    },
+    "always take the deepest sleep state (CC6)");
+IdlePolicyRegistrar regTeo(
+    "teo",
+    [](const IdleContext &ctx) -> std::unique_ptr<CpuIdleGovernor> {
+        return std::make_unique<TeoIdleGovernor>(ctx.profile,
+                                                 ctx.numCores);
+    },
+    "timer-events-oriented governor: C6 only when hits dominate");
+
+} // namespace
+} // namespace nmapsim

@@ -26,6 +26,8 @@ struct GovernorConfig
     double upThreshold = 0.80;            //!< ondemand up_threshold
     double downThreshold = 0.20;          //!< conservative down trigger
     double ewmaAlpha = 0.35; //!< intel_powersave utilisation smoothing
+
+    bool operator==(const GovernorConfig &) const = default;
 };
 
 /** Strategy that decides core P-states. */

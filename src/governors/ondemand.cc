@@ -132,3 +132,53 @@ IntelPowersaveGovernor::sampleUtil(int core)
 }
 
 } // namespace nmapsim
+
+// --- Policy-registry entries -------------------------------------------
+
+#include "harness/policy_registry.hh"
+
+namespace nmapsim {
+
+void
+linkOndemandPolicies()
+{
+}
+
+namespace {
+
+FreqPolicyInstance
+makeOndemand(PolicyContext &ctx)
+{
+    return {std::make_unique<OndemandGovernor>(ctx.eq, ctx.cores,
+                                               ctx.gov),
+            nullptr};
+}
+
+FreqPolicyInstance
+makeConservative(PolicyContext &ctx)
+{
+    return {std::make_unique<ConservativeGovernor>(ctx.eq, ctx.cores,
+                                                   ctx.gov),
+            nullptr};
+}
+
+FreqPolicyInstance
+makeIntelPowersave(PolicyContext &ctx)
+{
+    return {std::make_unique<IntelPowersaveGovernor>(ctx.eq, ctx.cores,
+                                                     ctx.gov),
+            nullptr};
+}
+
+FreqPolicyRegistrar regOndemand(
+    "ondemand", &makeOndemand,
+    "CPU-utilisation sampling governor (cpufreq ondemand)");
+FreqPolicyRegistrar regConservative(
+    "conservative", &makeConservative,
+    "one P-state step per sample period (cpufreq conservative)");
+FreqPolicyRegistrar regIntelPowersave(
+    "intel_powersave", &makeIntelPowersave,
+    "C0-residency EWMA governor (intel_pstate powersave analogue)");
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Policy-registry entries for the static cpufreq governors.
+ */
+
+#include "governors/static_governors.hh"
+
+#include "harness/policy_registry.hh"
+
+namespace nmapsim {
+
+void
+linkStaticGovernorPolicies()
+{
+}
+
+namespace {
+
+FreqPolicyInstance
+makePerformance(PolicyContext &ctx)
+{
+    return {std::make_unique<PerformanceGovernor>(ctx.cores), nullptr};
+}
+
+FreqPolicyInstance
+makePowersave(PolicyContext &ctx)
+{
+    return {std::make_unique<PowersaveGovernor>(ctx.cores), nullptr};
+}
+
+FreqPolicyInstance
+makeUserspace(PolicyContext &ctx)
+{
+    return {std::make_unique<UserspaceGovernor>(
+                ctx.cores, ctx.params.getInt("userspace.pstate", 0)),
+            nullptr};
+}
+
+FreqPolicyRegistrar regPerformance(
+    "performance", &makePerformance,
+    "pin every core at P0 (latency-optimal, energy-hungry)");
+FreqPolicyRegistrar regPowersave(
+    "powersave", &makePowersave,
+    "pin every core at the lowest P-state");
+FreqPolicyRegistrar regUserspace(
+    "userspace", &makeUserspace,
+    "pin every core at userspace.pstate (default 0)");
+
+} // namespace
+} // namespace nmapsim

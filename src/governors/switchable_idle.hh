@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cpuidle wrapper that can disable deep sleep on demand.
+ *
+ * Forcing leaves only the C1 halt state (like a PM-QoS zero-latency
+ * request), so wake-ups are instant but the deep power savings of CC6
+ * are unavailable. The harness wraps whichever sleep policy a run
+ * selects in one of these, and frequency policies that drive sleep
+ * states (NCAP during a detected burst) request the handle through
+ * their PolicyContext.
+ */
+
+#ifndef NMAPSIM_GOVERNORS_SWITCHABLE_IDLE_HH_
+#define NMAPSIM_GOVERNORS_SWITCHABLE_IDLE_HH_
+
+#include "os/cpuidle.hh"
+
+namespace nmapsim {
+
+/** Pass-through cpuidle governor with a force-awake (C1-only) mode. */
+class SwitchableIdleGovernor : public CpuIdleGovernor
+{
+  public:
+    explicit SwitchableIdleGovernor(CpuIdleGovernor &inner)
+        : inner_(inner)
+    {
+    }
+
+    void setForceAwake(bool force) { forceAwake_ = force; }
+    bool forceAwake() const { return forceAwake_; }
+
+    CState
+    selectState(int core, Tick now) override
+    {
+        return forceAwake_ ? CState::kC1 : inner_.selectState(core, now);
+    }
+
+    void
+    recordIdle(int core, Tick duration) override
+    {
+        inner_.recordIdle(core, duration);
+    }
+
+    Tick
+    promoteToC6After(int core) const override
+    {
+        return forceAwake_ ? 0 : inner_.promoteToC6After(core);
+    }
+
+    std::string
+    name() const override
+    {
+        return "switchable(" + inner_.name() + ")";
+    }
+
+  private:
+    CpuIdleGovernor &inner_;
+    bool forceAwake_ = false;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_GOVERNORS_SWITCHABLE_IDLE_HH_

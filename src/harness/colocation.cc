@@ -3,12 +3,9 @@
 #include "cpu/core.hh"
 #include "cpu/cpu_profile.hh"
 #include "cpu/package_power.hh"
-#include "governors/cpuidle_policies.hh"
-#include "governors/ondemand.hh"
-#include "governors/static_governors.hh"
+#include "governors/switchable_idle.hh"
+#include "harness/policy_registry.hh"
 #include "net/wire.hh"
-#include "nmap/adaptive.hh"
-#include "nmap/nmap_governor.hh"
 #include "os/server_os.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -30,6 +27,7 @@ constexpr std::uint32_t kFlowSpaceStride = 1024;
 ColocationExperiment::ColocationExperiment(ColocationConfig config)
     : config_(std::move(config))
 {
+    ensureBuiltinPolicies();
     if (config_.tenants.empty() || config_.tenants.size() > 8)
         fatal("ColocationExperiment supports 1-8 tenants");
     if (config_.numCores < 1)
@@ -106,58 +104,35 @@ ColocationExperiment::run()
             tenants[idx].client->onResponse(pkt);
     });
 
-    // --- Policies ------------------------------------------------------
-    MenuIdleGovernor menu(profile, config_.numCores);
-    DisableIdleGovernor disable;
-    C6OnlyIdleGovernor c6only;
-    TeoIdleGovernor teo(profile, config_.numCores);
-    CpuIdleGovernor *idle = nullptr;
-    switch (config_.idlePolicy) {
-      case IdlePolicy::kMenu:
-        idle = &menu;
-        break;
-      case IdlePolicy::kDisable:
-        idle = &disable;
-        break;
-      case IdlePolicy::kC6Only:
-        idle = &c6only;
-        break;
-      case IdlePolicy::kTeo:
-        idle = &teo;
-        break;
-    }
-    os.setIdleGovernor(idle);
+    // --- Policies (resolved by name via the registry) ----------------
+    IdleContext idle_ctx{profile, config_.numCores, config_.params};
+    std::unique_ptr<CpuIdleGovernor> idle =
+        PolicyRegistry::instance().makeIdle(config_.idlePolicy,
+                                            idle_ctx);
+    SwitchableIdleGovernor switchable(*idle);
 
-    std::unique_ptr<FreqGovernor> governor;
-    switch (config_.freqPolicy) {
-      case FreqPolicy::kPerformance:
-        governor = std::make_unique<PerformanceGovernor>(core_ptrs);
-        break;
-      case FreqPolicy::kOndemand:
-        governor = std::make_unique<OndemandGovernor>(eq, core_ptrs,
-                                                      config_.gov);
-        break;
-      case FreqPolicy::kNmap: {
-        if (config_.nmap.niThreshold <= 0.0 ||
-            config_.nmap.cuThreshold <= 0.0)
-            fatal("colocated NMAP needs explicit thresholds (there is "
-                  "no single application to profile)");
-        auto nmap = std::make_unique<NmapGovernor>(
-            eq, core_ptrs, config_.nmap, config_.gov);
-        os.addObserver(nmap.get());
-        governor = std::move(nmap);
-        break;
-      }
-      case FreqPolicy::kNmapAdaptive: {
-        auto adaptive = std::make_unique<AdaptiveNmapGovernor>(
-            eq, core_ptrs, config_.adaptive, rng.fork(), config_.gov);
-        os.addObserver(adaptive.get());
-        governor = std::move(adaptive);
-        break;
-      }
-      default:
-        fatal("ColocationExperiment: unsupported frequency policy");
-    }
+    // No client latency feed and no single application to profile:
+    // factories needing either fatal() with a policy-specific message.
+    PolicyContext policy_ctx{
+        eq,
+        core_ptrs,
+        nic,
+        os,
+        config_.tenants.front().app,
+        rng,
+        config_.gov,
+        config_.params,
+        /*client=*/nullptr,
+        /*profileThresholds=*/nullptr,
+        &switchable,
+        /*switchableRequested_=*/false};
+    FreqPolicyInstance policy =
+        PolicyRegistry::instance().makeFreq(config_.freqPolicy,
+                                            policy_ctx);
+
+    os.setIdleGovernor(policy_ctx.switchableRequested()
+                           ? static_cast<CpuIdleGovernor *>(&switchable)
+                           : idle.get());
 
     // --- Energy ----------------------------------------------------------
     PackagePower uncore(eq, core_ptrs);
@@ -168,7 +143,7 @@ ColocationExperiment::run()
 
     // --- Run ---------------------------------------------------------------
     os.start();
-    governor->start();
+    policy.governor->start();
     for (std::size_t i = 0; i < tenants.size(); ++i) {
         const TenantConfig &tc = config_.tenants[i];
         LoadLevelSpec spec = tc.app.level(tc.load);

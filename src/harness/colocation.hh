@@ -58,14 +58,18 @@ struct ColocationConfig
 
     std::vector<TenantConfig> tenants;
 
-    /** Supported: kPerformance, kOndemand, kNmap (explicit
-     *  thresholds), kNmapAdaptive. */
-    FreqPolicy freqPolicy = FreqPolicy::kNmap;
-    IdlePolicy idlePolicy = IdlePolicy::kMenu;
+    /** Frequency policy, by PolicyRegistry name. There is no single
+     *  application to profile and no single client latency feed, so
+     *  policies needing either ("NMAP" without explicit thresholds,
+     *  "Parties") are fatal here. */
+    std::string freqPolicy = "NMAP";
+    /** Sleep policy, by PolicyRegistry name. */
+    std::string idlePolicy = "menu";
+    /** Policy tunables; NMAP must carry explicit "nmap.ni_th" /
+     *  "nmap.cu_th". */
+    PolicyParams params;
 
     GovernorConfig gov{};
-    NmapConfig nmap{};         //!< must carry explicit thresholds
-    AdaptiveConfig adaptive{};
     OsConfig os{};
     NicConfig nic{};
 

@@ -5,11 +5,9 @@
 #include "cpu/core.hh"
 #include "cpu/cpu_profile.hh"
 #include "cpu/package_power.hh"
-#include "governors/cpuidle_policies.hh"
-#include "governors/ondemand.hh"
-#include "governors/static_governors.hh"
+#include "governors/switchable_idle.hh"
+#include "harness/policy_registry.hh"
 #include "net/wire.hh"
-#include "nmap/nmap_governor.hh"
 #include "nmap/profiler.hh"
 #include "os/server_os.hh"
 #include "sim/event_queue.hh"
@@ -20,56 +18,6 @@
 #include "workload/server_app.hh"
 
 namespace nmapsim {
-
-const char *
-freqPolicyName(FreqPolicy policy)
-{
-    switch (policy) {
-      case FreqPolicy::kPerformance:
-        return "performance";
-      case FreqPolicy::kPowersave:
-        return "powersave";
-      case FreqPolicy::kUserspace:
-        return "userspace";
-      case FreqPolicy::kOndemand:
-        return "ondemand";
-      case FreqPolicy::kConservative:
-        return "conservative";
-      case FreqPolicy::kIntelPowersave:
-        return "intel_powersave";
-      case FreqPolicy::kNmap:
-        return "NMAP";
-      case FreqPolicy::kNmapSimpl:
-        return "NMAP-simpl";
-      case FreqPolicy::kNmapAdaptive:
-        return "NMAP-adaptive";
-      case FreqPolicy::kNmapChipWide:
-        return "NMAP-chipwide";
-      case FreqPolicy::kNcap:
-        return "NCAP";
-      case FreqPolicy::kNcapMenu:
-        return "NCAP-menu";
-      case FreqPolicy::kParties:
-        return "Parties";
-    }
-    return "?";
-}
-
-const char *
-idlePolicyName(IdlePolicy policy)
-{
-    switch (policy) {
-      case IdlePolicy::kMenu:
-        return "menu";
-      case IdlePolicy::kDisable:
-        return "disable";
-      case IdlePolicy::kC6Only:
-        return "c6only";
-      case IdlePolicy::kTeo:
-        return "teo";
-    }
-    return "?";
-}
 
 namespace {
 
@@ -95,6 +43,7 @@ class KsoftirqdCounter : public NapiObserver
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config))
 {
+    ensureBuiltinPolicies();
     if (config_.numCores < 1)
         fatal("Experiment requires at least one core");
     if (config_.duration <= 0)
@@ -108,8 +57,8 @@ Experiment::profileThresholds(const ExperimentConfig &config)
     // the SLO (the latency-load inflection point == the high load) with
     // a fixed maximum V/F so the thresholds describe a healthy core.
     ExperimentConfig pcfg = config;
-    pcfg.freqPolicy = FreqPolicy::kPerformance;
-    pcfg.idlePolicy = IdlePolicy::kMenu;
+    pcfg.freqPolicy = "performance";
+    pcfg.idlePolicy = "menu";
     pcfg.load = LoadLevel::kHigh;
     pcfg.rpsOverride = 0.0;
     pcfg.trainMeanOverride = 0.0;
@@ -162,117 +111,33 @@ Experiment::run()
         [&client](const Packet &pkt) { client.onResponse(pkt); });
     LoadGenerator gen(eq, client, config_.burst, rng.fork());
 
-    // --- Sleep policy ----------------------------------------------
-    MenuIdleGovernor menu(profile, config_.numCores);
-    DisableIdleGovernor disable;
-    C6OnlyIdleGovernor c6only;
-    TeoIdleGovernor teo(profile, config_.numCores);
-    CpuIdleGovernor *idle = nullptr;
-    switch (config_.idlePolicy) {
-      case IdlePolicy::kMenu:
-        idle = &menu;
-        break;
-      case IdlePolicy::kDisable:
-        idle = &disable;
-        break;
-      case IdlePolicy::kC6Only:
-        idle = &c6only;
-        break;
-      case IdlePolicy::kTeo:
-        idle = &teo;
-        break;
-    }
+    // --- Policies (resolved by name via the registry) ----------------
+    IdleContext idle_ctx{profile, config_.numCores, config_.params};
+    std::unique_ptr<CpuIdleGovernor> idle =
+        PolicyRegistry::instance().makeIdle(config_.idlePolicy,
+                                            idle_ctx);
     SwitchableIdleGovernor switchable(*idle);
 
-    // --- Frequency policy -------------------------------------------
-    ExperimentResult result;
-    std::unique_ptr<FreqGovernor> governor;
-    AdaptiveNmapGovernor *adaptiveGov = nullptr;
-    bool use_switchable_idle = false;
-    switch (config_.freqPolicy) {
-      case FreqPolicy::kPerformance:
-        governor = std::make_unique<PerformanceGovernor>(core_ptrs);
-        break;
-      case FreqPolicy::kPowersave:
-        governor = std::make_unique<PowersaveGovernor>(core_ptrs);
-        break;
-      case FreqPolicy::kUserspace:
-        governor = std::make_unique<UserspaceGovernor>(
-            core_ptrs, config_.userspacePState);
-        break;
-      case FreqPolicy::kOndemand:
-        governor = std::make_unique<OndemandGovernor>(eq, core_ptrs,
-                                                      config_.gov);
-        break;
-      case FreqPolicy::kConservative:
-        governor = std::make_unique<ConservativeGovernor>(
-            eq, core_ptrs, config_.gov);
-        break;
-      case FreqPolicy::kIntelPowersave:
-        governor = std::make_unique<IntelPowersaveGovernor>(
-            eq, core_ptrs, config_.gov);
-        break;
-      case FreqPolicy::kNmap:
-      case FreqPolicy::kNmapChipWide: {
-        NmapConfig nmap_config = config_.nmap;
-        nmap_config.chipWide =
-            config_.freqPolicy == FreqPolicy::kNmapChipWide;
-        if (nmap_config.niThreshold <= 0.0 && config_.autoProfileNmap) {
-            auto [ni, cu] = profileThresholds(config_);
-            nmap_config.niThreshold = ni;
-            nmap_config.cuThreshold = cu;
-        }
-        result.niThresholdUsed = nmap_config.niThreshold;
-        result.cuThresholdUsed = nmap_config.cuThreshold;
-        auto nmap = std::make_unique<NmapGovernor>(
-            eq, core_ptrs, nmap_config, config_.gov);
-        os.addObserver(nmap.get());
-        governor = std::move(nmap);
-        break;
-      }
-      case FreqPolicy::kNmapAdaptive: {
-        auto adaptive = std::make_unique<AdaptiveNmapGovernor>(
-            eq, core_ptrs, config_.adaptive, rng.fork(), config_.gov);
-        os.addObserver(adaptive.get());
-        AdaptiveNmapGovernor *raw = adaptive.get();
-        governor = std::move(adaptive);
-        // Report the converged thresholds after the run via a hack-free
-        // path: read them at collection time below.
-        adaptiveGov = raw;
-        break;
-      }
-      case FreqPolicy::kNmapSimpl: {
-        auto simpl = std::make_unique<NmapSimplGovernor>(eq, core_ptrs,
-                                                         config_.gov);
-        os.addObserver(simpl.get());
-        governor = std::move(simpl);
-        break;
-      }
-      case FreqPolicy::kNcap:
-      case FreqPolicy::kNcapMenu: {
-        NcapConfig ncap_config = config_.ncap;
-        ncap_config.disableSleepOnBurst =
-            config_.freqPolicy == FreqPolicy::kNcap;
-        auto ncap = std::make_unique<NcapGovernor>(
-            eq, core_ptrs, nic, ncap_config, config_.gov);
-        ncap->setIdleOverride(&switchable);
-        use_switchable_idle = true;
-        governor = std::move(ncap);
-        break;
-      }
-      case FreqPolicy::kParties: {
-        PartiesConfig parties_config = config_.parties;
-        if (parties_config.slo <= 0)
-            parties_config.slo = config_.app.slo;
-        governor = std::make_unique<PartiesGovernor>(
-            eq, core_ptrs, client, parties_config);
-        break;
-      }
-    }
+    PolicyContext policy_ctx{
+        eq,
+        core_ptrs,
+        nic,
+        os,
+        config_.app,
+        rng,
+        config_.gov,
+        config_.params,
+        &client,
+        [this] { return profileThresholds(config_); },
+        &switchable,
+        /*switchableRequested_=*/false};
+    FreqPolicyInstance policy =
+        PolicyRegistry::instance().makeFreq(config_.freqPolicy,
+                                            policy_ctx);
 
-    os.setIdleGovernor(use_switchable_idle
+    os.setIdleGovernor(policy_ctx.switchableRequested()
                            ? static_cast<CpuIdleGovernor *>(&switchable)
-                           : idle);
+                           : idle.get());
 
     // --- Observers ---------------------------------------------------
     KsoftirqdCounter ksoft_counter;
@@ -315,7 +180,7 @@ Experiment::run()
 
     // --- Run -----------------------------------------------------------
     os.start();
-    governor->start();
+    policy.governor->start();
     gen.setConnectionSkew(config_.connectionSkew);
     gen.setLoad(spec);
     gen.start();
@@ -332,6 +197,7 @@ Experiment::run()
         eq.deschedule(ev.get());
 
     // --- Collect ---------------------------------------------------------
+    ExperimentResult result;
     const LatencyRecorder &lat = client.latencies();
     result.slo = config_.app.slo;
     result.p50 = lat.percentile(50.0);
@@ -363,10 +229,8 @@ Experiment::run()
                                static_cast<double>(config_.numCores);
     }
 
-    if (adaptiveGov) {
-        result.niThresholdUsed = adaptiveGov->currentNiThreshold();
-        result.cuThresholdUsed = adaptiveGov->currentCuThreshold();
-    }
+    if (policy.finalize)
+        policy.finalize(result);
     result.traces = traces;
     if (config_.collectTraces) {
         const EventMarkSeries &cc6 =

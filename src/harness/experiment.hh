@@ -4,11 +4,17 @@
  *
  * An Experiment assembles the paper's full evaluation rig — Xeon Gold
  * 6134 cores, 10 GbE wires, multi-queue NIC with RSS, the OS network
- * stack, a server application, 20 client connections and the bursty
- * load generator — applies one frequency policy and one sleep policy,
- * runs it, and reports the metrics the paper's figures plot: P99
- * latency, SLO violation fraction, package energy, NAPI mode counters
- * and optional traces.
+ * stack, a server application, the client connection pool (24 by
+ * default; see ExperimentConfig::numConnections) and the bursty load
+ * generator — applies one frequency policy and one sleep policy, runs
+ * it, and reports the metrics the paper's figures plot: P99 latency,
+ * SLO violation fraction, package energy, NAPI mode counters and
+ * optional traces.
+ *
+ * Policies are referenced by name and resolved through the
+ * PolicyRegistry (see harness/policy_registry.hh); the harness itself
+ * knows no concrete governor. Policy-specific tunables travel in
+ * ExperimentConfig::params.
  *
  * Every bench binary and example is a thin wrapper over this class.
  */
@@ -21,13 +27,10 @@
 #include <utility>
 #include <vector>
 
-#include "baselines/ncap.hh"
-#include "baselines/parties.hh"
 #include "governors/freq_governor.hh"
+#include "harness/policy_params.hh"
 #include "harness/trace_collector.hh"
 #include "net/nic.hh"
-#include "nmap/adaptive.hh"
-#include "nmap/decision_engine.hh"
 #include "os/hooks.hh"
 #include "os/os_config.hh"
 #include "stats/latency_recorder.hh"
@@ -37,41 +40,13 @@
 
 namespace nmapsim {
 
-/** Frequency (P-state) policy under test. */
-enum class FreqPolicy
-{
-    kPerformance,
-    kPowersave,
-    kUserspace,
-    kOndemand,
-    kConservative,
-    kIntelPowersave,
-    kNmap,
-    kNmapSimpl,
-    kNmapAdaptive, //!< NMAP with online threshold learning (extension)
-    kNmapChipWide, //!< NMAP on a chip-wide DVFS package (extension)
-    kNcap,
-    kNcapMenu,
-    kParties,
-};
-
-/** Sleep (C-state) policy under test. */
-enum class IdlePolicy
-{
-    kMenu,
-    kDisable,
-    kC6Only,
-    kTeo, //!< timer-events-oriented governor (extension)
-};
-
-const char *freqPolicyName(FreqPolicy policy);
-const char *idlePolicyName(IdlePolicy policy);
-
 /** A timed load change (Fig. 16's varying-load scenario). */
 struct LoadChange
 {
     Tick at;            //!< absolute simulation time
     LoadLevelSpec spec; //!< new in-burst rate / train size
+
+    bool operator==(const LoadChange &) const = default;
 };
 
 /** Declarative description of one run. */
@@ -89,16 +64,19 @@ struct ExperimentConfig
     double connectionSkew = 0.0; //!< >0 concentrates load on few cores
     std::vector<LoadChange> loadSchedule; //!< optional varying load
 
-    FreqPolicy freqPolicy = FreqPolicy::kOndemand;
-    IdlePolicy idlePolicy = IdlePolicy::kMenu;
-    int userspacePState = 0;
+    /** Frequency policy, by PolicyRegistry name (e.g. "ondemand",
+     *  "performance", "NMAP", "NCAP", "Parties"). */
+    std::string freqPolicy = "ondemand";
+    /** Sleep policy, by PolicyRegistry name ("menu", "disable",
+     *  "c6only", "teo"). */
+    std::string idlePolicy = "menu";
+    /** Policy-specific tunables (e.g. "nmap.ni_th", "parties.interval",
+     *  "userspace.pstate"); see each policy's registration. For NMAP,
+     *  an unset/<=0 "nmap.ni_th" requests offline profiling unless
+     *  "nmap.auto_profile" is false. */
+    PolicyParams params;
 
-    GovernorConfig gov{};
-    NmapConfig nmap{};          //!< niThreshold<=0 requests profiling
-    AdaptiveConfig adaptive{};  //!< for kNmapAdaptive
-    bool autoProfileNmap = true;
-    NcapConfig ncap{};
-    PartiesConfig parties{};    //!< slo filled from the app when 0
+    GovernorConfig gov{}; //!< shared sampling-governor tunables
 
     OsConfig os{};
     NicConfig nic{};            //!< numQueues forced to numCores
@@ -116,8 +94,13 @@ struct ExperimentConfig
     bool collectLatencyTrace = false;   //!< Fig. 3/10/16 scatter data
     int watchCore = 0;
 
-    /** Extra NAPI observers (borrowed), e.g. a ThresholdProfiler. */
+    /** Extra NAPI observers. Borrowed, never owned: each pointer must
+     *  stay valid until Experiment::run() returns (the harness
+     *  attaches them for the run and drops them with the rig; they are
+     *  not serialised and do not survive into the result). */
     std::vector<NapiObserver *> extraObservers;
+
+    bool operator==(const ExperimentConfig &) const = default;
 };
 
 /** Everything a run produces. */
@@ -182,6 +165,62 @@ class Experiment
   private:
     ExperimentConfig config_;
 };
+
+// --- Deprecated enum aliases (kept for one PR) -------------------------
+//
+// Policies are addressed by registry name now. The enums below are
+// thin lookups onto those names for code still carrying them around;
+// new code should pass the strings directly.
+
+/** @deprecated Use the PolicyRegistry name strings instead. */
+enum class FreqPolicy
+{
+    kPerformance,
+    kPowersave,
+    kUserspace,
+    kOndemand,
+    kConservative,
+    kIntelPowersave,
+    kNmap,
+    kNmapSimpl,
+    kNmapAdaptive, //!< NMAP with online threshold learning (extension)
+    kNmapChipWide, //!< NMAP on a chip-wide DVFS package (extension)
+    kNcap,
+    kNcapMenu,
+    kParties,
+};
+
+/** @deprecated Use the PolicyRegistry name strings instead. */
+enum class IdlePolicy
+{
+    kMenu,
+    kDisable,
+    kC6Only,
+    kTeo, //!< timer-events-oriented governor (extension)
+};
+
+/** @deprecated Registry name of a legacy FreqPolicy value. */
+inline const char *
+freqPolicyName(FreqPolicy policy)
+{
+    static constexpr const char *kNames[] = {
+        "performance", "powersave",     "userspace",
+        "ondemand",    "conservative",  "intel_powersave",
+        "NMAP",        "NMAP-simpl",    "NMAP-adaptive",
+        "NMAP-chipwide", "NCAP",        "NCAP-menu",
+        "Parties",
+    };
+    return kNames[static_cast<int>(policy)];
+}
+
+/** @deprecated Registry name of a legacy IdlePolicy value. */
+inline const char *
+idlePolicyName(IdlePolicy policy)
+{
+    static constexpr const char *kNames[] = {"menu", "disable",
+                                             "c6only", "teo"};
+    return kNames[static_cast<int>(policy)];
+}
 
 } // namespace nmapsim
 

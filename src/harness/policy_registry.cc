@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Link anchors for the built-in policy registrations.
+ *
+ * The built-in policies self-register from translation units inside
+ * nmapsim_governors / nmapsim_nmap / nmapsim_baselines. Those TUs
+ * export one no-op anchor function each; calling the anchors from the
+ * harness forces the linker to pull the object files (and thus run
+ * their registrar statics) out of the static archives. Policies
+ * compiled directly into an executable (e.g. a test registering a
+ * dummy governor) need no anchor.
+ */
+
+#include "harness/policy_registry.hh"
+
+namespace nmapsim {
+
+// Defined in the registering TUs (see each module's *.cc).
+void linkStaticGovernorPolicies();  // governors/static_governors.cc
+void linkOndemandPolicies();        // governors/ondemand.cc
+void linkCpuidlePolicies();         // governors/cpuidle_policies.cc
+void linkNmapPolicies();            // nmap/nmap_governor.cc
+void linkAdaptiveNmapPolicy();      // nmap/adaptive.cc
+void linkNcapPolicies();            // baselines/ncap.cc
+void linkPartiesPolicy();           // baselines/parties.cc
+
+void
+ensureBuiltinPolicies()
+{
+    linkStaticGovernorPolicies();
+    linkOndemandPolicies();
+    linkCpuidlePolicies();
+    linkNmapPolicies();
+    linkAdaptiveNmapPolicy();
+    linkNcapPolicies();
+    linkPartiesPolicy();
+}
+
+} // namespace nmapsim

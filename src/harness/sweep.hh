@@ -238,14 +238,14 @@ class SweepSpec
     }
 
     SweepSpec &
-    policies(std::vector<FreqPolicy> v)
+    policies(std::vector<std::string> v)
     {
         policies_ = std::move(v);
         return *this;
     }
 
     SweepSpec &
-    idlePolicies(std::vector<IdlePolicy> v)
+    idlePolicies(std::vector<std::string> v)
     {
         idles_ = std::move(v);
         return *this;
@@ -316,8 +316,8 @@ class SweepSpec
     }
 
     ExperimentConfig base_;
-    std::vector<FreqPolicy> policies_;
-    std::vector<IdlePolicy> idles_;
+    std::vector<std::string> policies_;
+    std::vector<std::string> idles_;
     std::vector<LoadLevel> loads_;
     std::vector<double> rps_;
     std::vector<std::uint64_t> seeds_;

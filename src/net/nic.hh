@@ -37,6 +37,8 @@ struct NicConfig
     std::size_t rxRingSize = 2048; //!< per-queue Rx descriptor ring
     Tick itr = microseconds(10);  //!< min interrupt period per queue
     Tick dmaLatency = microseconds(1); //!< Tx DMA completion delay
+
+    bool operator==(const NicConfig &) const = default;
 };
 
 /** The server's network interface card. */

@@ -147,3 +147,59 @@ AdaptiveNmapGovernor::networkIntensive(int core) const
 }
 
 } // namespace nmapsim
+
+// --- Policy-registry entry ---------------------------------------------
+
+#include "harness/experiment.hh"
+#include "harness/policy_registry.hh"
+
+namespace nmapsim {
+
+void
+linkAdaptiveNmapPolicy()
+{
+}
+
+namespace {
+
+FreqPolicyInstance
+makeAdaptiveNmap(PolicyContext &ctx)
+{
+    AdaptiveConfig config;
+    config.timerInterval = ctx.params.getTick("adaptive.timer_interval",
+                                              config.timerInterval);
+    config.niQuantile =
+        ctx.params.getDouble("adaptive.ni_quantile", config.niQuantile);
+    config.niMargin =
+        ctx.params.getDouble("adaptive.ni_margin", config.niMargin);
+    config.cuMargin =
+        ctx.params.getDouble("adaptive.cu_margin", config.cuMargin);
+    config.ratioAlpha =
+        ctx.params.getDouble("adaptive.ratio_alpha", config.ratioAlpha);
+    config.bootstrapNiTh = ctx.params.getDouble("adaptive.bootstrap_ni_th",
+                                                config.bootstrapNiTh);
+    config.bootstrapCuTh = ctx.params.getDouble("adaptive.bootstrap_cu_th",
+                                                config.bootstrapCuTh);
+    config.minSamples =
+        ctx.params.getInt("adaptive.min_samples", config.minSamples);
+    config.reservoirSize = static_cast<std::size_t>(ctx.params.getInt(
+        "adaptive.reservoir_size",
+        static_cast<int>(config.reservoirSize)));
+
+    auto adaptive = std::make_unique<AdaptiveNmapGovernor>(
+        ctx.eq, ctx.cores, config, ctx.rng.fork(), ctx.gov);
+    ctx.addObserver(adaptive.get());
+    AdaptiveNmapGovernor *raw = adaptive.get();
+    return {std::move(adaptive), [raw](ExperimentResult &result) {
+                result.niThresholdUsed = raw->currentNiThreshold();
+                result.cuThresholdUsed = raw->currentCuThreshold();
+            }};
+}
+
+FreqPolicyRegistrar regAdaptive(
+    "NMAP-adaptive", &makeAdaptiveNmap,
+    "NMAP with online threshold learning (extension; no profiling "
+    "pass)");
+
+} // namespace
+} // namespace nmapsim

@@ -90,3 +90,77 @@ NmapSimplGovernor::networkIntensive(int core) const
 }
 
 } // namespace nmapsim
+
+// --- Policy-registry entries -------------------------------------------
+
+#include "harness/experiment.hh"
+#include "harness/policy_registry.hh"
+
+namespace nmapsim {
+
+void
+linkNmapPolicies()
+{
+}
+
+namespace {
+
+/**
+ * Shared NMAP wiring: read the thresholds from the params blob,
+ * falling back to the Section 4.2 offline profiling pass when NI_TH is
+ * unset and nmap.auto_profile (default true) allows it.
+ */
+FreqPolicyInstance
+makeNmapVariant(PolicyContext &ctx, bool chip_wide)
+{
+    NmapConfig config;
+    config.timerInterval =
+        ctx.params.getTick("nmap.timer_interval", config.timerInterval);
+    config.niThreshold = ctx.params.getDouble("nmap.ni_th", 0.0);
+    config.cuThreshold = ctx.params.getDouble("nmap.cu_th", 0.0);
+    config.chipWide = chip_wide;
+    if (config.niThreshold <= 0.0 &&
+        ctx.params.getBool("nmap.auto_profile", true)) {
+        if (!ctx.profileThresholds)
+            fatal("colocated NMAP needs explicit thresholds (there is "
+                  "no single application to profile)");
+        auto [ni, cu] = ctx.profileThresholds();
+        config.niThreshold = ni;
+        config.cuThreshold = cu;
+    }
+    auto nmap = std::make_unique<NmapGovernor>(ctx.eq, ctx.cores,
+                                               config, ctx.gov);
+    ctx.addObserver(nmap.get());
+    double ni_used = config.niThreshold;
+    double cu_used = config.cuThreshold;
+    return {std::move(nmap),
+            [ni_used, cu_used](ExperimentResult &result) {
+                result.niThresholdUsed = ni_used;
+                result.cuThresholdUsed = cu_used;
+            }};
+}
+
+FreqPolicyInstance
+makeNmapSimpl(PolicyContext &ctx)
+{
+    auto simpl =
+        std::make_unique<NmapSimplGovernor>(ctx.eq, ctx.cores, ctx.gov);
+    ctx.addObserver(simpl.get());
+    return {std::move(simpl), nullptr};
+}
+
+FreqPolicyRegistrar regNmap(
+    "NMAP",
+    [](PolicyContext &ctx) { return makeNmapVariant(ctx, false); },
+    "NMAP (Section 4): per-core mode-transition DVFS; profiles "
+    "nmap.ni_th/nmap.cu_th offline unless set");
+FreqPolicyRegistrar regNmapChipWide(
+    "NMAP-chipwide",
+    [](PolicyContext &ctx) { return makeNmapVariant(ctx, true); },
+    "NMAP on a chip-wide DVFS package (Section 2.2 variant)");
+FreqPolicyRegistrar regNmapSimpl(
+    "NMAP-simpl", &makeNmapSimpl,
+    "simplified NMAP (Section 4.1): ksoftirqd-driven, no thresholds");
+
+} // namespace
+} // namespace nmapsim

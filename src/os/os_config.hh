@@ -52,6 +52,8 @@ struct OsConfig
      * 250 Hz").
      */
     Tick maxSoftirqTime = milliseconds(8);
+
+    bool operator==(const OsConfig &) const = default;
 };
 
 } // namespace nmapsim

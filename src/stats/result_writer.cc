@@ -1,0 +1,246 @@
+#include "stats/result_writer.hh"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr const char *kHex = "0123456789abcdef";
+                out += "\\u00";
+                out += kHex[(c >> 4) & 0xf];
+                out += kHex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+toJson(const ResultWriter::Value &v)
+{
+    if (const auto *s = std::get_if<std::string>(&v))
+        return "\"" + jsonEscape(*s) + "\"";
+    if (const auto *d = std::get_if<double>(&v)) {
+        if (!std::isfinite(*d))
+            return "null";
+        return ResultWriter::formatDouble(*d);
+    }
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return std::to_string(*i);
+    if (const auto *u = std::get_if<std::uint64_t>(&v))
+        return std::to_string(*u);
+    return std::get<bool>(v) ? "true" : "false";
+}
+
+std::string
+toCsv(const ResultWriter::Value &v)
+{
+    if (const auto *s = std::get_if<std::string>(&v))
+        return csvEscape(*s);
+    if (const auto *d = std::get_if<double>(&v)) {
+        if (!std::isfinite(*d))
+            return "";
+        return ResultWriter::formatDouble(*d);
+    }
+    if (const auto *i = std::get_if<std::int64_t>(&v))
+        return std::to_string(*i);
+    if (const auto *u = std::get_if<std::uint64_t>(&v))
+        return std::to_string(*u);
+    return std::get<bool>(v) ? "true" : "false";
+}
+
+} // namespace
+
+ResultWriter::Record &
+ResultWriter::Record::setValue(const std::string &key, Value v)
+{
+    for (auto &[k, value] : fields_) {
+        if (k == key) {
+            value = std::move(v);
+            return *this;
+        }
+    }
+    fields_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+ResultWriter::Record &
+ResultWriter::Record::set(const std::string &key, std::string v)
+{
+    return setValue(key, Value(std::move(v)));
+}
+
+ResultWriter::Record &
+ResultWriter::Record::set(const std::string &key, const char *v)
+{
+    return setValue(key, Value(std::string(v)));
+}
+
+ResultWriter::Record &
+ResultWriter::Record::set(const std::string &key, double v)
+{
+    return setValue(key, Value(v));
+}
+
+ResultWriter::Record &
+ResultWriter::Record::set(const std::string &key, std::int64_t v)
+{
+    return setValue(key, Value(v));
+}
+
+ResultWriter::Record &
+ResultWriter::Record::set(const std::string &key, int v)
+{
+    return setValue(key, Value(static_cast<std::int64_t>(v)));
+}
+
+ResultWriter::Record &
+ResultWriter::Record::set(const std::string &key, std::uint64_t v)
+{
+    return setValue(key, Value(v));
+}
+
+ResultWriter::Record &
+ResultWriter::Record::set(const std::string &key, bool v)
+{
+    return setValue(key, Value(v));
+}
+
+ResultWriter::Record &
+ResultWriter::add()
+{
+    records_.emplace_back();
+    return records_.back();
+}
+
+void
+ResultWriter::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+        os << "  {";
+        const auto &fields = records_[r].fields();
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f > 0)
+                os << ", ";
+            os << "\"" << jsonEscape(fields[f].first)
+               << "\": " << toJson(fields[f].second);
+        }
+        os << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+void
+ResultWriter::writeCsv(std::ostream &os) const
+{
+    // Union header, first-seen key order across records.
+    std::vector<std::string> header;
+    for (const Record &rec : records_) {
+        for (const auto &[key, value] : rec.fields()) {
+            bool seen = false;
+            for (const std::string &h : header)
+                if (h == key) {
+                    seen = true;
+                    break;
+                }
+            if (!seen)
+                header.push_back(key);
+        }
+    }
+
+    for (std::size_t i = 0; i < header.size(); ++i)
+        os << (i > 0 ? "," : "") << csvEscape(header[i]);
+    os << "\n";
+
+    for (const Record &rec : records_) {
+        for (std::size_t i = 0; i < header.size(); ++i) {
+            if (i > 0)
+                os << ",";
+            for (const auto &[key, value] : rec.fields()) {
+                if (key == header[i]) {
+                    os << toCsv(value);
+                    break;
+                }
+            }
+        }
+        os << "\n";
+    }
+}
+
+void
+ResultWriter::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '" + path + "' for writing");
+    writeJson(os);
+}
+
+void
+ResultWriter::writeCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '" + path + "' for writing");
+    writeCsv(os);
+}
+
+std::string
+ResultWriter::formatDouble(double v)
+{
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        return "0";
+    return std::string(buf, ptr);
+}
+
+} // namespace nmapsim

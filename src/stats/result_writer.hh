@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Declarative result sink: typed records out, JSON or CSV in one call.
+ *
+ * Every harness and bench produces flat per-run records (config
+ * dimensions + measured metrics). ResultWriter collects them as typed
+ * key/value rows and serialises the lot as a JSON array of objects or
+ * as CSV with a union header (first-seen key order; cells a record
+ * lacks are empty). Doubles print shortest-round-trip, so written
+ * files are stable across runs of identical results.
+ */
+
+#ifndef NMAPSIM_STATS_RESULT_WRITER_HH_
+#define NMAPSIM_STATS_RESULT_WRITER_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nmapsim {
+
+/** Collects typed records and writes them as JSON or CSV. */
+class ResultWriter
+{
+  public:
+    /** One cell: string, double, signed/unsigned integer or bool. */
+    using Value = std::variant<std::string, double, std::int64_t,
+                               std::uint64_t, bool>;
+
+    /** One row; fields keep insertion order. */
+    class Record
+    {
+      public:
+        Record &set(const std::string &key, std::string v);
+        Record &set(const std::string &key, const char *v);
+        Record &set(const std::string &key, double v);
+        Record &set(const std::string &key, std::int64_t v);
+        Record &set(const std::string &key, int v);
+        Record &set(const std::string &key, std::uint64_t v);
+        Record &set(const std::string &key, bool v);
+
+        const std::vector<std::pair<std::string, Value>> &
+        fields() const
+        {
+            return fields_;
+        }
+
+      private:
+        Record &setValue(const std::string &key, Value v);
+
+        std::vector<std::pair<std::string, Value>> fields_;
+    };
+
+    /** Append an empty record and return it for filling in. */
+    Record &add();
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** Serialise as a JSON array of objects (non-finite -> null). */
+    void writeJson(std::ostream &os) const;
+
+    /** Serialise as CSV with a union header over all records. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write to @p path; fatal() when the file cannot be opened. */
+    void writeJsonFile(const std::string &path) const;
+    void writeCsvFile(const std::string &path) const;
+
+    /** Shortest round-trip representation of @p v ("nan"/"inf" kept). */
+    static std::string formatDouble(double v);
+
+  private:
+    std::vector<Record> records_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_STATS_RESULT_WRITER_HH_

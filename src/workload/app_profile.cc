@@ -117,4 +117,17 @@ AppProfile::keyvalueUs()
     };
 }
 
+AppProfile
+AppProfile::byName(const std::string &name)
+{
+    if (name == "memcached")
+        return memcached();
+    if (name == "nginx")
+        return nginx();
+    if (name == "keyvalue-us")
+        return keyvalueUs();
+    fatal("unknown application profile '" + name +
+          "' (known: memcached, nginx, keyvalue-us)");
+}
+
 } // namespace nmapsim

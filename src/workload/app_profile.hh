@@ -42,6 +42,8 @@ struct LoadLevelSpec
 
     /** Long-run average request rate (what the paper quotes). */
     double avgRps() const { return rps * duty; }
+
+    bool operator==(const LoadLevelSpec &) const = default;
 };
 
 /** Everything workload-specific about one application. */
@@ -95,6 +97,14 @@ struct AppProfile
      * negligible against the SLO. Used by bench/ext_usec_slo.
      */
     static AppProfile keyvalueUs();
+
+    /**
+     * Look up a built-in profile by its name field ("memcached",
+     * "nginx", "keyvalue-us"); fatal() on unknown names.
+     */
+    static AppProfile byName(const std::string &name);
+
+    bool operator==(const AppProfile &) const = default;
 };
 
 } // namespace nmapsim

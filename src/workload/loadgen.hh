@@ -30,6 +30,8 @@ struct BurstConfig
 {
     Tick period = milliseconds(100); //!< burst repetition period
     Tick onTime = milliseconds(40);  //!< burst duration within a period
+
+    bool operator==(const BurstConfig &) const = default;
 };
 
 /** Drives a Client with bursty open-loop traffic. */

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "harness/colocation.hh"
 #include "sim/logging.hh"
 
@@ -13,7 +15,7 @@ namespace nmapsim {
 namespace {
 
 ColocationConfig
-pairConfig(FreqPolicy policy)
+pairConfig(const std::string &policy)
 {
     ColocationConfig cfg;
     TenantConfig a;
@@ -24,8 +26,8 @@ pairConfig(FreqPolicy policy)
     b.load = LoadLevel::kLow;
     cfg.tenants = {a, b};
     cfg.freqPolicy = policy;
-    cfg.nmap.niThreshold = 13.0;
-    cfg.nmap.cuThreshold = 0.49;
+    cfg.params.set("nmap.ni_th", 13.0);
+    cfg.params.set("nmap.cu_th", 0.49);
     cfg.warmup = milliseconds(100);
     cfg.duration = milliseconds(300);
     return cfg;
@@ -34,7 +36,7 @@ pairConfig(FreqPolicy policy)
 TEST(ColocationTest, BothTenantsServed)
 {
     ColocationResult r =
-        ColocationExperiment(pairConfig(FreqPolicy::kPerformance))
+        ColocationExperiment(pairConfig("performance"))
             .run();
     ASSERT_EQ(r.tenants.size(), 2u);
     EXPECT_EQ(r.nicDrops, 0u);
@@ -48,7 +50,7 @@ TEST(ColocationTest, BothTenantsServed)
 TEST(ColocationTest, TenantsKeepSeparateAccounting)
 {
     ColocationResult r =
-        ColocationExperiment(pairConfig(FreqPolicy::kPerformance))
+        ColocationExperiment(pairConfig("performance"))
             .run();
     // Tenant 0 runs the medium load, tenant 1 the low load: tenant 0
     // must have sent several times more requests.
@@ -61,10 +63,10 @@ TEST(ColocationTest, TenantsKeepSeparateAccounting)
 TEST(ColocationTest, NmapKeepsBothSlosCheaperThanPerformance)
 {
     ColocationResult perf =
-        ColocationExperiment(pairConfig(FreqPolicy::kPerformance))
+        ColocationExperiment(pairConfig("performance"))
             .run();
     ColocationResult nmap =
-        ColocationExperiment(pairConfig(FreqPolicy::kNmap)).run();
+        ColocationExperiment(pairConfig("NMAP")).run();
     for (const TenantResult &t : nmap.tenants)
         EXPECT_LE(t.p99, t.slo) << t.appName;
     EXPECT_LT(nmap.energyJoules, perf.energyJoules);
@@ -72,9 +74,9 @@ TEST(ColocationTest, NmapKeepsBothSlosCheaperThanPerformance)
 
 TEST(ColocationTest, AdaptiveNeedsNoThresholds)
 {
-    ColocationConfig cfg = pairConfig(FreqPolicy::kNmapAdaptive);
-    cfg.nmap.niThreshold = 0.0; // unused by the adaptive variant
-    cfg.nmap.cuThreshold = 0.0;
+    ColocationConfig cfg = pairConfig("NMAP-adaptive");
+    cfg.params.set("nmap.ni_th", 0.0); // unused by the adaptive variant
+    cfg.params.set("nmap.cu_th", 0.0);
     ColocationResult r = ColocationExperiment(cfg).run();
     for (const TenantResult &t : r.tenants)
         EXPECT_LE(t.p99, t.slo * 5 / 4) << t.appName;
@@ -82,7 +84,7 @@ TEST(ColocationTest, AdaptiveNeedsNoThresholds)
 
 TEST(ColocationTest, DeterministicForSameSeed)
 {
-    ColocationConfig cfg = pairConfig(FreqPolicy::kOndemand);
+    ColocationConfig cfg = pairConfig("ondemand");
     ColocationResult a = ColocationExperiment(cfg).run();
     ColocationResult b = ColocationExperiment(cfg).run();
     EXPECT_EQ(a.tenants[0].p99, b.tenants[0].p99);
@@ -92,15 +94,15 @@ TEST(ColocationTest, DeterministicForSameSeed)
 
 TEST(ColocationTest, NmapWithoutThresholdsIsFatal)
 {
-    ColocationConfig cfg = pairConfig(FreqPolicy::kNmap);
-    cfg.nmap.niThreshold = 0.0;
+    ColocationConfig cfg = pairConfig("NMAP");
+    cfg.params.set("nmap.ni_th", 0.0);
     ColocationExperiment experiment(cfg);
     EXPECT_THROW(experiment.run(), FatalError);
 }
 
 TEST(ColocationTest, UnsupportedPolicyIsFatal)
 {
-    ColocationConfig cfg = pairConfig(FreqPolicy::kParties);
+    ColocationConfig cfg = pairConfig("Parties");
     ColocationExperiment experiment(cfg);
     EXPECT_THROW(experiment.run(), FatalError);
 }
@@ -109,7 +111,7 @@ TEST(ColocationTest, InvalidTenantsRejected)
 {
     ColocationConfig cfg;
     EXPECT_THROW(ColocationExperiment{cfg}, FatalError); // no tenants
-    cfg = pairConfig(FreqPolicy::kPerformance);
+    cfg = pairConfig("performance");
     cfg.tenants[0].numConnections = 0;
     EXPECT_THROW(ColocationExperiment{cfg}, FatalError);
 }
@@ -118,14 +120,14 @@ TEST(ColocationTest, SingleTenantMatchesSoloBallpark)
 {
     // One tenant through the colocation harness behaves like the
     // regular Experiment (same physics, different assembly).
-    ColocationConfig cfg = pairConfig(FreqPolicy::kPerformance);
+    ColocationConfig cfg = pairConfig("performance");
     cfg.tenants.resize(1);
     ColocationResult co = ColocationExperiment(cfg).run();
 
     ExperimentConfig solo;
     solo.app = AppProfile::memcached();
     solo.load = LoadLevel::kMed;
-    solo.freqPolicy = FreqPolicy::kPerformance;
+    solo.freqPolicy = "performance";
     solo.warmup = cfg.warmup;
     solo.duration = cfg.duration;
     ExperimentResult se = Experiment(solo).run();

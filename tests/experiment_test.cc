@@ -16,7 +16,7 @@ namespace nmapsim {
 namespace {
 
 ExperimentConfig
-shortConfig(FreqPolicy policy, LoadLevel load)
+shortConfig(const std::string &policy, LoadLevel load)
 {
     ExperimentConfig cfg;
     cfg.app = AppProfile::memcached();
@@ -31,7 +31,7 @@ shortConfig(FreqPolicy policy, LoadLevel load)
 TEST(ExperimentTest, RequestsAreConserved)
 {
     ExperimentResult r =
-        Experiment(shortConfig(FreqPolicy::kPerformance,
+        Experiment(shortConfig("performance",
                                LoadLevel::kMed))
             .run();
     EXPECT_GT(r.requestsSent, 10000u);
@@ -44,7 +44,7 @@ TEST(ExperimentTest, RequestsAreConserved)
 TEST(ExperimentTest, DeterministicForSameSeed)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kOndemand, LoadLevel::kMed);
+        shortConfig("ondemand", LoadLevel::kMed);
     ExperimentResult a = Experiment(cfg).run();
     ExperimentResult b = Experiment(cfg).run();
     EXPECT_EQ(a.p99, b.p99);
@@ -56,7 +56,7 @@ TEST(ExperimentTest, DeterministicForSameSeed)
 TEST(ExperimentTest, DifferentSeedsDiffer)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kOndemand, LoadLevel::kMed);
+        shortConfig("ondemand", LoadLevel::kMed);
     ExperimentResult a = Experiment(cfg).run();
     cfg.seed = 8;
     ExperimentResult b = Experiment(cfg).run();
@@ -66,7 +66,7 @@ TEST(ExperimentTest, DifferentSeedsDiffer)
 TEST(ExperimentTest, PerformanceGovernorNeverChangesStates)
 {
     ExperimentResult r =
-        Experiment(shortConfig(FreqPolicy::kPerformance,
+        Experiment(shortConfig("performance",
                                LoadLevel::kHigh))
             .run();
     EXPECT_EQ(r.pstateTransitions, 0u);
@@ -75,11 +75,11 @@ TEST(ExperimentTest, PerformanceGovernorNeverChangesStates)
 TEST(ExperimentTest, PowersaveSlowerButCheaperThanPerformance)
 {
     ExperimentResult slow =
-        Experiment(shortConfig(FreqPolicy::kPowersave, LoadLevel::kLow))
+        Experiment(shortConfig("powersave", LoadLevel::kLow))
             .run();
     ExperimentResult fast =
         Experiment(
-            shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow))
+            shortConfig("performance", LoadLevel::kLow))
             .run();
     EXPECT_GT(slow.p99, fast.p99);
     EXPECT_LT(slow.energyJoules, fast.energyJoules);
@@ -89,11 +89,11 @@ TEST(ExperimentTest, HigherLoadRaisesTailLatency)
 {
     ExperimentResult low =
         Experiment(
-            shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow))
+            shortConfig("performance", LoadLevel::kLow))
             .run();
     ExperimentResult high =
         Experiment(
-            shortConfig(FreqPolicy::kPerformance, LoadLevel::kHigh))
+            shortConfig("performance", LoadLevel::kHigh))
             .run();
     EXPECT_GT(high.p99, low.p99);
     EXPECT_GT(high.energyJoules, low.energyJoules);
@@ -102,7 +102,7 @@ TEST(ExperimentTest, HigherLoadRaisesTailLatency)
 TEST(ExperimentTest, TracesCollectedOnDemand)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kOndemand, LoadLevel::kHigh);
+        shortConfig("ondemand", LoadLevel::kHigh);
     cfg.collectTraces = true;
     cfg.collectLatencyTrace = true;
     ExperimentResult r = Experiment(cfg).run();
@@ -122,7 +122,7 @@ TEST(ExperimentTest, TracesCollectedOnDemand)
 TEST(ExperimentTest, TracesAbsentByDefault)
 {
     ExperimentResult r =
-        Experiment(shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow))
+        Experiment(shortConfig("ondemand", LoadLevel::kLow))
             .run();
     EXPECT_EQ(r.traces, nullptr);
     EXPECT_TRUE(r.latencyTrace.empty());
@@ -131,7 +131,7 @@ TEST(ExperimentTest, TracesAbsentByDefault)
 TEST(ExperimentTest, ThresholdProfilingProducesSaneValues)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kNmap, LoadLevel::kHigh);
+        shortConfig("NMAP", LoadLevel::kHigh);
     auto [ni, cu] = Experiment::profileThresholds(cfg);
     EXPECT_GE(ni, 1.0);
     EXPECT_LT(ni, 10000.0);
@@ -145,7 +145,7 @@ TEST(ExperimentTest, ThresholdProfilingFiniteAndDeterministic)
     // governor regardless of the config's requested policy, and must
     // yield finite, positive thresholds with NI_TH > 0.
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow);
+        shortConfig("ondemand", LoadLevel::kLow);
     auto [ni, cu] = Experiment::profileThresholds(cfg);
     EXPECT_TRUE(std::isfinite(ni));
     EXPECT_TRUE(std::isfinite(cu));
@@ -168,12 +168,12 @@ TEST(ExperimentTest, ThresholdProfilingFiniteAndDeterministic)
 
 TEST(ExperimentTest, AutoProfileWiresThresholdsIntoNmapRun)
 {
-    // autoProfileNmap (the default) must install exactly the values
+    // nmap.auto_profile (the default) must install exactly the values
     // profileThresholds reports into the subsequent NMAP run.
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
-    ASSERT_TRUE(cfg.autoProfileNmap);
-    ASSERT_LE(cfg.nmap.niThreshold, 0.0);
+        shortConfig("NMAP", LoadLevel::kMed);
+    ASSERT_TRUE(cfg.params.getBool("nmap.auto_profile", true));
+    ASSERT_LE(cfg.params.getDouble("nmap.ni_th", 0.0), 0.0);
     auto [ni, cu] = Experiment::profileThresholds(cfg);
     ExperimentResult r = Experiment(cfg).run();
     EXPECT_DOUBLE_EQ(r.niThresholdUsed, ni);
@@ -183,8 +183,8 @@ TEST(ExperimentTest, AutoProfileWiresThresholdsIntoNmapRun)
 TEST(ExperimentTest, AutoProfileDisabledLeavesThresholdsUnset)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
-    cfg.autoProfileNmap = false;
+        shortConfig("NMAP", LoadLevel::kMed);
+    cfg.params.set("nmap.auto_profile", false);
     ExperimentResult r = Experiment(cfg).run();
     EXPECT_LE(r.niThresholdUsed, 0.0);
 }
@@ -192,7 +192,7 @@ TEST(ExperimentTest, AutoProfileDisabledLeavesThresholdsUnset)
 TEST(ExperimentTest, NmapUsesProfiledThresholds)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
+        shortConfig("NMAP", LoadLevel::kMed);
     ExperimentResult r = Experiment(cfg).run();
     EXPECT_GT(r.niThresholdUsed, 0.0);
     EXPECT_GT(r.cuThresholdUsed, 0.0);
@@ -201,9 +201,9 @@ TEST(ExperimentTest, NmapUsesProfiledThresholds)
 TEST(ExperimentTest, ExplicitNmapThresholdsSkipProfiling)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kNmap, LoadLevel::kMed);
-    cfg.nmap.niThreshold = 25.0;
-    cfg.nmap.cuThreshold = 0.5;
+        shortConfig("NMAP", LoadLevel::kMed);
+    cfg.params.set("nmap.ni_th", 25.0);
+    cfg.params.set("nmap.cu_th", 0.5);
     ExperimentResult r = Experiment(cfg).run();
     EXPECT_DOUBLE_EQ(r.niThresholdUsed, 25.0);
     EXPECT_DOUBLE_EQ(r.cuThresholdUsed, 0.5);
@@ -212,7 +212,7 @@ TEST(ExperimentTest, ExplicitNmapThresholdsSkipProfiling)
 TEST(ExperimentTest, LoadScheduleChangesRate)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow);
+        shortConfig("performance", LoadLevel::kLow);
     cfg.duration = milliseconds(400);
     // Jump to the high load halfway through.
     cfg.loadSchedule.push_back(
@@ -221,7 +221,7 @@ TEST(ExperimentTest, LoadScheduleChangesRate)
     ExperimentResult with_jump = Experiment(cfg).run();
 
     ExperimentConfig flat =
-        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow);
+        shortConfig("performance", LoadLevel::kLow);
     flat.duration = milliseconds(400);
     ExperimentResult without = Experiment(flat).run();
     EXPECT_GT(with_jump.requestsSent, without.requestsSent * 3);
@@ -230,12 +230,12 @@ TEST(ExperimentTest, LoadScheduleChangesRate)
 TEST(ExperimentTest, DutyOverrideScalesAverageLoad)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow);
+        shortConfig("performance", LoadLevel::kLow);
     cfg.dutyOverride = 1.0; // steady instead of 10% duty
     ExperimentResult steady = Experiment(cfg).run();
     ExperimentResult bursty =
         Experiment(
-            shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow))
+            shortConfig("performance", LoadLevel::kLow))
             .run();
     EXPECT_GT(steady.requestsSent, bursty.requestsSent * 5);
 }

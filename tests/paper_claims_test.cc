@@ -14,9 +14,9 @@ namespace nmapsim {
 namespace {
 
 ExperimentResult
-run(FreqPolicy policy, LoadLevel load,
+run(const std::string &policy, LoadLevel load,
     AppProfile app = AppProfile::memcached(),
-    IdlePolicy idle = IdlePolicy::kMenu)
+    const std::string &idle = "menu")
 {
     ExperimentConfig cfg;
     cfg.app = app;
@@ -28,8 +28,8 @@ run(FreqPolicy policy, LoadLevel load,
     cfg.seed = 42;
     // Memcached thresholds from the Section 4.2 profiling pass, frozen
     // here to keep the suite deterministic and fast.
-    cfg.nmap.niThreshold = 13.0;
-    cfg.nmap.cuThreshold = 0.49;
+    cfg.params.set("nmap.ni_th", 13.0);
+    cfg.params.set("nmap.cu_th", 0.49);
     return Experiment(cfg).run();
 }
 
@@ -39,7 +39,7 @@ TEST(PaperClaims, PerformanceMeetsSloAtAllLoads)
     // SLO (it is the latency-optimal baseline).
     for (LoadLevel l :
          {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-        ExperimentResult r = run(FreqPolicy::kPerformance, l);
+        ExperimentResult r = run("performance", l);
         EXPECT_LE(r.p99, r.slo) << loadLevelName(l);
     }
 }
@@ -48,9 +48,9 @@ TEST(PaperClaims, OndemandViolatesSloAtMedAndHigh)
 {
     // Section 6.2: CPU-utilisation governors violate the SLO at medium
     // and high loads (paper: up to 7.4x for memcached).
-    ExperimentResult med = run(FreqPolicy::kOndemand, LoadLevel::kMed);
+    ExperimentResult med = run("ondemand", LoadLevel::kMed);
     ExperimentResult high =
-        run(FreqPolicy::kOndemand, LoadLevel::kHigh);
+        run("ondemand", LoadLevel::kHigh);
     EXPECT_GT(med.p99, med.slo * 2);
     EXPECT_GT(high.p99, high.slo * 4);
 }
@@ -60,8 +60,8 @@ TEST(PaperClaims, IntelPowersaveWorseThanOndemand)
     // Section 6.2: intel_powersave shows even longer P99 than ondemand
     // (13.1x vs 7.4x for memcached).
     ExperimentResult ip =
-        run(FreqPolicy::kIntelPowersave, LoadLevel::kHigh);
-    ExperimentResult od = run(FreqPolicy::kOndemand, LoadLevel::kHigh);
+        run("intel_powersave", LoadLevel::kHigh);
+    ExperimentResult od = run("ondemand", LoadLevel::kHigh);
     EXPECT_GT(ip.p99, od.p99);
 }
 
@@ -70,7 +70,7 @@ TEST(PaperClaims, NmapMeetsSloAtAllLoads)
     // The headline: NMAP never violates the SLO.
     for (LoadLevel l :
          {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-        ExperimentResult r = run(FreqPolicy::kNmap, l);
+        ExperimentResult r = run("NMAP", l);
         EXPECT_LE(r.p99, r.slo * 11 / 10) << loadLevelName(l);
         EXPECT_LT(r.fracOverSlo, 0.02) << loadLevelName(l);
     }
@@ -80,10 +80,10 @@ TEST(PaperClaims, NmapSimplFailsOnlyAtHighLoad)
 {
     // Section 6.2: NMAP-simpl satisfies the SLO at low and medium but
     // reacting on ksoftirqd alone is too slow/unstable at high load.
-    ExperimentResult low = run(FreqPolicy::kNmapSimpl, LoadLevel::kLow);
-    ExperimentResult med = run(FreqPolicy::kNmapSimpl, LoadLevel::kMed);
+    ExperimentResult low = run("NMAP-simpl", LoadLevel::kLow);
+    ExperimentResult med = run("NMAP-simpl", LoadLevel::kMed);
     ExperimentResult high =
-        run(FreqPolicy::kNmapSimpl, LoadLevel::kHigh);
+        run("NMAP-simpl", LoadLevel::kHigh);
     EXPECT_LE(low.p99, low.slo);
     EXPECT_LE(med.p99, med.slo * 23 / 20);
     EXPECT_GT(high.p99, high.slo * 2);
@@ -96,8 +96,8 @@ TEST(PaperClaims, NmapSavesEnergyVersusPerformance)
     int i = 0;
     for (LoadLevel l :
          {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-        ExperimentResult nmap = run(FreqPolicy::kNmap, l);
-        ExperimentResult perf = run(FreqPolicy::kPerformance, l);
+        ExperimentResult nmap = run("NMAP", l);
+        ExperimentResult perf = run("performance", l);
         savings[i] = 1.0 - nmap.energyJoules / perf.energyJoules;
         EXPECT_GT(savings[i], 0.0) << loadLevelName(l);
         ++i;
@@ -112,8 +112,8 @@ TEST(PaperClaims, NmapCheaperThanNcap)
     // DVFS + no sleep-state disable).
     for (LoadLevel l :
          {LoadLevel::kLow, LoadLevel::kMed, LoadLevel::kHigh}) {
-        ExperimentResult nmap = run(FreqPolicy::kNmap, l);
-        ExperimentResult ncap = run(FreqPolicy::kNcap, l);
+        ExperimentResult nmap = run("NMAP", l);
+        ExperimentResult ncap = run("NCAP", l);
         EXPECT_LT(nmap.energyJoules, ncap.energyJoules)
             << loadLevelName(l);
         // NCAP (tuned) also meets the SLO.
@@ -124,8 +124,8 @@ TEST(PaperClaims, NmapCheaperThanNcap)
 TEST(PaperClaims, NcapVariantsSimilarLatency)
 {
     // Fig. 14: NCAP and NCAP-menu show no notable P99 difference.
-    ExperimentResult a = run(FreqPolicy::kNcap, LoadLevel::kHigh);
-    ExperimentResult b = run(FreqPolicy::kNcapMenu, LoadLevel::kHigh);
+    ExperimentResult a = run("NCAP", LoadLevel::kHigh);
+    ExperimentResult b = run("NCAP-menu", LoadLevel::kHigh);
     EXPECT_LT(std::abs(toMicroseconds(a.p99) - toMicroseconds(b.p99)),
               0.35 * toMicroseconds(a.p99));
 }
@@ -134,18 +134,18 @@ TEST(PaperClaims, SleepPoliciesBarelyMoveTailLatency)
 {
     // Fig. 8 / Section 5.2: menu vs disable vs c6only P99 within noise
     // at a 1 ms SLO.
-    ExperimentResult menu = run(FreqPolicy::kPerformance,
+    ExperimentResult menu = run("performance",
                                 LoadLevel::kHigh,
                                 AppProfile::memcached(),
-                                IdlePolicy::kMenu);
-    ExperimentResult dis = run(FreqPolicy::kPerformance,
+                                "menu");
+    ExperimentResult dis = run("performance",
                                LoadLevel::kHigh,
                                AppProfile::memcached(),
-                               IdlePolicy::kDisable);
-    ExperimentResult c6 = run(FreqPolicy::kPerformance,
+                               "disable");
+    ExperimentResult c6 = run("performance",
                               LoadLevel::kHigh,
                               AppProfile::memcached(),
-                              IdlePolicy::kC6Only);
+                              "c6only");
     EXPECT_LT(toMicroseconds(dis.p99 - menu.p99),
               0.2 * toMicroseconds(menu.p99));
     EXPECT_LT(toMicroseconds(c6.p99 - menu.p99),
@@ -155,18 +155,18 @@ TEST(PaperClaims, SleepPoliciesBarelyMoveTailLatency)
 TEST(PaperClaims, SleepPoliciesMoveEnergyALot)
 {
     // Fig. 8: disable costs much more energy than menu; c6only saves.
-    ExperimentResult menu = run(FreqPolicy::kPerformance,
+    ExperimentResult menu = run("performance",
                                 LoadLevel::kMed,
                                 AppProfile::memcached(),
-                                IdlePolicy::kMenu);
-    ExperimentResult dis = run(FreqPolicy::kPerformance,
+                                "menu");
+    ExperimentResult dis = run("performance",
                                LoadLevel::kMed,
                                AppProfile::memcached(),
-                               IdlePolicy::kDisable);
-    ExperimentResult c6 = run(FreqPolicy::kPerformance,
+                               "disable");
+    ExperimentResult c6 = run("performance",
                               LoadLevel::kMed,
                               AppProfile::memcached(),
-                              IdlePolicy::kC6Only);
+                              "c6only");
     EXPECT_GT(dis.energyJoules, menu.energyJoules * 1.3);
     EXPECT_LT(c6.energyJoules, menu.energyJoules);
 }
@@ -175,10 +175,10 @@ TEST(PaperClaims, PollingRatioGrowsWithLoad)
 {
     // Section 3.1: the polling-to-interrupt ratio rises with load —
     // the signal NMAP is built on.
-    ExperimentResult low = run(FreqPolicy::kPerformance,
+    ExperimentResult low = run("performance",
                                LoadLevel::kLow);
     ExperimentResult high =
-        run(FreqPolicy::kPerformance, LoadLevel::kHigh);
+        run("performance", LoadLevel::kHigh);
     double ratio_low = static_cast<double>(low.pktsPollMode) /
                        static_cast<double>(low.pktsIntrMode);
     double ratio_high = static_cast<double>(high.pktsPollMode) /
@@ -188,10 +188,10 @@ TEST(PaperClaims, PollingRatioGrowsWithLoad)
 
 TEST(PaperClaims, KsoftirqdActivityGrowsWithLoad)
 {
-    ExperimentResult low = run(FreqPolicy::kPerformance,
+    ExperimentResult low = run("performance",
                                LoadLevel::kLow);
     ExperimentResult high =
-        run(FreqPolicy::kPerformance, LoadLevel::kHigh);
+        run("performance", LoadLevel::kHigh);
     EXPECT_GT(high.ksoftirqdWakes, low.ksoftirqdWakes * 5);
 }
 
@@ -201,14 +201,14 @@ TEST(PaperClaims, NginxOrderingsReproduce)
     // at high load, ondemand violating, NMAP-simpl in between.
     AppProfile ng = AppProfile::nginx();
     ExperimentResult perf =
-        run(FreqPolicy::kPerformance, LoadLevel::kHigh, ng);
+        run("performance", LoadLevel::kHigh, ng);
     ExperimentResult od =
-        run(FreqPolicy::kOndemand, LoadLevel::kHigh, ng);
+        run("ondemand", LoadLevel::kHigh, ng);
     // nginx profiling differs from the frozen memcached thresholds;
     // profile properly for the NMAP row.
     ExperimentConfig cfg;
     cfg.app = ng;
-    cfg.freqPolicy = FreqPolicy::kNmap;
+    cfg.freqPolicy = "NMAP";
     cfg.load = LoadLevel::kHigh;
     cfg.warmup = milliseconds(100);
     cfg.duration = milliseconds(600);
@@ -225,7 +225,7 @@ TEST(PaperClaims, AdaptiveNmapMeetsSloWithoutProfiling)
     // Extension: the online-threshold variant must hold the paper's
     // headline property with no offline profiling pass at all.
     for (LoadLevel l : {LoadLevel::kMed, LoadLevel::kHigh}) {
-        ExperimentResult r = run(FreqPolicy::kNmapAdaptive, l);
+        ExperimentResult r = run("NMAP-adaptive", l);
         EXPECT_LE(r.p99, r.slo * 11 / 10) << loadLevelName(l);
     }
 }
@@ -234,9 +234,9 @@ TEST(PaperClaims, NmapMakesFewTransitions)
 {
     // NMAP's design goal: react fast *without* repetitive V/F
     // transitions (which would hit the ~520 us re-transition latency).
-    ExperimentResult nmap = run(FreqPolicy::kNmap, LoadLevel::kHigh);
+    ExperimentResult nmap = run("NMAP", LoadLevel::kHigh);
     ExperimentResult simpl =
-        run(FreqPolicy::kNmapSimpl, LoadLevel::kHigh);
+        run("NMAP-simpl", LoadLevel::kHigh);
     EXPECT_LT(nmap.pstateTransitions, simpl.pstateTransitions / 2);
 }
 

@@ -16,7 +16,7 @@
 namespace nmapsim {
 namespace {
 
-using PolicyLoadSeed = std::tuple<FreqPolicy, LoadLevel, unsigned>;
+using PolicyLoadSeed = std::tuple<std::string, LoadLevel, unsigned>;
 
 class RigInvariants
     : public ::testing::TestWithParam<PolicyLoadSeed>
@@ -35,8 +35,8 @@ class RigInvariants
         cfg.duration = milliseconds(200);
         // Fixed NMAP thresholds keep the sweep cheap (no profiling
         // sub-run per case).
-        cfg.nmap.niThreshold = 14.0;
-        cfg.nmap.cuThreshold = 0.5;
+        cfg.params.set("nmap.ni_th", 14.0);
+        cfg.params.set("nmap.cu_th", 0.5);
         return Experiment(cfg).run();
     }
 };
@@ -51,7 +51,7 @@ TEST_P(RigInvariants, ConservationAndSanity)
     auto [policy, load, seed] = GetParam();
     EXPECT_EQ(r.nicDrops, 0u);
     EXPECT_GE(r.requestsSent, r.responsesReceived);
-    if (!(policy == FreqPolicy::kPowersave &&
+    if (!(policy == "powersave" &&
           load == LoadLevel::kHigh)) {
         EXPECT_GT(r.responsesReceived, r.requestsSent * 9 / 10);
     }
@@ -86,19 +86,19 @@ TEST_P(RigInvariants, ConservationAndSanity)
 INSTANTIATE_TEST_SUITE_P(
     PolicySweep, RigInvariants,
     ::testing::Combine(
-        ::testing::Values(FreqPolicy::kPerformance,
-                          FreqPolicy::kPowersave, FreqPolicy::kOndemand,
-                          FreqPolicy::kConservative,
-                          FreqPolicy::kIntelPowersave, FreqPolicy::kNmap,
-                          FreqPolicy::kNmapSimpl,
-                          FreqPolicy::kNmapAdaptive,
-                          FreqPolicy::kNmapChipWide, FreqPolicy::kNcap,
-                          FreqPolicy::kNcapMenu, FreqPolicy::kParties),
+        ::testing::Values("performance",
+                          "powersave", "ondemand",
+                          "conservative",
+                          "intel_powersave", "NMAP",
+                          "NMAP-simpl",
+                          "NMAP-adaptive",
+                          "NMAP-chipwide", "NCAP",
+                          "NCAP-menu", "Parties"),
         ::testing::Values(LoadLevel::kLow, LoadLevel::kHigh),
         ::testing::Values(3u)),
     [](const ::testing::TestParamInfo<PolicyLoadSeed> &info) {
         std::string name =
-            std::string(freqPolicyName(std::get<0>(info.param))) + "_" +
+            std::get<0>(info.param) + "_" +
             loadLevelName(std::get<1>(info.param)) + "_s" +
             std::to_string(std::get<2>(info.param));
         for (char &c : name)
@@ -107,7 +107,7 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
-class IdleInvariants : public ::testing::TestWithParam<IdlePolicy>
+class IdleInvariants : public ::testing::TestWithParam<std::string>
 {
 };
 
@@ -115,7 +115,7 @@ TEST_P(IdleInvariants, SleepPolicyKeepsSloMachineryIntact)
 {
     ExperimentConfig cfg;
     cfg.app = AppProfile::memcached();
-    cfg.freqPolicy = FreqPolicy::kPerformance;
+    cfg.freqPolicy = "performance";
     cfg.idlePolicy = GetParam();
     cfg.load = LoadLevel::kMed;
     cfg.warmup = milliseconds(50);
@@ -128,11 +128,11 @@ TEST_P(IdleInvariants, SleepPolicyKeepsSloMachineryIntact)
     // millisecond SLOs.
     EXPECT_LT(r.p99, 4 * cfg.app.slo);
 
-    if (GetParam() == IdlePolicy::kDisable) {
+    if (GetParam() == "disable") {
         EXPECT_EQ(r.cc6Wakes, 0u);
         EXPECT_EQ(r.cc1Wakes, 0u);
     }
-    if (GetParam() == IdlePolicy::kC6Only) {
+    if (GetParam() == "c6only") {
         EXPECT_EQ(r.cc1Wakes, 0u);
         EXPECT_GT(r.cc6Wakes, 0u);
     }
@@ -140,10 +140,10 @@ TEST_P(IdleInvariants, SleepPolicyKeepsSloMachineryIntact)
 
 INSTANTIATE_TEST_SUITE_P(
     SleepSweep, IdleInvariants,
-    ::testing::Values(IdlePolicy::kMenu, IdlePolicy::kDisable,
-                      IdlePolicy::kC6Only, IdlePolicy::kTeo),
-    [](const ::testing::TestParamInfo<IdlePolicy> &info) {
-        return std::string(idlePolicyName(info.param));
+    ::testing::Values("menu", "disable",
+                      "c6only", "teo"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
     });
 
 class SeedStability : public ::testing::TestWithParam<unsigned>
@@ -154,13 +154,13 @@ TEST_P(SeedStability, NmapMeetsSloAtHighLoadAcrossSeeds)
 {
     ExperimentConfig cfg;
     cfg.app = AppProfile::memcached();
-    cfg.freqPolicy = FreqPolicy::kNmap;
+    cfg.freqPolicy = "NMAP";
     cfg.load = LoadLevel::kHigh;
     cfg.seed = GetParam();
     cfg.warmup = milliseconds(100);
     cfg.duration = milliseconds(400);
-    cfg.nmap.niThreshold = 14.0;
-    cfg.nmap.cuThreshold = 0.5;
+    cfg.params.set("nmap.ni_th", 14.0);
+    cfg.params.set("nmap.cu_th", 0.5);
     ExperimentResult r = Experiment(cfg).run();
     // The paper's headline: NMAP keeps P99 near the SLO at high load
     // (small seed-to-seed jitter allowed).
@@ -185,10 +185,9 @@ TEST_P(PacketConservation, HoldsForRandomConfigs)
     const unsigned seed = GetParam();
     Rng rng(seed);
 
-    const FreqPolicy policies[] = {
-        FreqPolicy::kPerformance, FreqPolicy::kOndemand,
-        FreqPolicy::kNmap,        FreqPolicy::kNmapSimpl,
-        FreqPolicy::kNcap,        FreqPolicy::kParties,
+    const std::string policies[] = {
+        "performance", "ondemand", "NMAP",
+        "NMAP-simpl",  "NCAP",     "Parties",
     };
     const LoadLevel loads[] = {LoadLevel::kLow, LoadLevel::kMed,
                                LoadLevel::kHigh};
@@ -205,8 +204,8 @@ TEST_P(PacketConservation, HoldsForRandomConfigs)
     cfg.seed = seed;
     cfg.warmup = milliseconds(30);
     cfg.duration = milliseconds(150);
-    cfg.nmap.niThreshold = 14.0;
-    cfg.nmap.cuThreshold = 0.5;
+    cfg.params.set("nmap.ni_th", 14.0);
+    cfg.params.set("nmap.cu_th", 0.5);
     ExperimentResult r = Experiment(cfg).run();
 
     // Client-side conservation: the server cannot answer requests that

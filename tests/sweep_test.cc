@@ -20,7 +20,8 @@ namespace nmapsim {
 namespace {
 
 ExperimentConfig
-shortConfig(FreqPolicy policy, LoadLevel load, std::uint64_t seed)
+shortConfig(const std::string &policy, LoadLevel load,
+            std::uint64_t seed)
 {
     ExperimentConfig cfg;
     cfg.app = AppProfile::memcached();
@@ -30,8 +31,8 @@ shortConfig(FreqPolicy policy, LoadLevel load, std::uint64_t seed)
     cfg.warmup = milliseconds(20);
     cfg.duration = milliseconds(60);
     // Explicit thresholds: no nested profiling run per point.
-    cfg.nmap.niThreshold = 14.0;
-    cfg.nmap.cuThreshold = 0.5;
+    cfg.params.set("nmap.ni_th", 14.0);
+    cfg.params.set("nmap.cu_th", 0.5);
     return cfg;
 }
 
@@ -75,7 +76,7 @@ expectSameScalars(const ExperimentResult &a, const ExperimentResult &b)
 TEST(SweepTest, SameConfigAndSeedRunTwiceIsIdentical)
 {
     ExperimentConfig cfg =
-        shortConfig(FreqPolicy::kOndemand, LoadLevel::kMed, 7);
+        shortConfig("ondemand", LoadLevel::kMed, 7);
     std::vector<SweepOutcome> first =
         SweepRunner(quiet()).run({cfg});
     std::vector<SweepOutcome> second =
@@ -89,9 +90,9 @@ TEST(SweepTest, OneThreadAndEightThreadsAgreeInOrder)
 {
     // 12-point grid: 2 policies x 2 loads x 3 seeds.
     std::vector<ExperimentConfig> points =
-        SweepSpec(shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow,
+        SweepSpec(shortConfig("ondemand", LoadLevel::kLow,
                               1))
-            .policies({FreqPolicy::kOndemand, FreqPolicy::kNmap})
+            .policies({"ondemand", "NMAP"})
             .loads({LoadLevel::kLow, LoadLevel::kHigh})
             .seeds({1, 2, 3})
             .build();
@@ -120,7 +121,7 @@ TEST(SweepTest, OneThreadAndEightThreadsAgreeInOrder)
 TEST(SweepTest, ThrowingPointDoesNotPoisonSiblings)
 {
     ExperimentConfig good =
-        shortConfig(FreqPolicy::kPerformance, LoadLevel::kLow, 5);
+        shortConfig("performance", LoadLevel::kLow, 5);
     ExperimentConfig bad = good;
     bad.duration = 0; // Experiment() rejects this with FatalError
     std::vector<ExperimentConfig> points{good, bad, good};
@@ -181,31 +182,31 @@ TEST(SweepTest, ProfileFanOutMatchesSerialProfiling)
 TEST(SweepTest, SpecEnumeratesPoliciesOuterSeedsInner)
 {
     SweepSpec spec =
-        SweepSpec(shortConfig(FreqPolicy::kOndemand, LoadLevel::kLow,
+        SweepSpec(shortConfig("ondemand", LoadLevel::kLow,
                               0))
-            .policies({FreqPolicy::kPerformance, FreqPolicy::kNmap})
+            .policies({"performance", "NMAP"})
             .seeds({10, 20, 30});
     EXPECT_EQ(spec.numPoints(), 6u);
 
     std::vector<ExperimentConfig> points = spec.build();
     ASSERT_EQ(points.size(), 6u);
-    EXPECT_EQ(points[0].freqPolicy, FreqPolicy::kPerformance);
+    EXPECT_EQ(points[0].freqPolicy, "performance");
     EXPECT_EQ(points[0].seed, 10u);
     EXPECT_EQ(points[2].seed, 30u);
-    EXPECT_EQ(points[3].freqPolicy, FreqPolicy::kNmap);
+    EXPECT_EQ(points[3].freqPolicy, "NMAP");
     EXPECT_EQ(points[3].seed, 10u);
     EXPECT_EQ(spec.index(1, 0, 0, 0, 0), 3u);
     EXPECT_EQ(spec.index(1, 0, 0, 0, 2), 5u);
 
     // Unset dimensions inherit the base config.
     EXPECT_EQ(points[5].load, LoadLevel::kLow);
-    EXPECT_EQ(points[5].idlePolicy, IdlePolicy::kMenu);
+    EXPECT_EQ(points[5].idlePolicy, "menu");
 }
 
 TEST(SweepTest, RpsListInstallsOverrides)
 {
     std::vector<ExperimentConfig> points =
-        SweepSpec(shortConfig(FreqPolicy::kPerformance,
+        SweepSpec(shortConfig("performance",
                               LoadLevel::kHigh, 42))
             .rpsList({100e3, 500e3})
             .build();

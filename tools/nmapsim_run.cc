@@ -1,0 +1,270 @@
+/**
+ * @file
+ * nmapsim_run — run one simulation from the declarative config
+ * pipeline, no C++ required.
+ *
+ *     nmapsim_run --policy=nmap --idle=menu --load=high --json=out.json
+ *     nmapsim_run --app=nginx --policy=ondemand --csv=out.csv
+ *     nmapsim_run --config=point.cfg --set nmap.ni_th=13 --print-config
+ *     nmapsim_run --list-policies
+ *
+ * Flags are thin sugar over config keys (see harness/config_io.hh):
+ * `--policy=X` is `--set freq_policy=X`, and any key the config format
+ * accepts works with `--set`, including the per-policy `<policy>.<knob>`
+ * tunables of newly registered governors. Results go to stdout as a
+ * table and, with --json/--csv, through the shared ResultWriter.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/config_io.hh"
+#include "harness/policy_registry.hh"
+#include "harness/result_io.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "nmapsim_run — drive one nmapsim experiment from flags\n\n"
+        "  --policy=NAME      frequency policy (--list-policies)\n"
+        "  --idle=NAME        sleep policy (--list-policies)\n"
+        "  --app=NAME         memcached | nginx | keyvalue-us\n"
+        "  --load=LEVEL       low | med | high\n"
+        "  --cores=N          number of cores\n"
+        "  --rps=X            override burst height (RPS during burst)\n"
+        "  --duration=DUR     measurement window (e.g. 500ms, 2s)\n"
+        "  --warmup=DUR       warmup window before measurement\n"
+        "  --seed=N           RNG seed\n"
+        "  --set KEY=VALUE    set any config key (repeatable); policy\n"
+        "                     tunables pass through, e.g. nmap.ni_th=13\n"
+        "  --config=FILE      load a key=value config file first\n"
+        "  --print-config     print the resolved config and exit\n"
+        "  --json=PATH        append the run record as JSON\n"
+        "  --csv=PATH         append the run record as CSV\n"
+        "  --list-policies    list registered policies and exit\n"
+        "  --help             this text\n");
+}
+
+void
+listPolicies()
+{
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    std::printf("frequency policies:\n");
+    for (const std::string &name : reg.freqNames()) {
+        std::string help = reg.freqHelp(name);
+        std::printf("  %-16s %s\n", name.c_str(), help.c_str());
+    }
+    std::printf("sleep policies:\n");
+    for (const std::string &name : reg.idleNames()) {
+        std::string help = reg.idleHelp(name);
+        std::printf("  %-16s %s\n", name.c_str(), help.c_str());
+    }
+}
+
+/** Split "--flag=value" / "--flag value" into (flag, value). */
+struct Flag
+{
+    std::string name;
+    std::string value;
+    bool hasValue = false;
+};
+
+Flag
+parseFlag(int argc, char **argv, int &i)
+{
+    Flag f;
+    std::string arg = argv[i];
+    std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+        f.name = arg.substr(0, eq);
+        f.value = arg.substr(eq + 1);
+        f.hasValue = true;
+        return f;
+    }
+    f.name = arg;
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+        f.value = argv[++i];
+        f.hasValue = true;
+    }
+    return f;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ensureBuiltinPolicies();
+
+    ExperimentConfig cfg;
+    bool print_config = false;
+    std::string json_path;
+    std::string csv_path;
+
+    auto need = [](const Flag &f) -> const std::string & {
+        if (!f.hasValue) {
+            std::fprintf(stderr, "missing value for %s\n",
+                         f.name.c_str());
+            std::exit(2);
+        }
+        return f.value;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        Flag f = parseFlag(argc, argv, i);
+        try {
+            if (f.name == "--help") {
+                usage();
+                return 0;
+            } else if (f.name == "--list-policies") {
+                listPolicies();
+                return 0;
+            } else if (f.name == "--policy") {
+                setConfigValue(cfg, "freq_policy", need(f));
+            } else if (f.name == "--idle") {
+                setConfigValue(cfg, "idle_policy", need(f));
+            } else if (f.name == "--app") {
+                setConfigValue(cfg, "app", need(f));
+            } else if (f.name == "--load") {
+                setConfigValue(cfg, "load", need(f));
+            } else if (f.name == "--cores") {
+                setConfigValue(cfg, "cores", need(f));
+            } else if (f.name == "--rps") {
+                setConfigValue(cfg, "rps_override", need(f));
+            } else if (f.name == "--duration") {
+                setConfigValue(cfg, "duration", need(f));
+            } else if (f.name == "--warmup") {
+                setConfigValue(cfg, "warmup", need(f));
+            } else if (f.name == "--seed") {
+                setConfigValue(cfg, "seed", need(f));
+            } else if (f.name == "--set") {
+                const std::string &kv = need(f);
+                std::size_t eq = kv.find('=');
+                if (eq == std::string::npos) {
+                    std::fprintf(stderr,
+                                 "--set expects KEY=VALUE, got '%s'\n",
+                                 kv.c_str());
+                    return 2;
+                }
+                setConfigValue(cfg, kv.substr(0, eq),
+                               kv.substr(eq + 1));
+            } else if (f.name == "--config") {
+                std::ifstream is(need(f));
+                if (!is) {
+                    std::fprintf(stderr, "cannot read '%s'\n",
+                                 f.value.c_str());
+                    return 2;
+                }
+                std::ostringstream text;
+                text << is.rdbuf();
+                cfg = parseConfig(text.str());
+            } else if (f.name == "--print-config") {
+                print_config = true;
+            } else if (f.name == "--json") {
+                json_path = need(f);
+            } else if (f.name == "--csv") {
+                csv_path = need(f);
+            } else {
+                std::fprintf(stderr,
+                             "unknown flag: %s (see --help)\n",
+                             f.name.c_str());
+                return 2;
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
+    if (print_config) {
+        std::fputs(printConfig(cfg).c_str(), stdout);
+        return 0;
+    }
+
+    // Unknown names fail here, before the simulation spins up.
+    PolicyRegistry &reg = PolicyRegistry::instance();
+    try {
+        if (!reg.hasFreq(cfg.freqPolicy))
+            fatal("unknown frequency policy '" + cfg.freqPolicy +
+                  "' (see --list-policies)");
+        if (!reg.hasIdle(cfg.idlePolicy))
+            fatal("unknown sleep policy '" + cfg.idlePolicy +
+                  "' (see --list-policies)");
+
+        std::printf("app=%s policy=%s idle=%s load=%s cores=%d "
+                    "duration=%.0fms seed=%llu\n",
+                    cfg.app.name.c_str(), cfg.freqPolicy.c_str(),
+                    cfg.idlePolicy.c_str(), loadLevelName(cfg.load),
+                    cfg.numCores, toMilliseconds(cfg.duration),
+                    static_cast<unsigned long long>(cfg.seed));
+
+        ExperimentResult r = Experiment(cfg).run();
+
+        Table table({"metric", "value"});
+        table.addRow({"P50 latency (us)",
+                      Table::num(toMicroseconds(r.p50), 1)});
+        table.addRow({"P99 latency (us)",
+                      Table::num(toMicroseconds(r.p99), 1)});
+        table.addRow(
+            {"P99 / SLO",
+             Table::num(static_cast<double>(r.p99) /
+                            static_cast<double>(r.slo),
+                        3)});
+        table.addRow({"requests over SLO (%)",
+                      Table::num(r.fracOverSlo * 100.0, 3)});
+        table.addRow({"energy (J)", Table::num(r.energyJoules, 2)});
+        table.addRow({"avg package power (W)",
+                      Table::num(r.avgPowerWatts, 2)});
+        table.addRow(
+            {"requests sent", std::to_string(r.requestsSent)});
+        table.addRow({"responses received",
+                      std::to_string(r.responsesReceived)});
+        table.addRow({"NIC drops", std::to_string(r.nicDrops)});
+        table.addRow(
+            {"pkts interrupt mode", std::to_string(r.pktsIntrMode)});
+        table.addRow(
+            {"pkts polling mode", std::to_string(r.pktsPollMode)});
+        table.addRow(
+            {"ksoftirqd wakes", std::to_string(r.ksoftirqdWakes)});
+        table.addRow(
+            {"V/F transitions", std::to_string(r.pstateTransitions)});
+        table.addRow({"CC6 wakes", std::to_string(r.cc6Wakes)});
+        table.addRow({"mean core busy fraction",
+                      Table::num(r.busyFraction, 3)});
+        if (r.niThresholdUsed > 0.0) {
+            table.addRow(
+                {"NI_TH used", Table::num(r.niThresholdUsed, 1)});
+            table.addRow(
+                {"CU_TH used", Table::num(r.cuThresholdUsed, 2)});
+        }
+        table.print(std::cout);
+
+        if (!json_path.empty() || !csv_path.empty()) {
+            ResultWriter writer;
+            appendResultRecord(writer, cfg, r);
+            if (!json_path.empty()) {
+                writer.writeJsonFile(json_path);
+                std::printf("wrote %s\n", json_path.c_str());
+            }
+            if (!csv_path.empty()) {
+                writer.writeCsvFile(csv_path);
+                std::printf("wrote %s\n", csv_path.c_str());
+            }
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
