@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Pluggable request-dispatch policies for the cluster switch.
+ *
+ * The top-of-rack switch (cluster/switch.hh) forwards every client
+ * request to one of N hosts; *which* host is a policy decision with
+ * first-order consequences for both tail latency (affinity keeps a
+ * flow's packet trains on one NIC queue) and power (packing load lets
+ * unloaded hosts reach deep package idle). Policies are resolved by
+ * name through the string-keyed DispatchRegistry, mirroring the
+ * frequency/sleep PolicyRegistry (harness/policy_registry.hh): a new
+ * policy registers itself from its own translation unit
+ *
+ *     namespace {
+ *     std::unique_ptr<DispatchPolicy>
+ *     makeMine(const DispatchContext &ctx)
+ *     {
+ *         return std::make_unique<MineDispatch>(ctx);
+ *     }
+ *     DispatchRegistrar regMine("mine", &makeMine, "one-line help");
+ *     } // namespace
+ *
+ * and is immediately reachable from ClusterConfig::dispatch, the
+ * nmapsim_run CLI (--dispatch) and the cluster bench — no harness
+ * edits.
+ *
+ * Built-ins (cluster/dispatch_policies.cc):
+ *   flow-hash         weighted hash of the RSS flow id (affinity)
+ *   consistent-hash   ring hash with virtual nodes (affinity, stable
+ *                     under host-count changes)
+ *   round-robin       smooth weighted round robin (no affinity)
+ *   least-outstanding join-the-shortest-queue on in-flight requests
+ *   power-pack        fill hosts in id order up to a knee, keeping
+ *                     high-id hosts idle for deep C-states
+ */
+
+#ifndef NMAPSIM_CLUSTER_DISPATCH_HH_
+#define NMAPSIM_CLUSTER_DISPATCH_HH_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/policy_params.hh"
+#include "net/packet.hh"
+
+namespace nmapsim {
+
+/**
+ * Everything a dispatch-policy factory may wire against. The context
+ * outlives the policy instance (the switch owns both), so policies may
+ * keep a copy or reference pieces of it.
+ */
+struct DispatchContext
+{
+    int numHosts = 0;
+    /** Per-host load weight (> 0); affinity policies map proportional
+     *  hash ranges, queue policies normalise their feedback by it. */
+    std::vector<double> weights;
+    /** Dispatch tunables ("dispatch.<knob>"); shares the experiment's
+     *  params blob. */
+    PolicyParams params;
+    /** Live in-flight request count per host (switch feedback). */
+    std::function<std::uint64_t(int)> outstanding;
+};
+
+/** Chooses a destination host for every request packet. */
+class DispatchPolicy
+{
+  public:
+    virtual ~DispatchPolicy() = default;
+
+    /** Destination host in [0, numHosts) for request @p pkt. */
+    virtual int pickHost(const Packet &pkt) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** String-keyed factories for dispatch policies. */
+class DispatchRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<DispatchPolicy>(
+        const DispatchContext &)>;
+
+    static DispatchRegistry &instance();
+
+    /** Register @p name; fatal() on duplicates. */
+    void registerDispatch(const std::string &name, Factory factory,
+                          std::string help = "");
+
+    bool has(const std::string &name) const;
+
+    /** Instantiate a policy; fatal() on unknown names. */
+    std::unique_ptr<DispatchPolicy> make(const std::string &name,
+                                         const DispatchContext &ctx) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    std::string help(const std::string &name) const;
+
+  private:
+    struct Entry
+    {
+        Factory factory;
+        std::string help;
+    };
+
+    DispatchRegistry() = default;
+
+    std::map<std::string, Entry>::const_iterator
+    resolve(const std::string &name) const;
+
+    std::map<std::string, Entry> policies_;
+};
+
+/** Registers a dispatch policy at static-initialisation time. */
+struct DispatchRegistrar
+{
+    DispatchRegistrar(const std::string &name,
+                      DispatchRegistry::Factory factory,
+                      std::string help = "")
+    {
+        DispatchRegistry::instance().registerDispatch(
+            name, std::move(factory), std::move(help));
+    }
+};
+
+/**
+ * Force the built-in dispatch policies' registration TU out of the
+ * static archive (same linker dance as ensureBuiltinPolicies()).
+ * Idempotent; called by the cluster harness and the CLI.
+ */
+void ensureBuiltinDispatchPolicies();
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CLUSTER_DISPATCH_HH_

@@ -1,0 +1,172 @@
+#include "cluster/host.hh"
+
+#include <utility>
+
+#include "cluster/switch.hh"
+#include "cpu/core.hh"
+#include "cpu/cpu_profile.hh"
+#include "cpu/package_power.hh"
+#include "governors/switchable_idle.hh"
+#include "os/server_os.hh"
+#include "sim/logging.hh"
+#include "stats/energy_meter.hh"
+
+namespace nmapsim {
+
+/** Counts ksoftirqd wake-ups across this host's cores. */
+class ClusterHost::KsoftirqdCounter : public NapiObserver
+{
+  public:
+    void
+    onKsoftirqdWake(int core) override
+    {
+        (void)core;
+        ++wakes_;
+    }
+
+    std::uint64_t wakes() const { return wakes_; }
+
+  private:
+    std::uint64_t wakes_ = 0;
+};
+
+ClusterHost::ClusterHost(
+    int id, EventQueue &eq, const ExperimentConfig &config,
+    std::function<std::pair<double, double>()> profile_fn, Rng rng,
+    double link_bps, Tick link_prop)
+    : id_(id), eq_(eq), config_(config), rng_(std::move(rng)),
+      uplink_(eq, link_bps, link_prop)
+{
+    if (config_.numCores < 1)
+        fatal("ClusterHost requires at least one core");
+    uplink_.setLabel("host" + std::to_string(id) + ".uplink");
+
+    const CpuProfile &profile = CpuProfile::byName(config_.cpuProfile);
+    for (int i = 0; i < config_.numCores; ++i) {
+        cores_.push_back(std::make_unique<Core>(
+            i, eq, profile, rng_, config_.app.cacheTouch));
+        corePtrs_.push_back(cores_.back().get());
+    }
+
+    NicConfig nic_config = config_.nic;
+    nic_config.numQueues = config_.numCores;
+    nic_ = std::make_unique<Nic>(eq, nic_config);
+    nic_->setTxWire(&uplink_);
+
+    os_ = std::make_unique<ServerOs>(corePtrs_, *nic_, config_.os);
+    app_ = std::make_unique<ServerApp>(*os_, *nic_, config_.app,
+                                       rng_.fork());
+    // The feedback client never sends; it only records the latencies
+    // of responses the switch attributes to this host.
+    feedback_ = std::make_unique<Client>(eq, uplink_, config_.app,
+                                         /*num_connections=*/1);
+
+    IdleContext idle_ctx{profile, config_.numCores, config_.params};
+    idle_ = PolicyRegistry::instance().makeIdle(config_.idlePolicy,
+                                                idle_ctx);
+    switchable_ = std::make_unique<SwitchableIdleGovernor>(*idle_);
+
+    PolicyContext policy_ctx{eq,
+                             corePtrs_,
+                             *nic_,
+                             *os_,
+                             config_.app,
+                             rng_,
+                             config_.gov,
+                             config_.params,
+                             feedback_.get(),
+                             std::move(profile_fn),
+                             switchable_.get(),
+                             /*switchableRequested_=*/false};
+    policy_ = PolicyRegistry::instance().makeFreq(config_.freqPolicy,
+                                                  policy_ctx);
+
+    os_->setIdleGovernor(
+        policy_ctx.switchableRequested()
+            ? static_cast<CpuIdleGovernor *>(switchable_.get())
+            : idle_.get());
+
+    ksoft_ = std::make_unique<KsoftirqdCounter>();
+    os_->addObserver(ksoft_.get());
+
+    uncore_ = std::make_unique<PackagePower>(eq, corePtrs_);
+    package_ = std::make_unique<PackageEnergyMeter>(0.0);
+    package_->addMeter(&uncore_->meter());
+    for (Core *core : corePtrs_)
+        package_->addMeter(&core->meter());
+}
+
+ClusterHost::~ClusterHost() = default;
+
+void
+ClusterHost::connect(ClusterSwitch &sw)
+{
+    sw.downlink(id_).setSink(
+        [this](const Packet &pkt) { nic_->receive(pkt); });
+    uplink_.setSink([this, &sw](const Packet &pkt) {
+        sw.fromHost(id_, pkt);
+    });
+}
+
+void
+ClusterHost::onServedResponse(const Packet &pkt)
+{
+    feedback_->onResponse(pkt);
+}
+
+void
+ClusterHost::start()
+{
+    os_->start();
+    policy_.governor->start();
+}
+
+void
+ClusterHost::beginMeasurement(Tick now)
+{
+    feedback_->latencies().clear();
+    package_->startMeasurement(now);
+}
+
+ClusterHostResult
+ClusterHost::collect(Tick end) const
+{
+    ClusterHostResult r;
+    r.id = id_;
+    r.freqPolicy = config_.freqPolicy;
+    r.idlePolicy = config_.idlePolicy;
+
+    const LatencyRecorder &lat = feedback_->latencies();
+    r.served = feedback_->responsesReceived();
+    r.p50 = lat.percentile(50.0);
+    r.p99 = lat.percentile(99.0);
+
+    r.energyJoules = package_->energyJoules(end);
+
+    r.nicRx = nic_->packetsReceived();
+    r.nicDrops = nic_->packetsDropped();
+    r.ksoftirqdWakes = ksoft_->wakes();
+    for (int i = 0; i < config_.numCores; ++i) {
+        Core *core = corePtrs_[static_cast<std::size_t>(i)];
+        r.pktsIntrMode += os_->napi(i).pktsInterruptMode();
+        r.pktsPollMode += os_->napi(i).pktsPollingMode();
+        r.pstateTransitions += core->dvfs().numTransitions();
+        r.cc6Wakes += core->cstates().wakeCount(CState::kC6);
+        r.cc1Wakes += core->cstates().wakeCount(CState::kC1);
+        r.busyFraction += static_cast<double>(core->busyTime()) /
+                          static_cast<double>(end) /
+                          static_cast<double>(config_.numCores);
+    }
+
+    // Policy-specific outputs (e.g. the thresholds NMAP resolved) are
+    // reported through the standard finalize hook.
+    if (policy_.finalize) {
+        ExperimentResult tmp;
+        policy_.finalize(tmp);
+        r.niThresholdUsed = tmp.niThresholdUsed;
+        r.cuThresholdUsed = tmp.cuThresholdUsed;
+    }
+    return r;
+}
+
+} // namespace nmapsim

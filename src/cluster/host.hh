@@ -1,0 +1,154 @@
+/**
+ * @file
+ * One server host of a simulated cluster.
+ *
+ * A ClusterHost is the complete single-server rig the Experiment
+ * harness assembles — cores, multi-queue NIC with RSS, OS network
+ * stack, server application, frequency + sleep policy resolved by name
+ * through the PolicyRegistry, and a package energy meter — packaged as
+ * a long-lived object that plugs into a ClusterSwitch port instead of
+ * talking to clients directly. Hosts are heterogeneous by
+ * construction: each one takes its own fully resolved
+ * ExperimentConfig, so two hosts behind the same switch can run
+ * different governors, sleep policies or tunables.
+ *
+ * The host also owns a *feedback client*: a Client instance that never
+ * transmits and only records the latencies of responses this host
+ * served (the switch's response tap feeds it). That gives per-host
+ * latency statistics and, crucially, the client latency feed policies
+ * like Parties require — so every registered frequency policy works
+ * per host with zero cluster special cases.
+ */
+
+#ifndef NMAPSIM_CLUSTER_HOST_HH_
+#define NMAPSIM_CLUSTER_HOST_HH_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/policy_registry.hh"
+#include "net/nic.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+#include "workload/client.hh"
+#include "workload/server_app.hh"
+
+namespace nmapsim {
+
+class ClusterSwitch;
+class PackagePower;
+class PackageEnergyMeter;
+
+/** Everything one host of a cluster run produced. */
+struct ClusterHostResult
+{
+    int id = 0;
+    std::string freqPolicy;
+    std::string idlePolicy;
+
+    /** Responses this host served (tap-attributed). */
+    std::uint64_t served = 0;
+    /** Latency of served requests, end-to-end up to the switch egress
+     *  fabric (excludes the final switch->client link). */
+    Tick p50 = 0;
+    Tick p99 = 0;
+
+    double energyJoules = 0.0;
+    double avgPowerWatts = 0.0;
+    double busyFraction = 0.0;
+
+    std::uint64_t nicRx = 0;        //!< packets the host NIC accepted
+    std::uint64_t nicDrops = 0;     //!< host NIC ring overflows
+    std::uint64_t pktsIntrMode = 0;
+    std::uint64_t pktsPollMode = 0;
+    std::uint64_t ksoftirqdWakes = 0;
+    std::uint64_t pstateTransitions = 0;
+    std::uint64_t cc6Wakes = 0;
+    std::uint64_t cc1Wakes = 0;
+
+    double niThresholdUsed = 0.0;
+    double cuThresholdUsed = 0.0;
+};
+
+/** One server host behind the cluster switch. */
+class ClusterHost
+{
+  public:
+    /**
+     * @param id          host index (switch port)
+     * @param eq          shared simulation event queue
+     * @param config      fully resolved per-host configuration (app,
+     *                    cores, OS/NIC knobs, policies, params)
+     * @param profile_fn  offline NMAP threshold profiling for this
+     *                    host's configuration (may be empty)
+     * @param rng         private random stream (fork of the master)
+     * @param link_bps    host<->switch link rate
+     * @param link_prop   host<->switch link propagation
+     */
+    ClusterHost(int id, EventQueue &eq, const ExperimentConfig &config,
+                std::function<std::pair<double, double>()> profile_fn,
+                Rng rng, double link_bps, Tick link_prop);
+
+    ~ClusterHost();
+
+    ClusterHost(const ClusterHost &) = delete;
+    ClusterHost &operator=(const ClusterHost &) = delete;
+
+    /** Connect to @p sw: downlink port -> NIC, uplink -> switch. */
+    void connect(ClusterSwitch &sw);
+
+    /** Record a response this host served (switch response tap). */
+    void onServedResponse(const Packet &pkt);
+
+    /** Start the OS idle loops and the frequency policy. */
+    void start();
+
+    /** Begin the measurement window: reset latency feed, arm energy. */
+    void beginMeasurement(Tick now);
+
+    /** Collect this host's results over [measurement start, @p end]. */
+    ClusterHostResult collect(Tick end) const;
+
+    int id() const { return id_; }
+    Nic &nic() { return *nic_; }
+    Wire &uplink() { return uplink_; }
+    /** The per-host latency feed (what Parties consumes). */
+    Client &feedback() { return *feedback_; }
+
+  private:
+    class KsoftirqdCounter;
+
+    int id_;
+    EventQueue &eq_;
+    /** The host's own copy of its resolved configuration; the app and
+     *  policy context hold references into it, so it must live as long
+     *  as the rig. */
+    ExperimentConfig config_;
+
+    Rng rng_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Core *> corePtrs_;
+    std::unique_ptr<Nic> nic_;
+    Wire uplink_; //!< host -> switch
+    std::unique_ptr<ServerOs> os_;
+    std::unique_ptr<ServerApp> app_;
+    std::unique_ptr<Client> feedback_;
+    std::unique_ptr<KsoftirqdCounter> ksoft_;
+
+    std::unique_ptr<CpuIdleGovernor> idle_;
+    std::unique_ptr<SwitchableIdleGovernor> switchable_;
+    FreqPolicyInstance policy_;
+
+    std::unique_ptr<PackagePower> uncore_;
+    std::unique_ptr<PackageEnergyMeter> package_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CLUSTER_HOST_HH_

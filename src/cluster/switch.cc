@@ -1,0 +1,111 @@
+#include "cluster/switch.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+ClusterSwitch::ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
+                             const std::string &dispatch,
+                             std::vector<double> weights,
+                             const PolicyParams &params)
+    : eq_(eq), config_(config),
+      ingressFabric_(eq, config.fabricBandwidthBps,
+                     config.fabricLatency),
+      egressFabric_(eq, config.fabricBandwidthBps,
+                    config.fabricLatency),
+      clientPort_(eq, config.portBandwidthBps, config.portPropagation)
+{
+    ensureBuiltinDispatchPolicies();
+    const int num_hosts = static_cast<int>(
+        weights.empty() ? 0 : weights.size());
+    if (num_hosts < 1)
+        fatal("ClusterSwitch requires at least one host weight");
+
+    ingressFabric_.setLabel("switch.fabric.ingress");
+    egressFabric_.setLabel("switch.fabric.egress");
+    clientPort_.setLabel("switch.port.clients");
+    ingressFabric_.setSink(
+        [this](const Packet &pkt) { forwardRequest(pkt); });
+    egressFabric_.setSink(
+        [this](const Packet &pkt) { forwardResponse(pkt); });
+    clientPort_.setQueueLimit(config_.portQueueLimit);
+
+    for (int id = 0; id < num_hosts; ++id) {
+        downlinks_.push_back(std::make_unique<Wire>(
+            eq, config_.portBandwidthBps, config_.portPropagation));
+        downlinks_.back()->setLabel("switch.port.host" +
+                                    std::to_string(id));
+        downlinks_.back()->setQueueLimit(config_.portQueueLimit);
+    }
+    requestsForwarded_.assign(static_cast<std::size_t>(num_hosts), 0);
+    responsesReturned_.assign(static_cast<std::size_t>(num_hosts), 0);
+
+    DispatchContext ctx;
+    ctx.numHosts = num_hosts;
+    ctx.weights = std::move(weights);
+    ctx.params = params;
+    ctx.outstanding = [this](int host) { return outstanding(host); };
+    dispatch_ = DispatchRegistry::instance().make(dispatch, ctx);
+}
+
+void
+ClusterSwitch::fromClient(const Packet &pkt)
+{
+    if (pkt.kind != Packet::Kind::kRequest)
+        panic("ClusterSwitch: non-request packet from the client side");
+    ingressFabric_.send(pkt);
+}
+
+void
+ClusterSwitch::forwardRequest(const Packet &pkt)
+{
+    const int host = dispatch_->pickHost(pkt);
+    if (host < 0 || host >= numHosts())
+        panic("dispatch policy '" + dispatch_->name() +
+              "' picked host " + std::to_string(host) + " of " +
+              std::to_string(numHosts()));
+    Wire &port = *downlinks_[static_cast<std::size_t>(host)];
+    const std::uint64_t drops_before = port.packetsDropped();
+    port.send(pkt);
+    // Only requests that actually made the port queue count as
+    // forwarded, so outstanding() tracks live work, not drops.
+    if (port.packetsDropped() == drops_before)
+        ++requestsForwarded_[static_cast<std::size_t>(host)];
+}
+
+void
+ClusterSwitch::fromHost(int id, const Packet &pkt)
+{
+    if (pkt.kind != Packet::Kind::kResponse)
+        panic("ClusterSwitch: non-response packet from host " +
+              std::to_string(id));
+    ++responsesReturned_[static_cast<std::size_t>(id)];
+    egressHosts_.push_back(id);
+    egressFabric_.send(pkt);
+}
+
+void
+ClusterSwitch::forwardResponse(const Packet &pkt)
+{
+    // The fabric wire is FIFO and unbounded, so the ids queue stays in
+    // lockstep with its deliveries.
+    if (egressHosts_.empty())
+        panic("ClusterSwitch: egress fabric delivered a response "
+              "with no host attribution queued");
+    const int host = egressHosts_.front();
+    egressHosts_.pop_front();
+    if (tap_)
+        tap_(host, pkt);
+    clientPort_.send(pkt);
+}
+
+std::uint64_t
+ClusterSwitch::portDrops() const
+{
+    std::uint64_t drops = clientPort_.packetsDropped();
+    for (const std::unique_ptr<Wire> &port : downlinks_)
+        drops += port->packetsDropped();
+    return drops;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Modeled top-of-rack switch / L4 load balancer.
+ *
+ * The switch sits between the client fleet and N server hosts. Both
+ * directions pass through a shared forwarding fabric — a Wire whose
+ * bandwidth models the switching capacity and whose propagation models
+ * the forwarding pipeline latency — and then through a per-destination
+ * egress port Wire that serialises at link rate and queues (output
+ * queueing). Egress ports may be given finite queues; overflow drops
+ * are accounted on the port wire, mirroring real shallow-buffer ToR
+ * switches.
+ *
+ * Requests are steered by a pluggable DispatchPolicy resolved by name
+ * through the DispatchRegistry; the switch feeds the policy its live
+ * per-host in-flight request counts (incremented at dispatch,
+ * decremented when the host's response re-enters the switch). The
+ * response path needs no policy: responses are forwarded to the client
+ * port, and a per-host tap lets the harness attribute each served
+ * response to the host that produced it (per-host latency feeds).
+ *
+ * Deviations from real ToR switches are documented in DESIGN.md
+ * ("Cluster model").
+ */
+
+#ifndef NMAPSIM_CLUSTER_SWITCH_HH_
+#define NMAPSIM_CLUSTER_SWITCH_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/dispatch.hh"
+#include "net/packet.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** Static switch/fabric configuration. */
+struct SwitchConfig
+{
+    /** Forwarding-fabric capacity (shared by all flows per direction). */
+    double fabricBandwidthBps = 40e9;
+    /** Forwarding pipeline latency per traversal. */
+    Tick fabricLatency = microseconds(2);
+    /** Egress-port link rate toward each host and the clients. */
+    double portBandwidthBps = 10e9;
+    /** Egress-port propagation (cable + PHY). */
+    Tick portPropagation = microseconds(5);
+    /** Egress-port queue bound in packets; 0 = unbounded. */
+    std::size_t portQueueLimit = 0;
+
+    bool operator==(const SwitchConfig &) const = default;
+};
+
+/** The modeled switch: fabric, ports, dispatch, accounting. */
+class ClusterSwitch
+{
+  public:
+    /** Invoked for every response, with the host that served it, when
+     *  the response leaves the fabric toward the client port. */
+    using ResponseTap = std::function<void(int host, const Packet &)>;
+
+    /**
+     * @param eq       simulation event queue
+     * @param config   fabric/port model parameters
+     * @param dispatch DispatchRegistry name of the steering policy
+     * @param weights  per-host load weights (empty = uniform)
+     * @param params   policy tunables ("dispatch.<knob>")
+     */
+    ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
+                  const std::string &dispatch,
+                  std::vector<double> weights,
+                  const PolicyParams &params);
+
+    ClusterSwitch(const ClusterSwitch &) = delete;
+    ClusterSwitch &operator=(const ClusterSwitch &) = delete;
+
+    int numHosts() const
+    {
+        return static_cast<int>(downlinks_.size());
+    }
+
+    /** Egress port toward host @p id; sink it into the host's NIC. */
+    Wire &downlink(int id) { return *downlinks_[id]; }
+
+    /** Egress port toward the clients; sink it into the client pool. */
+    Wire &clientPort() { return clientPort_; }
+
+    /** Ingress from the client side (sink of the client uplink). */
+    void fromClient(const Packet &pkt);
+
+    /** Ingress from host @p id (sink of the host's uplink). */
+    void fromHost(int id, const Packet &pkt);
+
+    /** Attach the per-host response tap (may be empty). */
+    void setResponseTap(ResponseTap tap) { tap_ = std::move(tap); }
+
+    const DispatchPolicy &dispatch() const { return *dispatch_; }
+
+    /** @name Accounting */
+    /**@{*/
+    /** Requests steered to @p host (post-fabric, pre-port-queue). */
+    std::uint64_t requestsForwarded(int host) const
+    {
+        return requestsForwarded_[host];
+    }
+    std::uint64_t
+    totalRequestsForwarded() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : requestsForwarded_)
+            sum += v;
+        return sum;
+    }
+    /** Responses received back from @p host. */
+    std::uint64_t responsesReturned(int host) const
+    {
+        return responsesReturned_[host];
+    }
+    std::uint64_t
+    totalResponsesReturned() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : responsesReturned_)
+            sum += v;
+        return sum;
+    }
+    /** In-flight requests dispatched to @p host, not yet answered. */
+    std::uint64_t outstanding(int host) const
+    {
+        return requestsForwarded_[host] - responsesReturned_[host];
+    }
+    /** Egress-port queue overflow drops, all ports. */
+    std::uint64_t portDrops() const;
+    /**@}*/
+
+  private:
+    void forwardRequest(const Packet &pkt);
+    void forwardResponse(const Packet &pkt);
+
+    EventQueue &eq_;
+    SwitchConfig config_;
+
+    Wire ingressFabric_; //!< client->hosts direction of the fabric
+    Wire egressFabric_;  //!< hosts->client direction of the fabric
+    Wire clientPort_;    //!< egress port toward the clients
+    std::vector<std::unique_ptr<Wire>> downlinks_; //!< ports to hosts
+
+    std::unique_ptr<DispatchPolicy> dispatch_;
+    ResponseTap tap_;
+
+    /** Host attribution for responses inside the egress fabric; the
+     *  fabric wire is FIFO, so front() always names the host of the
+     *  next response to leave it. */
+    std::deque<int> egressHosts_;
+
+    std::vector<std::uint64_t> requestsForwarded_;
+    std::vector<std::uint64_t> responsesReturned_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_CLUSTER_SWITCH_HH_

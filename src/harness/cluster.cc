@@ -1,0 +1,194 @@
+#include "harness/cluster.hh"
+
+#include <memory>
+#include <utility>
+
+#include "cluster/dispatch.hh"
+#include "harness/policy_registry.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workload/client.hh"
+#include "workload/loadgen.hh"
+
+namespace nmapsim {
+
+ClusterExperiment::ClusterExperiment(ClusterConfig config)
+    : config_(std::move(config))
+{
+    ensureBuiltinPolicies();
+    ensureBuiltinDispatchPolicies();
+    if (config_.numHosts < 1)
+        fatal("ClusterExperiment requires at least one host");
+    if (!config_.hosts.empty() &&
+        static_cast<int>(config_.hosts.size()) != config_.numHosts)
+        fatal("ClusterConfig::hosts must be empty or name every host");
+    for (const HostSpec &spec : config_.hosts)
+        if (spec.weight <= 0.0)
+            fatal("host dispatch weights must be positive");
+    if (config_.clientGroups < 1)
+        fatal("ClusterExperiment requires at least one client group");
+    if (config_.base.numConnections < 1 ||
+        config_.base.numConnections >=
+            static_cast<int>(kFlowSpaceStride))
+        fatal("client group connection count out of range");
+    if (config_.base.duration <= 0)
+        fatal("ClusterExperiment duration must be positive");
+    if (!config_.base.loadSchedule.empty() ||
+        !config_.base.extraObservers.empty())
+        fatal("ClusterExperiment does not support load schedules or "
+              "extra observers");
+    if (!DispatchRegistry::instance().has(config_.dispatch))
+        fatal("unknown dispatch policy '" + config_.dispatch + "'");
+}
+
+ExperimentConfig
+ClusterExperiment::hostConfig(int id) const
+{
+    ExperimentConfig cfg = config_.base;
+    if (config_.hosts.empty())
+        return cfg;
+    const HostSpec &spec =
+        config_.hosts[static_cast<std::size_t>(id)];
+    if (!spec.freqPolicy.empty())
+        cfg.freqPolicy = spec.freqPolicy;
+    if (!spec.idlePolicy.empty())
+        cfg.idlePolicy = spec.idlePolicy;
+    for (const auto &[key, value] : spec.params)
+        cfg.params.set(key, value);
+    return cfg;
+}
+
+ClusterResult
+ClusterExperiment::run()
+{
+    EventQueue eq;
+    Rng rng(config_.base.seed);
+
+    // --- Switch -------------------------------------------------------
+    std::vector<double> weights(
+        static_cast<std::size_t>(config_.numHosts), 1.0);
+    for (std::size_t i = 0; i < config_.hosts.size(); ++i)
+        weights[i] = config_.hosts[i].weight;
+    ClusterSwitch sw(eq, config_.fabric, config_.dispatch, weights,
+                     config_.base.params);
+
+    // --- Hosts --------------------------------------------------------
+    std::vector<std::unique_ptr<ClusterHost>> hosts;
+    for (int id = 0; id < config_.numHosts; ++id) {
+        ExperimentConfig host_cfg = hostConfig(id);
+        auto profile_fn = [host_cfg] {
+            return Experiment::profileThresholds(host_cfg);
+        };
+        hosts.push_back(std::make_unique<ClusterHost>(
+            id, eq, host_cfg, std::move(profile_fn), rng.fork(),
+            config_.fabric.portBandwidthBps,
+            config_.fabric.portPropagation));
+        hosts.back()->connect(sw);
+    }
+    sw.setResponseTap([&hosts](int host, const Packet &pkt) {
+        hosts[static_cast<std::size_t>(host)]->onServedResponse(pkt);
+    });
+
+    // --- Client groups ------------------------------------------------
+    Wire client_uplink(eq, config_.fabric.portBandwidthBps,
+                       config_.fabric.portPropagation);
+    client_uplink.setLabel("clients.uplink");
+    client_uplink.setSink(
+        [&sw](const Packet &pkt) { sw.fromClient(pkt); });
+
+    struct Group
+    {
+        std::unique_ptr<Client> client;
+        std::unique_ptr<LoadGenerator> gen;
+    };
+    std::vector<Group> groups;
+    for (int g = 0; g < config_.clientGroups; ++g) {
+        Group group;
+        group.client = std::make_unique<Client>(
+            eq, client_uplink, config_.base.app,
+            config_.base.numConnections,
+            static_cast<std::uint32_t>(g) * kFlowSpaceStride);
+        group.gen = std::make_unique<LoadGenerator>(
+            eq, *group.client, config_.base.burst, rng.fork());
+        groups.push_back(std::move(group));
+    }
+
+    std::uint64_t stray = 0;
+    sw.clientPort().setSink([&groups, &stray](const Packet &pkt) {
+        std::size_t idx = pkt.flowHash / kFlowSpaceStride;
+        if (idx < groups.size())
+            groups[idx].client->onResponse(pkt);
+        else
+            ++stray;
+    });
+
+    // --- Load ---------------------------------------------------------
+    LoadLevelSpec spec = config_.base.app.level(config_.base.load);
+    if (config_.base.rpsOverride > 0.0)
+        spec.rps = config_.base.rpsOverride;
+    if (config_.base.trainMeanOverride > 0.0)
+        spec.trainMean = config_.base.trainMeanOverride;
+    if (config_.base.dutyOverride > 0.0)
+        spec.duty = config_.base.dutyOverride;
+    // The configured rate is the cluster's offered load.
+    spec.rps /= static_cast<double>(config_.clientGroups);
+
+    // --- Run ----------------------------------------------------------
+    for (std::unique_ptr<ClusterHost> &host : hosts)
+        host->start();
+    for (Group &group : groups) {
+        group.gen->setConnectionSkew(config_.base.connectionSkew);
+        group.gen->setLoad(spec);
+        group.gen->start();
+    }
+
+    eq.runUntil(config_.base.warmup);
+    Tick measure_start = eq.now();
+    for (std::unique_ptr<ClusterHost> &host : hosts)
+        host->beginMeasurement(measure_start);
+    for (Group &group : groups)
+        group.client->latencies().clear();
+
+    Tick end = config_.base.warmup + config_.base.duration;
+    eq.runUntil(end);
+    for (Group &group : groups)
+        group.gen->stop();
+
+    Tick sim_end = end + config_.drain;
+    eq.runUntil(sim_end);
+
+    // --- Collect ------------------------------------------------------
+    ClusterResult result;
+    LatencyRecorder merged;
+    for (Group &group : groups) {
+        merged.merge(group.client->latencies());
+        result.requestsSent += group.client->requestsSent();
+        result.responsesReceived += group.client->responsesReceived();
+    }
+    result.slo = config_.base.app.slo;
+    result.p50 = merged.percentile(50.0);
+    result.p99 = merged.percentile(99.0);
+    result.maxLatency = merged.max();
+    result.meanLatency = merged.mean();
+    result.fracOverSlo = merged.fractionAbove(result.slo);
+
+    result.requestsForwarded = sw.totalRequestsForwarded();
+    result.responsesReturned = sw.totalResponsesReturned();
+    result.switchPortDrops = sw.portDrops();
+    result.strayResponses = stray;
+
+    const double measured_seconds = toSeconds(sim_end - measure_start);
+    for (const std::unique_ptr<ClusterHost> &host : hosts) {
+        ClusterHostResult hr = host->collect(sim_end);
+        hr.avgPowerWatts = hr.energyJoules / measured_seconds;
+        result.energyJoules += hr.energyJoules;
+        result.hostNicDrops += hr.nicDrops;
+        result.hosts.push_back(std::move(hr));
+    }
+    result.avgPowerWatts = result.energyJoules / measured_seconds;
+
+    return result;
+}
+
+} // namespace nmapsim

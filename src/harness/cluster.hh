@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Multi-host cluster experiment harness.
+ *
+ * A ClusterExperiment runs N complete server hosts (cluster/host.hh)
+ * behind a modeled top-of-rack switch (cluster/switch.hh): client
+ * groups send bursty open-loop traffic into the switch, a
+ * DispatchRegistry policy steers every request to a host, and each
+ * host runs its own frequency + sleep policy resolved by name through
+ * the PolicyRegistry. Hosts may be heterogeneous (per-host policy and
+ * tunable overrides) and unevenly loaded (per-host dispatch weights).
+ *
+ * The result carries both cluster-level aggregates — latency
+ * percentiles over every completed request, total package energy,
+ * switch conservation counters — and the full per-host breakdown, and
+ * feeds the same ResultWriter JSON/CSV pipeline as the single-host
+ * harness (harness/cluster_io.hh).
+ */
+
+#ifndef NMAPSIM_HARNESS_CLUSTER_HH_
+#define NMAPSIM_HARNESS_CLUSTER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/host.hh"
+#include "cluster/switch.hh"
+#include "harness/experiment.hh"
+
+namespace nmapsim {
+
+/** Per-host deviations from the cluster's base configuration. */
+struct HostSpec
+{
+    /** Frequency policy override; empty = the base config's. */
+    std::string freqPolicy;
+    /** Sleep policy override; empty = the base config's. */
+    std::string idlePolicy;
+    /** Dispatch weight (> 0); affinity policies give the host a
+     *  proportional hash share, queue policies normalise by it. */
+    double weight = 1.0;
+    /** Per-host tunables overlaid onto the base config's params. */
+    PolicyParams params;
+
+    bool operator==(const HostSpec &) const = default;
+};
+
+/** Declarative description of one cluster run. */
+struct ClusterConfig
+{
+    /** Per-host baseline: hardware, app, OS/NIC knobs, load level and
+     *  client connection count, policies, warmup/duration/seed. The
+     *  load (base.load / base.rpsOverride) describes the *cluster*
+     *  offered load; it is split evenly over the client groups.
+     *  loadSchedule and extraObservers are not supported here. */
+    ExperimentConfig base;
+
+    int numHosts = 2;
+    /** Request steering policy, by DispatchRegistry name. */
+    std::string dispatch = "flow-hash";
+    /** Optional per-host overrides; empty = all hosts run the base
+     *  config, otherwise exactly one entry per host. */
+    std::vector<HostSpec> hosts;
+
+    /** Independent client machines; each owns base.numConnections
+     *  connections in its own flow space (kFlowSpaceStride apart). */
+    int clientGroups = 1;
+
+    /** Switch fabric/port model. */
+    SwitchConfig fabric;
+
+    /** Extra simulated time after the load stops, letting in-flight
+     *  requests complete (exact request conservation). */
+    Tick drain = 0;
+
+    bool operator==(const ClusterConfig &) const = default;
+};
+
+/** Everything a cluster run produces. */
+struct ClusterResult
+{
+    /** @name Cluster-level latency (all completed requests, measured
+     *  end-to-end at the clients) */
+    /**@{*/
+    Tick p50 = 0;
+    Tick p99 = 0;
+    Tick maxLatency = 0;
+    double meanLatency = 0.0;
+    double fracOverSlo = 0.0;
+    Tick slo = 0;
+    /**@}*/
+
+    /** Sum of every host's package energy over the measurement. */
+    double energyJoules = 0.0;
+    double avgPowerWatts = 0.0;
+
+    /** @name Conservation accounting */
+    /**@{*/
+    std::uint64_t requestsSent = 0;
+    std::uint64_t responsesReceived = 0;
+    std::uint64_t requestsForwarded = 0; //!< switch -> hosts
+    std::uint64_t responsesReturned = 0; //!< hosts -> switch
+    std::uint64_t switchPortDrops = 0;   //!< egress-port queue drops
+    std::uint64_t hostNicDrops = 0;      //!< host NIC ring overflows
+    /** Responses whose flow hash matched no client group. */
+    std::uint64_t strayResponses = 0;
+    /**@}*/
+
+    std::vector<ClusterHostResult> hosts;
+};
+
+/** Builds, runs and tears down one configured cluster simulation. */
+class ClusterExperiment
+{
+  public:
+    explicit ClusterExperiment(ClusterConfig config);
+
+    /** Execute the run and collect results. */
+    ClusterResult run();
+
+    const ClusterConfig &config() const { return config_; }
+
+    /** The fully resolved configuration host @p id runs (base with the
+     *  host's overrides applied). */
+    ExperimentConfig hostConfig(int id) const;
+
+  private:
+    ClusterConfig config_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_HARNESS_CLUSTER_HH_

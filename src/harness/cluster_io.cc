@@ -1,0 +1,263 @@
+#include "harness/cluster_io.hh"
+
+#include <charconv>
+#include <sstream>
+
+#include "harness/config_io.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+int
+parseInt(const std::string &text, const std::string &key)
+{
+    int v = 0;
+    const char *b = text.data();
+    const char *e = b + text.size();
+    auto res = std::from_chars(b, e, v);
+    if (res.ec != std::errc() || res.ptr != e)
+        fatal("config key '" + key + "': not an integer: '" + text +
+              "'");
+    return v;
+}
+
+std::string
+formatTick(Tick t)
+{
+    return std::to_string(t) + "ns";
+}
+
+/** Parse "host<i>.<rest>" keys; returns false for anything else. */
+bool
+splitHostKey(const std::string &key, int &host, std::string &rest)
+{
+    if (key.rfind("host", 0) != 0)
+        return false;
+    std::size_t dot = key.find('.');
+    if (dot == std::string::npos || dot == 4)
+        return false;
+    const char *b = key.data() + 4;
+    const char *e = key.data() + dot;
+    int v = 0;
+    auto res = std::from_chars(b, e, v);
+    if (res.ec != std::errc() || res.ptr != e)
+        return false;
+    host = v;
+    rest = key.substr(dot + 1);
+    return true;
+}
+
+/** Materialise per-host specs so host @p id can take an override. */
+HostSpec &
+hostSpec(ClusterConfig &config, int id, const std::string &key)
+{
+    if (id < 0 || id >= config.numHosts)
+        fatal("config key '" + key + "': host index out of range "
+              "(hosts=" + std::to_string(config.numHosts) +
+              "; set hosts first)");
+    if (config.hosts.empty())
+        config.hosts.assign(static_cast<std::size_t>(config.numHosts),
+                            HostSpec{});
+    if (static_cast<int>(config.hosts.size()) != config.numHosts)
+        fatal("config key '" + key + "': host spec count diverged "
+              "from the host count");
+    return config.hosts[static_cast<std::size_t>(id)];
+}
+
+} // namespace
+
+bool
+setClusterConfigValue(ClusterConfig &c, const std::string &key,
+                      const std::string &value)
+{
+    int host = 0;
+    std::string rest;
+    if (key == "hosts") {
+        c.numHosts = parseInt(value, key);
+        if (!c.hosts.empty())
+            fatal("config key 'hosts': set the host count before any "
+                  "host<i>.* override");
+    } else if (key == "dispatch") {
+        c.dispatch = value;
+    } else if (key == "cluster.client_groups") {
+        c.clientGroups = parseInt(value, key);
+    } else if (key == "cluster.drain") {
+        c.drain = PolicyParams::parseTick(value, key);
+    } else if (key == "cluster.fabric_bandwidth") {
+        c.fabric.fabricBandwidthBps =
+            PolicyParams::parseDouble(value, key);
+    } else if (key == "cluster.fabric_latency") {
+        c.fabric.fabricLatency = PolicyParams::parseTick(value, key);
+    } else if (key == "cluster.port_bandwidth") {
+        c.fabric.portBandwidthBps =
+            PolicyParams::parseDouble(value, key);
+    } else if (key == "cluster.port_propagation") {
+        c.fabric.portPropagation = PolicyParams::parseTick(value, key);
+    } else if (key == "cluster.port_queue") {
+        c.fabric.portQueueLimit =
+            static_cast<std::size_t>(parseInt(value, key));
+    } else if (key.rfind("cluster.", 0) == 0) {
+        fatal("unknown config key '" + key + "'");
+    } else if (splitHostKey(key, host, rest)) {
+        HostSpec &spec = hostSpec(c, host, key);
+        if (rest == "freq_policy")
+            spec.freqPolicy = value;
+        else if (rest == "idle_policy")
+            spec.idlePolicy = value;
+        else if (rest == "weight")
+            spec.weight = PolicyParams::parseDouble(value, key);
+        else if (rest.find('.') != std::string::npos)
+            spec.params.set(rest, value);
+        else
+            fatal("unknown per-host config key '" + key +
+                  "' (use freq_policy, idle_policy, weight or a "
+                  "dotted params key)");
+    } else {
+        setConfigValue(c.base, key, value);
+        return false;
+    }
+    return true;
+}
+
+std::string
+printClusterConfig(const ClusterConfig &c)
+{
+    std::ostringstream os;
+    auto put = [&os](const std::string &key, const std::string &value) {
+        os << key << "=" << value << "\n";
+    };
+
+    put("hosts", std::to_string(c.numHosts));
+    put("dispatch", c.dispatch);
+    put("cluster.client_groups", std::to_string(c.clientGroups));
+    put("cluster.drain", formatTick(c.drain));
+    put("cluster.fabric_bandwidth",
+        PolicyParams::formatDouble(c.fabric.fabricBandwidthBps));
+    put("cluster.fabric_latency", formatTick(c.fabric.fabricLatency));
+    put("cluster.port_bandwidth",
+        PolicyParams::formatDouble(c.fabric.portBandwidthBps));
+    put("cluster.port_propagation",
+        formatTick(c.fabric.portPropagation));
+    put("cluster.port_queue",
+        std::to_string(c.fabric.portQueueLimit));
+
+    for (std::size_t i = 0; i < c.hosts.size(); ++i) {
+        const HostSpec &spec = c.hosts[i];
+        const std::string prefix = "host" + std::to_string(i) + ".";
+        // weight always prints so parsing recreates the spec vector.
+        put(prefix + "weight",
+            PolicyParams::formatDouble(spec.weight));
+        if (!spec.freqPolicy.empty())
+            put(prefix + "freq_policy", spec.freqPolicy);
+        if (!spec.idlePolicy.empty())
+            put(prefix + "idle_policy", spec.idlePolicy);
+        for (const auto &[key, value] : spec.params)
+            put(prefix + key, value);
+    }
+
+    os << printConfig(c.base);
+    return os.str();
+}
+
+ClusterConfig
+parseClusterConfig(const std::string &text)
+{
+    ClusterConfig config;
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        std::size_t eq = t.find('=');
+        if (eq == std::string::npos)
+            fatal("config line " + std::to_string(lineno) +
+                  ": expected key=value, got '" + t + "'");
+        std::string key = trim(t.substr(0, eq));
+        std::string value = trim(t.substr(eq + 1));
+        if (key.empty())
+            fatal("config line " + std::to_string(lineno) +
+                  ": empty key");
+        setClusterConfigValue(config, key, value);
+    }
+    return config;
+}
+
+ResultWriter::Record &
+appendClusterResultRecord(ResultWriter &writer,
+                          const ClusterConfig &config,
+                          const ClusterResult &result)
+{
+    ResultWriter::Record &rec = writer.add();
+
+    // Config dimensions identifying the point.
+    rec.set("hosts", config.numHosts)
+        .set("dispatch", config.dispatch)
+        .set("client_groups", config.clientGroups)
+        .set("app", config.base.app.name)
+        .set("load", loadLevelName(config.base.load))
+        .set("freq_policy", config.base.freqPolicy)
+        .set("idle_policy", config.base.idlePolicy)
+        .set("cores", config.base.numCores)
+        .set("connections", config.base.numConnections)
+        .set("rps_override", config.base.rpsOverride)
+        .set("warmup_ns",
+             static_cast<std::int64_t>(config.base.warmup))
+        .set("duration_ns",
+             static_cast<std::int64_t>(config.base.duration))
+        .set("drain_ns", static_cast<std::int64_t>(config.drain))
+        .set("seed", config.base.seed);
+    for (const auto &[key, value] : config.base.params)
+        rec.set(key, value);
+
+    // Cluster-level metrics.
+    rec.set("p50_ns", static_cast<std::int64_t>(result.p50))
+        .set("p99_ns", static_cast<std::int64_t>(result.p99))
+        .set("max_latency_ns",
+             static_cast<std::int64_t>(result.maxLatency))
+        .set("mean_latency_ns", result.meanLatency)
+        .set("slo_ns", static_cast<std::int64_t>(result.slo))
+        .set("frac_over_slo", result.fracOverSlo)
+        .set("energy_j", result.energyJoules)
+        .set("avg_power_w", result.avgPowerWatts)
+        .set("requests_sent", result.requestsSent)
+        .set("responses_received", result.responsesReceived)
+        .set("requests_forwarded", result.requestsForwarded)
+        .set("responses_returned", result.responsesReturned)
+        .set("switch_port_drops", result.switchPortDrops)
+        .set("host_nic_drops", result.hostNicDrops)
+        .set("stray_responses", result.strayResponses);
+
+    // Per-host summary columns.
+    for (const ClusterHostResult &host : result.hosts) {
+        const std::string p = "host" + std::to_string(host.id) + "_";
+        rec.set(p + "freq_policy", host.freqPolicy)
+            .set(p + "idle_policy", host.idlePolicy)
+            .set(p + "served", host.served)
+            .set(p + "p50_ns", static_cast<std::int64_t>(host.p50))
+            .set(p + "p99_ns", static_cast<std::int64_t>(host.p99))
+            .set(p + "energy_j", host.energyJoules)
+            .set(p + "avg_power_w", host.avgPowerWatts)
+            .set(p + "busy_fraction", host.busyFraction)
+            .set(p + "nic_drops", host.nicDrops)
+            .set(p + "pkts_intr_mode", host.pktsIntrMode)
+            .set(p + "pkts_poll_mode", host.pktsPollMode);
+    }
+    return rec;
+}
+
+} // namespace nmapsim

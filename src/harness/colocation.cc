@@ -17,13 +17,6 @@
 
 namespace nmapsim {
 
-namespace {
-
-/** Disjoint flow spaces, both striped over every RSS queue. */
-constexpr std::uint32_t kFlowSpaceStride = 1024;
-
-} // namespace
-
 ColocationExperiment::ColocationExperiment(ColocationConfig config)
     : config_(std::move(config))
 {

@@ -166,62 +166,6 @@ class Experiment
     ExperimentConfig config_;
 };
 
-// --- Deprecated enum aliases (kept for one PR) -------------------------
-//
-// Policies are addressed by registry name now. The enums below are
-// thin lookups onto those names for code still carrying them around;
-// new code should pass the strings directly.
-
-/** @deprecated Use the PolicyRegistry name strings instead. */
-enum class FreqPolicy
-{
-    kPerformance,
-    kPowersave,
-    kUserspace,
-    kOndemand,
-    kConservative,
-    kIntelPowersave,
-    kNmap,
-    kNmapSimpl,
-    kNmapAdaptive, //!< NMAP with online threshold learning (extension)
-    kNmapChipWide, //!< NMAP on a chip-wide DVFS package (extension)
-    kNcap,
-    kNcapMenu,
-    kParties,
-};
-
-/** @deprecated Use the PolicyRegistry name strings instead. */
-enum class IdlePolicy
-{
-    kMenu,
-    kDisable,
-    kC6Only,
-    kTeo, //!< timer-events-oriented governor (extension)
-};
-
-/** @deprecated Registry name of a legacy FreqPolicy value. */
-inline const char *
-freqPolicyName(FreqPolicy policy)
-{
-    static constexpr const char *kNames[] = {
-        "performance", "powersave",     "userspace",
-        "ondemand",    "conservative",  "intel_powersave",
-        "NMAP",        "NMAP-simpl",    "NMAP-adaptive",
-        "NMAP-chipwide", "NCAP",        "NCAP-menu",
-        "Parties",
-    };
-    return kNames[static_cast<int>(policy)];
-}
-
-/** @deprecated Registry name of a legacy IdlePolicy value. */
-inline const char *
-idlePolicyName(IdlePolicy policy)
-{
-    static constexpr const char *kNames[] = {"menu", "disable",
-                                             "c6only", "teo"};
-    return kNames[static_cast<int>(policy)];
-}
-
 } // namespace nmapsim
 
 #endif // NMAPSIM_HARNESS_EXPERIMENT_HH_

@@ -20,8 +20,18 @@ Wire::~Wire()
 void
 Wire::send(const Packet &pkt)
 {
-    if (!sink_)
-        panic("Wire::send without a sink");
+    if (!sink_) {
+        std::string which =
+            label_.empty() ? std::string("<unlabelled>") : label_;
+        panic("Wire::send on wire '" + which +
+              "' before setSink(): every wire must be connected to a "
+              "receiver before traffic starts (mis-wired topology?)");
+    }
+    if (queueLimit_ != 0 && inFlight_.size() >= queueLimit_) {
+        ++dropped_;
+        bytesDropped_ += pkt.sizeBytes;
+        return;
+    }
     Tick start = std::max(eq_.now(), lineIdleAt_);
     Tick ser = static_cast<Tick>(static_cast<double>(pkt.sizeBytes) * 8.0 /
                                  bandwidthBps_ * 1e9);
@@ -46,6 +56,7 @@ Wire::deliverHead()
         inFlight_.pop_front();
         deliveryTimes_.pop_front();
         ++delivered_;
+        bytesDelivered_ += pkt.sizeBytes;
         sink_(pkt);
     }
     if (!inFlight_.empty())

@@ -7,6 +7,11 @@
  * batch of requests issued at the same instant into a near-line-rate
  * packet train at the NIC — the arrival pattern that pushes NAPI into
  * polling mode in the paper's Section 3.1.
+ *
+ * A wire may be given a finite transmit queue (switch egress ports are
+ * output-queued); packets arriving at a full queue are dropped and
+ * accounted, never silently lost. Labels make mis-wiring diagnosable:
+ * a send() on a sink-less wire names the wire that was left dangling.
  */
 
 #ifndef NMAPSIM_NET_WIRE_HH_
@@ -15,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "net/packet.hh"
 #include "sim/event_queue.hh"
@@ -44,10 +50,30 @@ class Wire
     /** Set the receiver; must be set before the first send. */
     void setSink(Sink sink) { sink_ = std::move(sink); }
 
+    /** Name this wire for diagnostics ("switch->host3" etc.). */
+    void setLabel(std::string label) { label_ = std::move(label); }
+    const std::string &label() const { return label_; }
+
+    /**
+     * Bound the transmit queue to @p packets; a send() finding the
+     * queue full drops the packet (counted, not delivered). 0 (the
+     * default) leaves the queue unbounded.
+     */
+    void setQueueLimit(std::size_t packets) { queueLimit_ = packets; }
+    std::size_t queueLimit() const { return queueLimit_; }
+
     /** Enqueue a packet for transmission now. */
     void send(const Packet &pkt);
 
+    /** @name Accounting */
+    /**@{*/
     std::uint64_t packetsDelivered() const { return delivered_; }
+    std::uint64_t bytesDelivered() const { return bytesDelivered_; }
+    std::uint64_t packetsDropped() const { return dropped_; }
+    std::uint64_t bytesDropped() const { return bytesDropped_; }
+    /** Packets queued on the wire right now (sent, not yet delivered). */
+    std::size_t packetsInFlight() const { return inFlight_.size(); }
+    /**@}*/
 
   private:
     void deliverHead();
@@ -56,11 +82,16 @@ class Wire
     double bandwidthBps_;
     Tick propagation_;
     Sink sink_;
+    std::string label_;
+    std::size_t queueLimit_ = 0;
 
     std::deque<Packet> inFlight_;
     std::deque<Tick> deliveryTimes_;
     Tick lineIdleAt_ = 0; //!< when the transmitter finishes current work
     std::uint64_t delivered_ = 0;
+    std::uint64_t bytesDelivered_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t bytesDropped_ = 0;
 
     EventFunctionWrapper deliverEvent_;
 };

@@ -68,6 +68,16 @@ class LatencyRecorder
     /** Drop all samples recorded before @p cutoff (warm-up trimming). */
     void discardBefore(Tick cutoff);
 
+    /** Append every sample of @p other (e.g. cluster-wide percentiles
+     *  from per-host recorders). */
+    void
+    merge(const LatencyRecorder &other)
+    {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        sorted_ = false;
+    }
+
     /** Remove every sample. */
     void
     clear()

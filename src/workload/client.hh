@@ -24,6 +24,14 @@
 
 namespace nmapsim {
 
+/**
+ * Spacing between independent clients' flow spaces sharing one
+ * wire/NIC (colocation tenants, cluster client groups): client i uses
+ * flow hashes [i * kFlowSpaceStride, i * kFlowSpaceStride +
+ * connections), so `flowHash / kFlowSpaceStride` recovers the owner.
+ */
+constexpr std::uint32_t kFlowSpaceStride = 1024;
+
 /** The load-generating client machine. */
 class Client
 {

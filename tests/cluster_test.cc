@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the multi-host cluster harness (harness/cluster.hh):
+ * construction-time validation, determinism, request conservation,
+ * per-host heterogeneity, dispatch weighting/packing semantics, and
+ * the cluster config round-trip (harness/cluster_io.hh).
+ *
+ * Runs use short windows and low load: the point is end-to-end
+ * wiring and accounting, not steady-state policy behaviour (the bench
+ * ext_cluster covers that at scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/cluster.hh"
+#include "harness/cluster_io.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+/** A small, fast cluster: 2 hosts, low load, fixed-threshold-free
+ *  policies, a drain window long enough for exact conservation. */
+ClusterConfig
+smallCluster()
+{
+    ClusterConfig cfg;
+    cfg.base.app = AppProfile::memcached();
+    cfg.base.load = LoadLevel::kLow;
+    cfg.base.freqPolicy = "performance";
+    cfg.base.warmup = milliseconds(2);
+    cfg.base.duration = milliseconds(10);
+    cfg.base.seed = 7;
+    cfg.numHosts = 2;
+    cfg.dispatch = "round-robin";
+    cfg.drain = milliseconds(5);
+    return cfg;
+}
+
+TEST(ClusterTest, DeterministicForFixedConfigAndSeed)
+{
+    ClusterConfig cfg = smallCluster();
+    ClusterResult a = ClusterExperiment(cfg).run();
+    ClusterResult b = ClusterExperiment(cfg).run();
+
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.maxLatency, b.maxLatency);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.requestsSent, b.requestsSent);
+    EXPECT_EQ(a.responsesReceived, b.responsesReceived);
+    ASSERT_EQ(a.hosts.size(), b.hosts.size());
+    for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+        EXPECT_EQ(a.hosts[i].served, b.hosts[i].served);
+        EXPECT_EQ(a.hosts[i].energyJoules, b.hosts[i].energyJoules);
+    }
+
+    // A different seed produces a different packet history.
+    cfg.base.seed = 8;
+    ClusterResult c = ClusterExperiment(cfg).run();
+    EXPECT_NE(a.requestsSent, c.requestsSent);
+}
+
+TEST(ClusterTest, ConservesRequestsThroughTheSwitch)
+{
+    ClusterConfig cfg = smallCluster();
+    ClusterResult r = ClusterExperiment(cfg).run();
+
+    EXPECT_GT(r.requestsSent, 0u);
+    // Unbounded queues + drain window: nothing may be lost anywhere.
+    EXPECT_EQ(r.responsesReceived, r.requestsSent);
+    EXPECT_EQ(r.requestsForwarded, r.requestsSent);
+    EXPECT_EQ(r.responsesReturned, r.requestsSent);
+    EXPECT_EQ(r.switchPortDrops, 0u);
+    EXPECT_EQ(r.hostNicDrops, 0u);
+    EXPECT_EQ(r.strayResponses, 0u);
+
+    // Per-host attribution adds back up to the total.
+    std::uint64_t served = 0;
+    for (const ClusterHostResult &host : r.hosts)
+        served += host.served;
+    EXPECT_EQ(served, r.requestsSent);
+}
+
+TEST(ClusterTest, MultipleClientGroupsSplitTheLoad)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.clientGroups = 3;
+    ClusterResult r = ClusterExperiment(cfg).run();
+    EXPECT_GT(r.requestsSent, 0u);
+    EXPECT_EQ(r.responsesReceived, r.requestsSent);
+    EXPECT_EQ(r.strayResponses, 0u);
+}
+
+TEST(ClusterTest, HeterogeneousPerHostPolicies)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.hosts.resize(2);
+    cfg.hosts[0].freqPolicy = "performance";
+    cfg.hosts[1].freqPolicy = "powersave";
+    cfg.hosts[1].idlePolicy = "disable";
+
+    ClusterExperiment exp(cfg);
+    EXPECT_EQ(exp.hostConfig(0).freqPolicy, "performance");
+    EXPECT_EQ(exp.hostConfig(1).freqPolicy, "powersave");
+    EXPECT_EQ(exp.hostConfig(1).idlePolicy, "disable");
+
+    ClusterResult r = exp.run();
+    ASSERT_EQ(r.hosts.size(), 2u);
+    EXPECT_EQ(r.hosts[0].freqPolicy, "performance");
+    EXPECT_EQ(r.hosts[1].freqPolicy, "powersave");
+    EXPECT_EQ(r.hosts[1].idlePolicy, "disable");
+    EXPECT_GT(r.hosts[0].served, 0u);
+    EXPECT_GT(r.hosts[1].served, 0u);
+    // Round-robin splits evenly, so the P0-pinned host can only burn
+    // at least as much energy as the powersave host.
+    EXPECT_GE(r.hosts[0].energyJoules, r.hosts[1].energyJoules);
+}
+
+TEST(ClusterTest, PerHostParamOverlayReachesTheHostConfig)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.base.params.set("nmap.ni_th", 1.0);
+    cfg.hosts.resize(2);
+    cfg.hosts[1].params.set("nmap.ni_th", 9.0);
+
+    ClusterExperiment exp(cfg);
+    EXPECT_EQ(exp.hostConfig(0).params.getDouble("nmap.ni_th", 0.0),
+              1.0);
+    EXPECT_EQ(exp.hostConfig(1).params.getDouble("nmap.ni_th", 0.0),
+              9.0);
+}
+
+TEST(ClusterTest, DispatchWeightsSkewServedCounts)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.dispatch = "round-robin";
+    cfg.hosts.resize(2);
+    cfg.hosts[0].weight = 3.0;
+    cfg.hosts[1].weight = 1.0;
+    ClusterResult r = ClusterExperiment(cfg).run();
+    ASSERT_EQ(r.hosts.size(), 2u);
+    EXPECT_GT(r.hosts[0].served, 2 * r.hosts[1].served);
+    EXPECT_GT(r.hosts[1].served, 0u);
+}
+
+TEST(ClusterTest, PowerPackLeavesTheSpareHostUntouched)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.dispatch = "power-pack";
+    // A knee the low load can never reach: everything packs onto
+    // host 0 and host 1 sees zero traffic.
+    cfg.base.params.set("dispatch.pack_limit", 1e9);
+    ClusterResult r = ClusterExperiment(cfg).run();
+    ASSERT_EQ(r.hosts.size(), 2u);
+    EXPECT_EQ(r.responsesReceived, r.requestsSent);
+    EXPECT_GT(r.hosts[0].served, 0u);
+    EXPECT_EQ(r.hosts[1].served, 0u);
+    EXPECT_EQ(r.hosts[1].nicRx, 0u);
+    EXPECT_LT(r.hosts[1].energyJoules, r.hosts[0].energyJoules);
+}
+
+TEST(ClusterTest, RejectsInvalidConfigs)
+{
+    {
+        ClusterConfig cfg = smallCluster();
+        cfg.numHosts = 0;
+        EXPECT_THROW(ClusterExperiment{cfg}, FatalError);
+    }
+    {
+        ClusterConfig cfg = smallCluster();
+        cfg.hosts.resize(3); // != numHosts
+        EXPECT_THROW(ClusterExperiment{cfg}, FatalError);
+    }
+    {
+        ClusterConfig cfg = smallCluster();
+        cfg.hosts.resize(2);
+        cfg.hosts[1].weight = 0.0;
+        EXPECT_THROW(ClusterExperiment{cfg}, FatalError);
+    }
+    {
+        ClusterConfig cfg = smallCluster();
+        cfg.clientGroups = 0;
+        EXPECT_THROW(ClusterExperiment{cfg}, FatalError);
+    }
+    {
+        ClusterConfig cfg = smallCluster();
+        cfg.base.numConnections =
+            static_cast<int>(kFlowSpaceStride);
+        EXPECT_THROW(ClusterExperiment{cfg}, FatalError);
+    }
+    {
+        ClusterConfig cfg = smallCluster();
+        cfg.dispatch = "no-such-dispatch";
+        EXPECT_THROW(ClusterExperiment{cfg}, FatalError);
+    }
+    {
+        ClusterConfig cfg = smallCluster();
+        cfg.base.loadSchedule.push_back(
+            {milliseconds(1), cfg.base.app.level(LoadLevel::kLow)});
+        EXPECT_THROW(ClusterExperiment{cfg}, FatalError);
+    }
+}
+
+TEST(ClusterTest, ConfigSurvivesThePrintParseRoundTrip)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.numHosts = 3;
+    cfg.dispatch = "consistent-hash";
+    cfg.clientGroups = 2;
+    cfg.fabric.portQueueLimit = 128;
+    cfg.fabric.fabricLatency = microseconds(3);
+    cfg.hosts.resize(3);
+    cfg.hosts[0].freqPolicy = "ondemand";
+    cfg.hosts[1].weight = 2.5;
+    cfg.hosts[2].idlePolicy = "teo";
+    cfg.hosts[2].params.set("nmap.ni_th", 4.0);
+    cfg.base.params.set("dispatch.vnodes", 32);
+
+    ClusterConfig parsed = parseClusterConfig(printClusterConfig(cfg));
+    EXPECT_EQ(parsed, cfg);
+}
+
+TEST(ClusterTest, ClusterRecordCarriesPerHostColumns)
+{
+    ClusterConfig cfg = smallCluster();
+    ClusterResult r = ClusterExperiment(cfg).run();
+    ResultWriter writer;
+    appendClusterResultRecord(writer, cfg, r);
+    std::ostringstream os;
+    writer.writeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+    EXPECT_NE(json.find("host0_served"), std::string::npos);
+    EXPECT_NE(json.find("host1_energy_j"), std::string::npos);
+    EXPECT_NE(json.find("switch_port_drops"), std::string::npos);
+}
+
+} // namespace
+} // namespace nmapsim

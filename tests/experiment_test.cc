@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "harness/experiment.hh"
+#include "harness/policy_registry.hh"
 #include "sim/logging.hh"
 
 namespace nmapsim {
@@ -250,18 +251,18 @@ TEST(ExperimentTest, InvalidConfigRejected)
     EXPECT_THROW(Experiment{cfg2}, FatalError);
 }
 
-TEST(ExperimentTest, PolicyAndIdleNames)
+TEST(ExperimentTest, BuiltinPolicyNamesRegistered)
 {
-    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmap), "NMAP");
-    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmapSimpl), "NMAP-simpl");
-    EXPECT_STREQ(freqPolicyName(FreqPolicy::kIntelPowersave),
-                 "intel_powersave");
-    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmapAdaptive),
-                 "NMAP-adaptive");
-    EXPECT_STREQ(freqPolicyName(FreqPolicy::kNmapChipWide),
-                 "NMAP-chipwide");
-    EXPECT_STREQ(idlePolicyName(IdlePolicy::kC6Only), "c6only");
-    EXPECT_STREQ(idlePolicyName(IdlePolicy::kTeo), "teo");
+    ensureBuiltinPolicies();
+    const PolicyRegistry &reg = PolicyRegistry::instance();
+    for (const char *name :
+         {"performance", "powersave", "userspace", "ondemand",
+          "conservative", "intel_powersave", "NMAP", "NMAP-simpl",
+          "NMAP-adaptive", "NMAP-chipwide", "NCAP", "NCAP-menu",
+          "Parties"})
+        EXPECT_TRUE(reg.hasFreq(name)) << name;
+    for (const char *name : {"menu", "disable", "c6only", "teo"})
+        EXPECT_TRUE(reg.hasIdle(name)) << name;
 }
 
 } // namespace

@@ -9,7 +9,10 @@
 
 #include <string>
 #include <tuple>
+#include <vector>
 
+#include "cluster/dispatch.hh"
+#include "harness/cluster.hh"
 #include "harness/experiment.hh"
 #include "sim/rng.hh"
 
@@ -223,6 +226,83 @@ TEST_P(PacketConservation, HoldsForRandomConfigs)
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, PacketConservation,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u,
                                            66u));
+
+/** Every registered dispatch policy, so a newly registered policy is
+ *  automatically swept. */
+std::vector<std::string>
+allDispatchNames()
+{
+    ensureBuiltinDispatchPolicies();
+    return DispatchRegistry::instance().names();
+}
+
+using DispatchHostsSeed = std::tuple<std::string, int, unsigned>;
+
+class ClusterConservation
+    : public ::testing::TestWithParam<DispatchHostsSeed>
+{
+};
+
+/**
+ * The single-host conservation identities must survive the cluster
+ * topology: with unbounded queues and a drain window, every request a
+ * client sent comes back through the switch, whatever the dispatch
+ * policy, host count or seed — and the switch's own forward/return
+ * counters match the client totals exactly.
+ */
+TEST_P(ClusterConservation, HoldsAcrossDispatchAndHostCount)
+{
+    auto [dispatch, hosts, seed] = GetParam();
+
+    ClusterConfig cfg;
+    cfg.base.app = AppProfile::memcached();
+    cfg.base.load = LoadLevel::kMed;
+    cfg.base.freqPolicy = "ondemand";
+    cfg.base.seed = seed;
+    cfg.base.warmup = milliseconds(5);
+    cfg.base.duration = milliseconds(20);
+    cfg.numHosts = hosts;
+    cfg.dispatch = dispatch;
+    cfg.clientGroups = hosts > 1 ? 2 : 1;
+    cfg.drain = milliseconds(10);
+    ClusterResult r = ClusterExperiment(cfg).run();
+
+    EXPECT_GT(r.requestsSent, 0u);
+    EXPECT_EQ(r.responsesReceived, r.requestsSent);
+    EXPECT_EQ(r.requestsForwarded, r.requestsSent);
+    EXPECT_EQ(r.responsesReturned, r.requestsSent);
+    EXPECT_EQ(r.switchPortDrops, 0u);
+    EXPECT_EQ(r.hostNicDrops, 0u);
+    EXPECT_EQ(r.strayResponses, 0u);
+
+    std::uint64_t served = 0;
+    std::uint64_t modes = 0;
+    for (const ClusterHostResult &host : r.hosts) {
+        served += host.served;
+        modes += host.pktsIntrMode + host.pktsPollMode;
+        EXPECT_EQ(host.nicDrops, 0u);
+    }
+    // Tap attribution partitions the responses exactly.
+    EXPECT_EQ(served, r.requestsSent);
+    // Some host processed packets in some NAPI mode.
+    EXPECT_GT(modes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DispatchSweep, ClusterConservation,
+    ::testing::Combine(::testing::ValuesIn(allDispatchNames()),
+                       ::testing::Values(1, 3),
+                       ::testing::Values(17u)),
+    [](const ::testing::TestParamInfo<DispatchHostsSeed> &info) {
+        std::string name = std::get<0>(info.param) + "_h" +
+                           std::to_string(std::get<1>(info.param)) +
+                           "_s" +
+                           std::to_string(std::get<2>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
 
 } // namespace
 } // namespace nmapsim

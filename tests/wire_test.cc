@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "net/wire.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 
 namespace nmapsim {
 namespace {
@@ -95,6 +97,57 @@ TEST(WireTest, CountsDeliveredPackets)
         wire.send(makePacket(static_cast<std::uint64_t>(i), 64));
     eq.runAll();
     EXPECT_EQ(wire.packetsDelivered(), 7u);
+}
+
+TEST(WireTest, AccountsDeliveredBytes)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    wire.setSink([](const Packet &) {});
+    wire.send(makePacket(1, 100));
+    wire.send(makePacket(2, 1250));
+    eq.runAll();
+    EXPECT_EQ(wire.packetsDelivered(), 2u);
+    EXPECT_EQ(wire.bytesDelivered(), 1350u);
+    EXPECT_EQ(wire.packetsDropped(), 0u);
+    EXPECT_EQ(wire.bytesDropped(), 0u);
+}
+
+TEST(WireTest, QueueLimitDropsOverflowAndAccountsIt)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, microseconds(5));
+    wire.setQueueLimit(3);
+    wire.setSink([](const Packet &) {});
+    // Five sends at the same instant against a 3-deep queue: the last
+    // two are dropped (counted, never delivered).
+    for (int i = 0; i < 5; ++i)
+        wire.send(makePacket(static_cast<std::uint64_t>(i), 200));
+    eq.runAll();
+    EXPECT_EQ(wire.packetsDelivered(), 3u);
+    EXPECT_EQ(wire.bytesDelivered(), 600u);
+    EXPECT_EQ(wire.packetsDropped(), 2u);
+    EXPECT_EQ(wire.bytesDropped(), 400u);
+    // Once the queue drained, later traffic flows again.
+    wire.send(makePacket(9, 200));
+    eq.runAll();
+    EXPECT_EQ(wire.packetsDelivered(), 4u);
+    EXPECT_EQ(wire.packetsDropped(), 2u);
+}
+
+TEST(WireTest, SendBeforeSinkPanicsNamingTheWire)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    wire.setLabel("switch->host3");
+    try {
+        wire.send(makePacket(1, 64));
+        FAIL() << "expected PanicError";
+    } catch (const PanicError &err) {
+        EXPECT_NE(std::string(err.what()).find("switch->host3"),
+                  std::string::npos)
+            << err.what();
+    }
 }
 
 TEST(WireTest, TinyPacketStillTakesTime)

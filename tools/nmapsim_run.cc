@@ -6,6 +6,7 @@
  *     nmapsim_run --policy=nmap --idle=menu --load=high --json=out.json
  *     nmapsim_run --app=nginx --policy=ondemand --csv=out.csv
  *     nmapsim_run --config=point.cfg --set nmap.ni_th=13 --print-config
+ *     nmapsim_run --hosts=4 --dispatch=flow-hash --policy=NMAP
  *     nmapsim_run --list-policies
  *
  * Flags are thin sugar over config keys (see harness/config_io.hh):
@@ -13,6 +14,13 @@
  * accepts works with `--set`, including the per-policy `<policy>.<knob>`
  * tunables of newly registered governors. Results go to stdout as a
  * table and, with --json/--csv, through the shared ResultWriter.
+ *
+ * Any cluster-claimed key (`--hosts`, `--dispatch`, `cluster.*`,
+ * `host<i>.*`; see harness/cluster_io.hh) switches the tool into
+ * cluster mode: the same base config drives N hosts behind the modeled
+ * switch, per-host overrides like `--set host1.freq_policy=ondemand`
+ * make the cluster heterogeneous, and the output becomes the cluster
+ * aggregate plus a per-host table.
  */
 
 #include <cstdio>
@@ -23,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/dispatch.hh"
+#include "harness/cluster_io.hh"
 #include "harness/config_io.hh"
 #include "harness/policy_registry.hh"
 #include "harness/result_io.hh"
@@ -46,8 +56,12 @@ usage()
         "  --duration=DUR     measurement window (e.g. 500ms, 2s)\n"
         "  --warmup=DUR       warmup window before measurement\n"
         "  --seed=N           RNG seed\n"
+        "  --hosts=N          cluster mode: N hosts behind the switch\n"
+        "  --dispatch=NAME    cluster request steering policy\n"
         "  --set KEY=VALUE    set any config key (repeatable); policy\n"
-        "                     tunables pass through, e.g. nmap.ni_th=13\n"
+        "                     tunables pass through, e.g. nmap.ni_th=13;\n"
+        "                     cluster keys (cluster.*, host<i>.*) switch\n"
+        "                     to cluster mode\n"
         "  --config=FILE      load a key=value config file first\n"
         "  --print-config     print the resolved config and exit\n"
         "  --json=PATH        append the run record as JSON\n"
@@ -68,6 +82,12 @@ listPolicies()
     std::printf("sleep policies:\n");
     for (const std::string &name : reg.idleNames()) {
         std::string help = reg.idleHelp(name);
+        std::printf("  %-16s %s\n", name.c_str(), help.c_str());
+    }
+    DispatchRegistry &dreg = DispatchRegistry::instance();
+    std::printf("dispatch policies (cluster mode):\n");
+    for (const std::string &name : dreg.names()) {
+        std::string help = dreg.help(name);
         std::printf("  %-16s %s\n", name.c_str(), help.c_str());
     }
 }
@@ -100,17 +120,93 @@ parseFlag(int argc, char **argv, int &i)
     return f;
 }
 
+/** Cluster mode: run, print aggregate + per-host tables, serialise. */
+int
+runCluster(const ClusterConfig &ccfg, const std::string &json_path,
+           const std::string &csv_path)
+{
+    const ExperimentConfig &cfg = ccfg.base;
+    std::printf("hosts=%d dispatch=%s app=%s policy=%s idle=%s "
+                "load=%s cores=%d duration=%.0fms seed=%llu\n",
+                ccfg.numHosts, ccfg.dispatch.c_str(),
+                cfg.app.name.c_str(), cfg.freqPolicy.c_str(),
+                cfg.idlePolicy.c_str(), loadLevelName(cfg.load),
+                cfg.numCores, toMilliseconds(cfg.duration),
+                static_cast<unsigned long long>(cfg.seed));
+
+    ClusterResult r = ClusterExperiment(ccfg).run();
+
+    Table table({"metric", "value"});
+    table.addRow(
+        {"P50 latency (us)", Table::num(toMicroseconds(r.p50), 1)});
+    table.addRow(
+        {"P99 latency (us)", Table::num(toMicroseconds(r.p99), 1)});
+    table.addRow({"P99 / SLO",
+                  Table::num(static_cast<double>(r.p99) /
+                                 static_cast<double>(r.slo),
+                             3)});
+    table.addRow({"requests over SLO (%)",
+                  Table::num(r.fracOverSlo * 100.0, 3)});
+    table.addRow({"energy (J)", Table::num(r.energyJoules, 2)});
+    table.addRow(
+        {"avg cluster power (W)", Table::num(r.avgPowerWatts, 2)});
+    table.addRow({"requests sent", std::to_string(r.requestsSent)});
+    table.addRow(
+        {"responses received", std::to_string(r.responsesReceived)});
+    table.addRow(
+        {"requests forwarded", std::to_string(r.requestsForwarded)});
+    table.addRow(
+        {"switch port drops", std::to_string(r.switchPortDrops)});
+    table.addRow(
+        {"host NIC drops", std::to_string(r.hostNicDrops)});
+    table.print(std::cout);
+
+    Table hosts({"host", "freq policy", "idle policy", "served",
+                 "p99 (us)", "energy (J)", "power (W)", "busy"});
+    for (const ClusterHostResult &h : r.hosts)
+        hosts.addRow({std::to_string(h.id), h.freqPolicy,
+                      h.idlePolicy, std::to_string(h.served),
+                      Table::num(toMicroseconds(h.p99), 1),
+                      Table::num(h.energyJoules, 2),
+                      Table::num(h.avgPowerWatts, 2),
+                      Table::num(h.busyFraction, 3)});
+    hosts.print(std::cout);
+
+    if (!json_path.empty() || !csv_path.empty()) {
+        ResultWriter writer;
+        appendClusterResultRecord(writer, ccfg, r);
+        if (!json_path.empty()) {
+            writer.writeJsonFile(json_path);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+        if (!csv_path.empty()) {
+            writer.writeCsvFile(csv_path);
+            std::printf("wrote %s\n", csv_path.c_str());
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     ensureBuiltinPolicies();
+    ensureBuiltinDispatchPolicies();
 
-    ExperimentConfig cfg;
+    ClusterConfig ccfg;
+    ExperimentConfig &cfg = ccfg.base;
+    bool cluster_mode = false;
     bool print_config = false;
     std::string json_path;
     std::string csv_path;
+
+    auto apply = [&ccfg, &cluster_mode](const std::string &key,
+                                        const std::string &value) {
+        if (setClusterConfigValue(ccfg, key, value))
+            cluster_mode = true;
+    };
 
     auto need = [](const Flag &f) -> const std::string & {
         if (!f.hasValue) {
@@ -148,6 +244,10 @@ main(int argc, char **argv)
                 setConfigValue(cfg, "warmup", need(f));
             } else if (f.name == "--seed") {
                 setConfigValue(cfg, "seed", need(f));
+            } else if (f.name == "--hosts") {
+                apply("hosts", need(f));
+            } else if (f.name == "--dispatch") {
+                apply("dispatch", need(f));
             } else if (f.name == "--set") {
                 const std::string &kv = need(f);
                 std::size_t eq = kv.find('=');
@@ -157,8 +257,7 @@ main(int argc, char **argv)
                                  kv.c_str());
                     return 2;
                 }
-                setConfigValue(cfg, kv.substr(0, eq),
-                               kv.substr(eq + 1));
+                apply(kv.substr(0, eq), kv.substr(eq + 1));
             } else if (f.name == "--config") {
                 std::ifstream is(need(f));
                 if (!is) {
@@ -168,7 +267,37 @@ main(int argc, char **argv)
                 }
                 std::ostringstream text;
                 text << is.rdbuf();
-                cfg = parseConfig(text.str());
+                ccfg = ClusterConfig{};
+                cluster_mode = false;
+                std::istringstream lines(text.str());
+                std::string line;
+                while (std::getline(lines, line)) {
+                    std::string t = line;
+                    std::size_t b = t.find_first_not_of(" \t\r");
+                    if (b == std::string::npos)
+                        continue;
+                    std::size_t e2 = t.find_last_not_of(" \t\r");
+                    t = t.substr(b, e2 - b + 1);
+                    if (t.empty() || t[0] == '#')
+                        continue;
+                    std::size_t keq = t.find('=');
+                    if (keq == std::string::npos) {
+                        std::fprintf(stderr,
+                                     "config: expected key=value, "
+                                     "got '%s'\n",
+                                     t.c_str());
+                        return 2;
+                    }
+                    auto trimmed = [](std::string s) {
+                        std::size_t sb = s.find_first_not_of(" \t");
+                        if (sb == std::string::npos)
+                            return std::string();
+                        std::size_t se = s.find_last_not_of(" \t");
+                        return s.substr(sb, se - sb + 1);
+                    };
+                    apply(trimmed(t.substr(0, keq)),
+                          trimmed(t.substr(keq + 1)));
+                }
             } else if (f.name == "--print-config") {
                 print_config = true;
             } else if (f.name == "--json") {
@@ -188,7 +317,9 @@ main(int argc, char **argv)
     }
 
     if (print_config) {
-        std::fputs(printConfig(cfg).c_str(), stdout);
+        std::fputs(cluster_mode ? printClusterConfig(ccfg).c_str()
+                                : printConfig(cfg).c_str(),
+                   stdout);
         return 0;
     }
 
@@ -201,6 +332,8 @@ main(int argc, char **argv)
         if (!reg.hasIdle(cfg.idlePolicy))
             fatal("unknown sleep policy '" + cfg.idlePolicy +
                   "' (see --list-policies)");
+        if (cluster_mode)
+            return runCluster(ccfg, json_path, csv_path);
 
         std::printf("app=%s policy=%s idle=%s load=%s cores=%d "
                     "duration=%.0fms seed=%llu\n",
