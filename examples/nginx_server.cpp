@@ -35,9 +35,9 @@ main()
             Table::num(avg / 1e3, 0) + "K"};
         double nmap_energy = 0.0;
         double perf_energy = 0.0;
-        for (const std::string &policy :
-             {"ondemand", "NMAP",
-              "performance"}) {
+        for (const char *policyName : {"ondemand", "NMAP",
+                                       "performance"}) {
+            const std::string policy = policyName;
             ExperimentConfig cfg = base;
             cfg.freqPolicy = policy;
             cfg.load = LoadLevel::kHigh; // duty/train shape of high

@@ -24,9 +24,7 @@ main()
     Table table({"policy", "P99 (ms)", "> SLO (%)", "energy (J)",
                  "avg power (W)", "ksoftirqd wakes", "P-state trans."});
 
-    for (const std::string &policy :
-         {"ondemand", "performance",
-          "NMAP"}) {
+    for (const char *policy : {"ondemand", "performance", "NMAP"}) {
         ExperimentConfig config;
         config.app = AppProfile::memcached();
         config.load = LoadLevel::kHigh;
@@ -36,7 +34,7 @@ main()
 
         ExperimentResult r = Experiment(config).run();
         table.addRow({
-            policy.c_str(),
+            policy,
             Table::num(toMilliseconds(r.p99), 3),
             Table::num(r.fracOverSlo * 100.0, 2),
             Table::num(r.energyJoules, 1),

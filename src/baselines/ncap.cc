@@ -124,11 +124,11 @@ makeNcapVariant(PolicyContext &ctx, bool disable_sleep_on_burst)
     return {std::move(ncap), nullptr};
 }
 
-FreqPolicyRegistrar regNcap(
+REGISTER_FREQ_POLICY(
     "NCAP",
     [](PolicyContext &ctx) { return makeNcapVariant(ctx, true); },
     "NCAP (HPCA'17): NIC-rate chip-wide DVFS, sleep disabled on burst");
-FreqPolicyRegistrar regNcapMenu(
+REGISTER_FREQ_POLICY(
     "NCAP-menu",
     [](PolicyContext &ctx) { return makeNcapVariant(ctx, false); },
     "NCAP without the sleep-state override");

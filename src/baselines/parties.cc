@@ -99,7 +99,7 @@ makeParties(PolicyContext &ctx)
             nullptr};
 }
 
-FreqPolicyRegistrar regParties(
+REGISTER_FREQ_POLICY(
     "Parties", &makeParties,
     "Parties (ASPLOS'19) slack-driven chip-wide DVFS controller");
 

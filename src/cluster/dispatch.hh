@@ -17,7 +17,7 @@
  *     {
  *         return std::make_unique<MineDispatch>(ctx);
  *     }
- *     DispatchRegistrar regMine("mine", &makeMine, "one-line help");
+ *     REGISTER_DISPATCH_POLICY("mine", &makeMine, "one-line help");
  *     } // namespace
  *
  * and is immediately reachable from ClusterConfig::dispatch, the
@@ -129,6 +129,21 @@ struct DispatchRegistrar
             name, std::move(factory), std::move(help));
     }
 };
+
+/**
+ * Registration shorthand, mirroring REGISTER_FREQ_POLICY
+ * (harness/policy_registry.hh). Name and help must be nonempty string
+ * literals; nmaplint (rule register-hygiene) enforces both.
+ */
+// Identical to the definitions in harness/policy_registry.hh (benign
+// redefinition when both headers are included).
+#define NMAPSIM_REGISTRAR_CONCAT_(a, b) a##b
+#define NMAPSIM_REGISTRAR_CONCAT(a, b) NMAPSIM_REGISTRAR_CONCAT_(a, b)
+
+#define REGISTER_DISPATCH_POLICY(name, factory, help)                  \
+    static const ::nmapsim::DispatchRegistrar                          \
+        NMAPSIM_REGISTRAR_CONCAT(nmapsimDispatchRegistrar_,            \
+                                 __COUNTER__)(name, factory, help)
 
 /**
  * Force the built-in dispatch policies' registration TU out of the

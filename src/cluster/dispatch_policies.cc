@@ -301,19 +301,19 @@ make(const DispatchContext &ctx)
     return std::make_unique<P>(ctx);
 }
 
-DispatchRegistrar regFlowHash(
+REGISTER_DISPATCH_POLICY(
     "flow-hash", &make<FlowHashDispatch>,
     "weighted flow-id hash; keeps each flow on one host");
-DispatchRegistrar regConsistent(
+REGISTER_DISPATCH_POLICY(
     "consistent-hash", &make<ConsistentHashDispatch>,
     "ring hash with virtual nodes; stable under host changes");
-DispatchRegistrar regRoundRobin(
+REGISTER_DISPATCH_POLICY(
     "round-robin", &make<RoundRobinDispatch>,
     "smooth weighted round robin, per packet");
-DispatchRegistrar regLeastOutstanding(
+REGISTER_DISPATCH_POLICY(
     "least-outstanding", &make<LeastOutstandingDispatch>,
     "join-the-shortest-queue on in-flight requests");
-DispatchRegistrar regPowerPack(
+REGISTER_DISPATCH_POLICY(
     "power-pack", &make<PowerPackDispatch>,
     "pack hosts in id order up to dispatch.pack_limit; spares idle "
     "deeply");

@@ -114,26 +114,26 @@ linkCpuidlePolicies()
 
 namespace {
 
-IdlePolicyRegistrar regMenu(
+REGISTER_IDLE_POLICY(
     "menu",
     [](const IdleContext &ctx) -> std::unique_ptr<CpuIdleGovernor> {
         return std::make_unique<MenuIdleGovernor>(ctx.profile,
                                                   ctx.numCores);
     },
     "Linux menu governor: history-based idle prediction");
-IdlePolicyRegistrar regDisable(
+REGISTER_IDLE_POLICY(
     "disable",
     [](const IdleContext &) -> std::unique_ptr<CpuIdleGovernor> {
         return std::make_unique<DisableIdleGovernor>();
     },
     "never sleep: idle cores spin in C0");
-IdlePolicyRegistrar regC6Only(
+REGISTER_IDLE_POLICY(
     "c6only",
     [](const IdleContext &) -> std::unique_ptr<CpuIdleGovernor> {
         return std::make_unique<C6OnlyIdleGovernor>();
     },
     "always take the deepest sleep state (CC6)");
-IdlePolicyRegistrar regTeo(
+REGISTER_IDLE_POLICY(
     "teo",
     [](const IdleContext &ctx) -> std::unique_ptr<CpuIdleGovernor> {
         return std::make_unique<TeoIdleGovernor>(ctx.profile,

@@ -170,13 +170,13 @@ makeIntelPowersave(PolicyContext &ctx)
             nullptr};
 }
 
-FreqPolicyRegistrar regOndemand(
+REGISTER_FREQ_POLICY(
     "ondemand", &makeOndemand,
     "CPU-utilisation sampling governor (cpufreq ondemand)");
-FreqPolicyRegistrar regConservative(
+REGISTER_FREQ_POLICY(
     "conservative", &makeConservative,
     "one P-state step per sample period (cpufreq conservative)");
-FreqPolicyRegistrar regIntelPowersave(
+REGISTER_FREQ_POLICY(
     "intel_powersave", &makeIntelPowersave,
     "C0-residency EWMA governor (intel_pstate powersave analogue)");
 

@@ -36,13 +36,13 @@ makeUserspace(PolicyContext &ctx)
             nullptr};
 }
 
-FreqPolicyRegistrar regPerformance(
+REGISTER_FREQ_POLICY(
     "performance", &makePerformance,
     "pin every core at P0 (latency-optimal, energy-hungry)");
-FreqPolicyRegistrar regPowersave(
+REGISTER_FREQ_POLICY(
     "powersave", &makePowersave,
     "pin every core at the lowest P-state");
-FreqPolicyRegistrar regUserspace(
+REGISTER_FREQ_POLICY(
     "userspace", &makeUserspace,
     "pin every core at userspace.pstate (default 0)");
 

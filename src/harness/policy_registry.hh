@@ -18,8 +18,8 @@
  *         ctx.addObserver(gov.get()); // declare your own hookups
  *         return {std::move(gov), nullptr};
  *     }
- *     FreqPolicyRegistrar regMine("my-policy", &makeMyPolicy,
- *                                 "one-line help");
+ *     REGISTER_FREQ_POLICY("my-policy", &makeMyPolicy,
+ *                          "one-line help");
  *     } // namespace
  *
  * and the name is immediately usable from configs, the sweep runner,
@@ -336,6 +336,33 @@ struct IdlePolicyRegistrar
                                                 std::move(help));
     }
 };
+
+/**
+ * @name Registration shorthand
+ * The canonical way to register a policy from its own TU:
+ *
+ *     REGISTER_FREQ_POLICY("my-policy", &makeMyPolicy,
+ *                          "one-line help");
+ *
+ * Both the name and the help string must be nonempty string literals:
+ * the name is the config/CLI key, the help line surfaces in
+ * `nmapsim_run --list-policies`. nmaplint (rule register-hygiene)
+ * enforces both.
+ */
+/**@{*/
+#define NMAPSIM_REGISTRAR_CONCAT_(a, b) a##b
+#define NMAPSIM_REGISTRAR_CONCAT(a, b) NMAPSIM_REGISTRAR_CONCAT_(a, b)
+
+#define REGISTER_FREQ_POLICY(name, factory, help)                      \
+    static const ::nmapsim::FreqPolicyRegistrar                        \
+        NMAPSIM_REGISTRAR_CONCAT(nmapsimFreqPolicyRegistrar_,          \
+                                 __COUNTER__)(name, factory, help)
+
+#define REGISTER_IDLE_POLICY(name, factory, help)                      \
+    static const ::nmapsim::IdlePolicyRegistrar                        \
+        NMAPSIM_REGISTRAR_CONCAT(nmapsimIdlePolicyRegistrar_,          \
+                                 __COUNTER__)(name, factory, help)
+/**@}*/
 
 /**
  * Force the built-in policy modules' registration TUs out of their

@@ -129,6 +129,7 @@ std::vector<SweepSlot<R>>
 runParallel(const std::vector<std::function<R()>> &tasks,
             const SweepOptions &opts = {})
 {
+    // lint: nondet-ok(wall time feeds only the stderr progress/ETA display, never simulated state)
     using Clock = std::chrono::steady_clock;
     const std::size_t n = tasks.size();
     std::vector<SweepSlot<R>> slots(n);

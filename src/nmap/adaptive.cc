@@ -196,7 +196,7 @@ makeAdaptiveNmap(PolicyContext &ctx)
             }};
 }
 
-FreqPolicyRegistrar regAdaptive(
+REGISTER_FREQ_POLICY(
     "NMAP-adaptive", &makeAdaptiveNmap,
     "NMAP with online threshold learning (extension; no profiling "
     "pass)");

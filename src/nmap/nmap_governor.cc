@@ -149,16 +149,16 @@ makeNmapSimpl(PolicyContext &ctx)
     return {std::move(simpl), nullptr};
 }
 
-FreqPolicyRegistrar regNmap(
+REGISTER_FREQ_POLICY(
     "NMAP",
     [](PolicyContext &ctx) { return makeNmapVariant(ctx, false); },
     "NMAP (Section 4): per-core mode-transition DVFS; profiles "
     "nmap.ni_th/nmap.cu_th offline unless set");
-FreqPolicyRegistrar regNmapChipWide(
+REGISTER_FREQ_POLICY(
     "NMAP-chipwide",
     [](PolicyContext &ctx) { return makeNmapVariant(ctx, true); },
     "NMAP on a chip-wide DVFS package (Section 2.2 variant)");
-FreqPolicyRegistrar regNmapSimpl(
+REGISTER_FREQ_POLICY(
     "NMAP-simpl", &makeNmapSimpl,
     "simplified NMAP (Section 4.1): ksoftirqd-driven, no thresholds");
 

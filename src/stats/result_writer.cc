@@ -65,8 +65,15 @@ csvEscape(const std::string &s)
 std::string
 toJson(const ResultWriter::Value &v)
 {
-    if (const auto *s = std::get_if<std::string>(&v))
-        return "\"" + jsonEscape(*s) + "\"";
+    if (const auto *s = std::get_if<std::string>(&v)) {
+        // Built with += rather than operator+ chains: GCC 12's
+        // -Wrestrict misfires on `"lit" + std::string&&` (PR105651).
+        std::string quoted;
+        quoted += '"';
+        quoted += jsonEscape(*s);
+        quoted += '"';
+        return quoted;
+    }
     if (const auto *d = std::get_if<double>(&v)) {
         if (!std::isfinite(*d))
             return "null";

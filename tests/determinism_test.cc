@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dynamic backstop for the determinism contract nmaplint enforces
+ * statically: run a small single-host experiment and a small cluster
+ * experiment twice in-process and assert the serialised ResultWriter
+ * output — the artefact benches pin and figures are built from — is
+ * byte-for-byte identical, in both JSON and CSV.
+ *
+ * This catches what a source linter cannot: hash-order leaks through
+ * containers the rules miss, uninitialised reads that happen to
+ * differ between runs, static state carried across runs, or a policy
+ * sampling an unseeded RNG. It runs under ASan/UBSan and TSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/cluster.hh"
+#include "harness/cluster_io.hh"
+#include "harness/experiment.hh"
+#include "harness/result_io.hh"
+#include "stats/result_writer.hh"
+
+namespace nmapsim {
+namespace {
+
+/** Small but policy-rich: NMAP exercises the monitor/decision path,
+ *  menu exercises idle prediction. Thresholds are pinned so the run
+ *  does not profile (keeps the test fast). */
+ExperimentConfig
+smallSingleHost()
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.load = LoadLevel::kMed;
+    cfg.freqPolicy = "NMAP";
+    cfg.idlePolicy = "menu";
+    cfg.params.set("nmap.ni_th", "400");
+    cfg.params.set("nmap.cu_th", "0.7");
+    cfg.numCores = 4;
+    cfg.warmup = milliseconds(10);
+    cfg.duration = milliseconds(40);
+    cfg.seed = 1234;
+    return cfg;
+}
+
+ClusterConfig
+smallCluster()
+{
+    ClusterConfig cfg;
+    cfg.base = smallSingleHost();
+    cfg.base.freqPolicy = "ondemand";
+    cfg.numHosts = 2;
+    cfg.dispatch = "flow-hash";
+    cfg.drain = milliseconds(5);
+    return cfg;
+}
+
+/** Serialised (JSON + CSV) ResultWriter output for one fresh run. */
+std::string
+renderSingleHost(const ExperimentConfig &cfg)
+{
+    const ExperimentResult result = Experiment(cfg).run();
+    ResultWriter writer;
+    appendResultRecord(writer, cfg, result);
+    std::ostringstream out;
+    writer.writeJson(out);
+    out << '\n';
+    writer.writeCsv(out);
+    return out.str();
+}
+
+std::string
+renderCluster(const ClusterConfig &cfg)
+{
+    const ClusterResult result = ClusterExperiment(cfg).run();
+    ResultWriter writer;
+    appendClusterResultRecord(writer, cfg, result);
+    std::ostringstream out;
+    writer.writeJson(out);
+    out << '\n';
+    writer.writeCsv(out);
+    return out.str();
+}
+
+TEST(DeterminismTest, SingleHostOutputByteIdenticalAcrossRuns)
+{
+    const ExperimentConfig cfg = smallSingleHost();
+    const std::string first = renderSingleHost(cfg);
+    const std::string second = renderSingleHost(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, ClusterOutputByteIdenticalAcrossRuns)
+{
+    const ClusterConfig cfg = smallCluster();
+    const std::string first = renderCluster(cfg);
+    const std::string second = renderCluster(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,12 @@
+// Fixture: trips bad-waiver (and only that rule).
+
+namespace nmapsim {
+
+// lint: ordered-ok()
+inline int
+reasonlessWaiver()
+{
+    return 1;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,16 @@
+// Fixture: violates nothing.
+#include <map>
+#include <string>
+
+namespace nmapsim {
+
+int
+sumCounts(const std::map<std::string, int> &counts)
+{
+    int total = 0;
+    for (const auto &[key, value] : counts)
+        total += value;
+    return total;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,11 @@
+// Fixture: trips header-hygiene (guard present, namespace missing).
+#ifndef NMAPSIM_LINT_FIXTURE_NO_NAMESPACE_HH_
+#define NMAPSIM_LINT_FIXTURE_NO_NAMESPACE_HH_
+
+inline int
+leakyGlobal()
+{
+    return 42;
+}
+
+#endif // NMAPSIM_LINT_FIXTURE_NO_NAMESPACE_HH_

@@ -1,0 +1,13 @@
+// Fixture: trips nondet-source (and only that rule).
+#include <random>
+
+namespace nmapsim {
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace nmapsim

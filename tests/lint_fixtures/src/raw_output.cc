@@ -1,0 +1,12 @@
+// Fixture: trips raw-output (and only that rule).
+#include <iostream>
+
+namespace nmapsim {
+
+void
+announce()
+{
+    std::cout << "hello" << '\n';
+}
+
+} // namespace nmapsim

@@ -1,0 +1,19 @@
+// Fixture: trips register-hygiene (empty doc string; only that rule).
+
+namespace nmapsim {
+namespace {
+
+struct Ctx
+{
+};
+
+int
+makeThing(const Ctx &)
+{
+    return 0;
+}
+
+REGISTER_FREQ_POLICY("fixture-policy", &makeThing, "");
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,17 @@
+// Fixture: trips unordered-iter (and only that rule).
+#include <string>
+#include <unordered_map>
+
+namespace nmapsim {
+
+int
+sumCounts(const std::unordered_map<std::string, int> &counts)
+{
+    std::unordered_map<std::string, int> local = counts;
+    int total = 0;
+    for (const auto &[key, value] : local)
+        total += value;
+    return total;
+}
+
+} // namespace nmapsim

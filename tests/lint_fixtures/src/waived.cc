@@ -1,0 +1,17 @@
+// Fixture: a real violation carrying a well-formed waiver -> clean.
+#include <string>
+#include <unordered_map>
+
+namespace nmapsim {
+
+int
+sumCounts(const std::unordered_map<std::string, int> &counts)
+{
+    int total = 0;
+    // lint: ordered-ok(sum is order-independent; fixture exercises waiver suppression)
+    for (const auto &[key, value] : counts)
+        total += value;
+    return total;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for nmaplint (tools/nmaplint/): every rule fires on its
+ * fixture with the right id and exit code, waivers suppress findings
+ * only when they carry a reason, the helper modes behave, and — the
+ * gate this whole PR exists for — the real source tree lints clean.
+ *
+ * The binary is exercised end-to-end via its CLI (popen), exactly as
+ * CI and `make nmaplint` run it. Paths are injected by CMake:
+ * NMAPLINT_BIN, LINT_FIXTURES_DIR, NMAPSIM_SOURCE_DIR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string out; //!< stdout only (findings); stderr is the summary
+};
+
+RunResult
+run(const std::string &args)
+{
+    const std::string cmd =
+        std::string(NMAPLINT_BIN) + " " + args + " 2>/dev/null";
+    RunResult r;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return r;
+    std::array<char, 4096> buf;
+    std::size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        r.out.append(buf.data(), n);
+    const int status = pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+RunResult
+lintFixture(const std::string &relPath)
+{
+    const std::string dir = LINT_FIXTURES_DIR;
+    return run("--root " + dir + " " + dir + "/" + relPath);
+}
+
+/** Every non-empty output line, for per-finding assertions. */
+std::vector<std::string>
+lines(const std::string &out)
+{
+    std::vector<std::string> result;
+    std::string::size_type start = 0;
+    while (start < out.size()) {
+        std::string::size_type nl = out.find('\n', start);
+        if (nl == std::string::npos)
+            nl = out.size();
+        if (nl > start)
+            result.push_back(out.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return result;
+}
+
+struct FixtureCase
+{
+    const char *file;
+    const char *rule;
+};
+
+constexpr FixtureCase kFixtures[] = {
+    {"src/nondet.cc", "nondet-source"},
+    {"src/unordered_iter.cc", "unordered-iter"},
+    {"src/raw_output.cc", "raw-output"},
+    {"src/no_namespace.hh", "header-hygiene"},
+    {"src/register_bad.cc", "register-hygiene"},
+    {"src/bad_waiver.cc", "bad-waiver"},
+};
+
+TEST(LintTest, EachFixtureTriggersExactlyItsRule)
+{
+    for (const FixtureCase &fc : kFixtures) {
+        SCOPED_TRACE(fc.file);
+        const RunResult r = lintFixture(fc.file);
+        EXPECT_EQ(r.exitCode, 1);
+        const std::vector<std::string> found = lines(r.out);
+        ASSERT_FALSE(found.empty());
+        const std::string tag = std::string(": ") + fc.rule + ": ";
+        for (const std::string &line : found) {
+            EXPECT_NE(line.find(fc.file), std::string::npos) << line;
+            EXPECT_NE(line.find(tag), std::string::npos)
+                << "finding from an unexpected rule: " << line;
+        }
+    }
+}
+
+TEST(LintTest, FindingsCarryFileAndLineNumber)
+{
+    const RunResult r = lintFixture("src/raw_output.cc");
+    ASSERT_EQ(r.exitCode, 1);
+    // `file:line: rule: message`, GitHub-annotation friendly.
+    EXPECT_NE(r.out.find("src/raw_output.cc:9: raw-output: "),
+              std::string::npos)
+        << r.out;
+}
+
+TEST(LintTest, WaivedViolationIsClean)
+{
+    const RunResult r = lintFixture("src/waived.cc");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(LintTest, CleanFileIsClean)
+{
+    const RunResult r = lintFixture("src/clean.cc");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(LintTest, WholeFixtureTreeReportsEveryRule)
+{
+    const std::string dir = LINT_FIXTURES_DIR;
+    const RunResult r = run("--root " + dir + " " + dir);
+    EXPECT_EQ(r.exitCode, 1);
+    for (const FixtureCase &fc : kFixtures)
+        EXPECT_NE(r.out.find(std::string(": ") + fc.rule + ": "),
+                  std::string::npos)
+            << "rule " << fc.rule << " never fired:\n"
+            << r.out;
+}
+
+/** The acceptance gate: the real tree has zero unwaived findings. */
+TEST(LintTest, RealSourceTreeIsClean)
+{
+    const RunResult r =
+        run(std::string("--root ") + NMAPSIM_SOURCE_DIR);
+    EXPECT_EQ(r.exitCode, 0) << r.out;
+    EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(LintTest, ListRulesNamesEveryRule)
+{
+    const RunResult r = run("--list-rules");
+    EXPECT_EQ(r.exitCode, 0);
+    for (const char *rule :
+         {"nondet-source", "unordered-iter", "raw-output",
+          "header-hygiene", "register-hygiene"})
+        EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
+}
+
+TEST(LintTest, WaiveHelperPrintsExactComment)
+{
+    const RunResult byRule =
+        run("--waive unordered-iter iteration feeds no results");
+    EXPECT_EQ(byRule.exitCode, 0);
+    EXPECT_EQ(byRule.out,
+              "// lint: ordered-ok(iteration feeds no results)\n");
+
+    const RunResult byToken = run("--waive nondet-ok progress timer");
+    EXPECT_EQ(byToken.exitCode, 0);
+    EXPECT_EQ(byToken.out, "// lint: nondet-ok(progress timer)\n");
+}
+
+TEST(LintTest, WaiveHelperDemandsReasonAndKnownRule)
+{
+    EXPECT_EQ(run("--waive unordered-iter").exitCode, 2);
+    EXPECT_EQ(run("--waive no-such-rule why not").exitCode, 2);
+}
+
+} // namespace

@@ -59,8 +59,8 @@ makeDummy(PolicyContext &ctx)
     return {std::make_unique<DummyGovernor>(ctx.cores), nullptr};
 }
 
-FreqPolicyRegistrar regDummy("test-dummy", &makeDummy,
-                             "test-only governor pinning P1");
+REGISTER_FREQ_POLICY("test-dummy", &makeDummy,
+                     "test-only governor pinning P1");
 
 ExperimentConfig
 cellConfig(const std::string &policy, const std::string &idle)

@@ -99,11 +99,11 @@ INSTANTIATE_TEST_SUITE_P(
                           "NCAP-menu", "Parties"),
         ::testing::Values(LoadLevel::kLow, LoadLevel::kHigh),
         ::testing::Values(3u)),
-    [](const ::testing::TestParamInfo<PolicyLoadSeed> &info) {
+    [](const ::testing::TestParamInfo<PolicyLoadSeed> &param_info) {
         std::string name =
-            std::get<0>(info.param) + "_" +
-            loadLevelName(std::get<1>(info.param)) + "_s" +
-            std::to_string(std::get<2>(info.param));
+            std::get<0>(param_info.param) + "_" +
+            loadLevelName(std::get<1>(param_info.param)) + "_s" +
+            std::to_string(std::get<2>(param_info.param));
         for (char &c : name)
             if (c == '-')
                 c = '_';
@@ -145,8 +145,8 @@ INSTANTIATE_TEST_SUITE_P(
     SleepSweep, IdleInvariants,
     ::testing::Values("menu", "disable",
                       "c6only", "teo"),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        return info.param;
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        return param_info.param;
     });
 
 class SeedStability : public ::testing::TestWithParam<unsigned>
@@ -293,11 +293,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(allDispatchNames()),
                        ::testing::Values(1, 3),
                        ::testing::Values(17u)),
-    [](const ::testing::TestParamInfo<DispatchHostsSeed> &info) {
-        std::string name = std::get<0>(info.param) + "_h" +
-                           std::to_string(std::get<1>(info.param)) +
+    [](const ::testing::TestParamInfo<DispatchHostsSeed> &param_info) {
+        std::string name = std::get<0>(param_info.param) + "_h" +
+                           std::to_string(std::get<1>(param_info.param)) +
                            "_s" +
-                           std::to_string(std::get<2>(info.param));
+                           std::to_string(std::get<2>(param_info.param));
         for (char &c : name)
             if (c == '-')
                 c = '_';

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * CLI-visible registry listings must never depend on hash or
+ * registration order: `--list-policies`, `--list-dispatch` and the
+ * "known names" part of unknown-name errors all come from the
+ * registries' name listings, and those must be sorted so output is
+ * byte-stable across compilers, libstdc++ versions and registration
+ * link order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/dispatch.hh"
+#include "cpu/cpu_profile.hh"
+#include "harness/experiment.hh"
+#include "harness/policy_registry.hh"
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+void
+expectSortedAndUnique(const std::vector<std::string> &names)
+{
+    EXPECT_FALSE(names.empty());
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end())) << "unsorted";
+    EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) ==
+                names.end())
+        << "duplicate names";
+}
+
+TEST(RegistryOrderTest, FreqAndIdleListingsAreSorted)
+{
+    ensureBuiltinPolicies();
+    expectSortedAndUnique(PolicyRegistry::instance().freqNames());
+    expectSortedAndUnique(PolicyRegistry::instance().idleNames());
+}
+
+TEST(RegistryOrderTest, DispatchListingIsSorted)
+{
+    ensureBuiltinDispatchPolicies();
+    expectSortedAndUnique(DispatchRegistry::instance().names());
+}
+
+/** The "known: a, b, c" tail of unknown-name errors lists names in
+ *  sorted order, matching the listing the user is pointed at. */
+void
+expectKnownNamesSorted(const std::string &message,
+                       const std::vector<std::string> &names)
+{
+    std::string::size_type prev = message.find("known: ");
+    ASSERT_NE(prev, std::string::npos) << message;
+    std::string::size_type last = prev;
+    for (const std::string &name : names) {
+        const std::string::size_type pos = message.find(name, last);
+        ASSERT_NE(pos, std::string::npos)
+            << "'" << name << "' missing or out of order in: "
+            << message;
+        last = pos;
+    }
+}
+
+TEST(RegistryOrderTest, UnknownFreqPolicyErrorListsSortedNames)
+{
+    // End-to-end through the harness: the resolution error a user
+    // actually sees must carry the sorted name list.
+    ExperimentConfig cfg;
+    cfg.freqPolicy = "no-such-policy";
+    cfg.warmup = milliseconds(1);
+    cfg.duration = milliseconds(1);
+    try {
+        (void)Experiment(cfg).run();
+        FAIL() << "expected fatal()";
+    } catch (const FatalError &e) {
+        expectKnownNamesSorted(e.what(),
+                               PolicyRegistry::instance().freqNames());
+    }
+}
+
+TEST(RegistryOrderTest, UnknownIdlePolicyErrorListsSortedNames)
+{
+    ensureBuiltinPolicies();
+    PolicyParams params;
+    IdleContext ctx{CpuProfile::xeonGold6134(), 1, params};
+    try {
+        (void)PolicyRegistry::instance().makeIdle("no-such-idle", ctx);
+        FAIL() << "expected fatal()";
+    } catch (const FatalError &e) {
+        expectKnownNamesSorted(e.what(),
+                               PolicyRegistry::instance().idleNames());
+    }
+}
+
+TEST(RegistryOrderTest, UnknownDispatchErrorListsSortedNames)
+{
+    ensureBuiltinDispatchPolicies();
+    try {
+        DispatchContext ctx;
+        ctx.numHosts = 1;
+        ctx.weights = {1.0};
+        (void)DispatchRegistry::instance().make("no-such-dispatch",
+                                                ctx);
+        FAIL() << "expected fatal()";
+    } catch (const FatalError &e) {
+        expectKnownNamesSorted(e.what(),
+                               DispatchRegistry::instance().names());
+    }
+}
+
+} // namespace
+} // namespace nmapsim

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * nmaplint core: a repo-aware determinism & model-integrity linter.
+ *
+ * nmapsim's central promise is that every experiment is
+ * bit-reproducible: the same config produces byte-identical
+ * ResultWriter output on every run, which is what lets the bench
+ * stdouts be pinned across refactors and NMAP be compared fairly
+ * against the baselines. nmaplint turns that convention into a checked
+ * property with a small set of source-level rules (banned wall-clock /
+ * random / environment reads, unordered-container iteration, raw
+ * stdout writes, header hygiene, registration hygiene).
+ *
+ * The tool is a line/token scanner, not a compiler frontend: each file
+ * is loaded once and split into a raw view (for waiver comments) and a
+ * code view in which comments are blanked and string/char literal
+ * *contents* are blanked while the quotes survive — so rules can match
+ * tokens and balance parentheses without tripping over prose in doc
+ * comments or literals.
+ *
+ * Rules self-register through LintRuleRegistry, mirroring the
+ * simulator's PolicyRegistry idiom (src/harness/policy_registry.hh):
+ *
+ *     // in tools/nmaplint/rules_<mine>.cc
+ *     namespace {
+ *     class MyRule : public LintRule { ... };
+ *     REGISTER_LINT_RULE("my-rule", &makeMyRule, "my-ok",
+ *                        "one-line description");
+ *     } // namespace
+ *
+ * Every rule has a waiver token: a finding on line L is suppressed iff
+ * line L (or an immediately preceding comment-only line) carries
+ * `// lint: <token>(<reason>)` with a nonempty reason. Reason-less or
+ * unknown-token waivers are themselves findings (rule `bad-waiver`),
+ * so waiving is cheap but always leaves an audit trail.
+ */
+
+#ifndef NMAPSIM_TOOLS_NMAPLINT_LINT_HH_
+#define NMAPSIM_TOOLS_NMAPLINT_LINT_HH_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nmaplint {
+
+/** One reported problem: `file:line: rule-id: message`. */
+struct Finding
+{
+    std::string file; //!< repo-relative path, '/'-separated
+    int line = 0;     //!< 1-based
+    std::string rule;
+    std::string message;
+
+    /** Sort key: file, then line, then rule id. */
+    friend bool
+    operator<(const Finding &a, const Finding &b)
+    {
+        if (a.file != b.file)
+            return a.file < b.file;
+        if (a.line != b.line)
+            return a.line < b.line;
+        return a.rule < b.rule;
+    }
+};
+
+/** A loaded source file with raw and literal-blanked views. */
+class FileContext
+{
+  public:
+    /** @param relPath repo-relative path with forward slashes.
+     *  @param text    full file contents. */
+    FileContext(std::string relPath, const std::string &text);
+
+    const std::string &path() const { return path_; }
+
+    /** Original lines (waiver comments live here). 0-based index. */
+    const std::vector<std::string> &raw() const { return raw_; }
+
+    /** Lines with comments blanked and literal contents blanked
+     *  (quote characters survive, so `""` vs `"x"` is decidable). */
+    const std::vector<std::string> &code() const { return code_; }
+
+    /** The code view joined with '\n' for cross-line matching. */
+    const std::string &codeText() const { return codeText_; }
+
+    /** 1-based line number holding codeText() offset @p pos. */
+    int lineOf(std::size_t pos) const;
+
+    /** True when path() starts with @p prefix (e.g. "src/"). */
+    bool under(std::string_view prefix) const;
+
+    /** True for .h / .hh / .hpp files. */
+    bool isHeader() const;
+
+  private:
+    std::string path_;
+    std::vector<std::string> raw_;
+    std::vector<std::string> code_;
+    std::string codeText_;
+    std::vector<std::size_t> lineStart_; //!< codeText_ offsets
+};
+
+/** @name Token matching on the code view
+ * Identifier-boundary-aware search: `findToken(s, "time")` matches
+ * `time` and `std::time` but neither `wallTime` nor `time_point`.
+ */
+/**@{*/
+
+/** True iff an identifier token equal to @p tok starts at @p pos. */
+bool tokenAt(std::string_view code, std::size_t pos,
+             std::string_view tok);
+
+/** Offset of the first token match at or after @p from, or npos. */
+std::size_t findToken(std::string_view code, std::string_view tok,
+                      std::size_t from = 0);
+
+bool hasToken(std::string_view code, std::string_view tok);
+
+/** First occurrence of token @p fn directly invoked: `fn (`.
+ *  Returns npos when @p fn never appears as a call. */
+std::size_t findCall(std::string_view code, std::string_view fn,
+                     std::size_t from = 0);
+
+/** Offset just past the ')' matching the '(' at @p open, balancing
+ *  nested parens; npos when unbalanced. Works on the code view, so
+ *  parens inside literals/comments cannot desynchronise it. */
+std::size_t matchParen(std::string_view code, std::size_t open);
+
+/** Split the text between a call's parens into top-level
+ *  comma-separated arguments (nested (), {}, <> and [] respected),
+ *  each trimmed. */
+std::vector<std::string> splitTopLevelArgs(std::string_view inside);
+
+/**@}*/
+
+/** Reported-finding sink handed to rules. */
+class Sink
+{
+  public:
+    explicit Sink(const FileContext &file, std::vector<Finding> &out)
+        : file_(file), out_(out)
+    {
+    }
+
+    /** Report @p message at 1-based @p line under @p rule. */
+    void
+    report(int line, const std::string &rule, const std::string &message)
+    {
+        out_.push_back(Finding{file_.path(), line, rule, message});
+    }
+
+  private:
+    const FileContext &file_;
+    std::vector<Finding> &out_;
+};
+
+/** One lint rule; stateless, instantiated per run. */
+class LintRule
+{
+  public:
+    virtual ~LintRule() = default;
+
+    /** Whether the rule scans @p file at all (path scoping). */
+    virtual bool appliesTo(const FileContext &file) const = 0;
+
+    /** Scan @p file; report findings through @p sink with this rule's
+     *  registered id (passed in so the id lives only at the
+     *  registration site). */
+    virtual void check(const FileContext &file, const std::string &id,
+                       Sink &sink) const = 0;
+};
+
+/** String-keyed lint-rule factories; mirrors PolicyRegistry. */
+class LintRuleRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<LintRule>()>;
+
+    static LintRuleRegistry &instance();
+
+    /** Register rule @p id; throws std::logic_error on duplicates and
+     *  on duplicate waiver tokens. */
+    void registerRule(const std::string &id, Factory factory,
+                      const std::string &waiverToken,
+                      const std::string &help);
+
+    struct RuleInfo
+    {
+        std::string id;
+        std::string waiverToken;
+        std::string help;
+    };
+
+    /** Registered rules, sorted by id (listing output never depends on
+     *  registration order). */
+    std::vector<RuleInfo> rules() const;
+
+    /** Waiver token for @p ruleId; empty when unknown. */
+    std::string waiverToken(const std::string &ruleId) const;
+
+    /** Rule id owning waiver token @p token; empty when unknown. */
+    std::string ruleForToken(const std::string &token) const;
+
+    /** Instantiate every registered rule, sorted by id. */
+    std::vector<std::pair<std::string, std::unique_ptr<LintRule>>>
+    instantiate() const;
+
+  private:
+    struct Entry
+    {
+        Factory factory;
+        std::string waiverToken;
+        std::string help;
+    };
+
+    LintRuleRegistry() = default;
+
+    std::map<std::string, Entry> rules_;
+    std::map<std::string, std::string> tokenToRule_;
+};
+
+/** Registers a lint rule at static-initialisation time. */
+struct LintRuleRegistrar
+{
+    LintRuleRegistrar(const std::string &id,
+                      LintRuleRegistry::Factory factory,
+                      const std::string &waiverToken,
+                      const std::string &help)
+    {
+        LintRuleRegistry::instance().registerRule(id, std::move(factory),
+                                                  waiverToken, help);
+    }
+};
+
+/**
+ * Registration shorthand; the lint pass itself checks (rule
+ * register-hygiene) that every REGISTER_* use carries a nonempty name
+ * literal first and a nonempty doc string last — including these.
+ */
+#define NMAPLINT_CONCAT_(a, b) a##b
+#define NMAPLINT_CONCAT(a, b) NMAPLINT_CONCAT_(a, b)
+#define REGISTER_LINT_RULE(id, factory, waiverToken, help)             \
+    static const ::nmaplint::LintRuleRegistrar NMAPLINT_CONCAT(        \
+        lintRuleRegistrar_, __COUNTER__)(id, factory, waiverToken, help)
+
+/**
+ * Force the rule TUs' registrar statics out of a static archive (same
+ * linker dance as ensureBuiltinPolicies()). Idempotent.
+ */
+void ensureBuiltinRules();
+
+/**
+ * Lint one already-loaded file: run every applicable rule, apply
+ * same-line / preceding-comment-line waivers, and validate waiver
+ * comments themselves (`bad-waiver`). Appends to @p out.
+ */
+void lintFile(const FileContext &file, std::vector<Finding> &out);
+
+/**
+ * Load and lint @p files (absolute or cwd-relative paths). @p root is
+ * the repo root used to derive the repo-relative paths that rules
+ * scope on and findings report. Returns findings sorted by
+ * (file, line, rule). Unreadable files produce an `io-error` finding.
+ */
+std::vector<Finding> lintPaths(const std::vector<std::string> &files,
+                               const std::string &root);
+
+/** Exact waiver comment to paste for @p ruleIdOrToken; empty when the
+ *  rule is unknown. */
+std::string waiverComment(const std::string &ruleIdOrToken,
+                          const std::string &reason);
+
+} // namespace nmaplint
+
+#endif // NMAPSIM_TOOLS_NMAPLINT_LINT_HH_

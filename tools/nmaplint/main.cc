@@ -1,0 +1,196 @@
+/**
+ * @file
+ * nmaplint CLI.
+ *
+ *     nmaplint [--root DIR] [PATH...]      lint files / directories
+ *     nmaplint --list-rules                rules, waiver tokens, help
+ *     nmaplint --waive RULE REASON...      print the waiver comment
+ *
+ * With no PATH arguments the default source set under --root (src/,
+ * bench/, tools/, tests/, examples/) is scanned, excluding build
+ * trees and tests/lint_fixtures (whose files violate rules on
+ * purpose). Findings print as `file:line: rule-id: message` —
+ * GitHub-annotation friendly — sorted by (file, line, rule), and the
+ * exit code is 1 when any finding survives waivers, 2 on usage
+ * errors, 0 when clean.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kDefaultDirs[] = {
+    "src", "bench", "tools", "tests", "examples",
+};
+
+constexpr const char *kExtensions[] = {
+    ".cc", ".hh", ".cpp", ".hpp", ".h",
+};
+
+bool
+lintableFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return std::find(std::begin(kExtensions), std::end(kExtensions),
+                     ext) != std::end(kExtensions);
+}
+
+bool
+excludedDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name == ".git" || name == "lint_fixtures" ||
+           name.compare(0, 5, "build") == 0;
+}
+
+void
+collectDir(const fs::path &dir, std::vector<std::string> &out)
+{
+    if (!fs::exists(dir))
+        return;
+    for (fs::recursive_directory_iterator
+             it(dir, fs::directory_options::skip_permission_denied),
+         end;
+         it != end; ++it) {
+        if (it->is_directory() && excludedDir(it->path())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && lintableFile(it->path()))
+            out.push_back(it->path().lexically_normal().string());
+    }
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [PATH...]\n"
+        "       %s --list-rules\n"
+        "       %s --waive RULE REASON...\n"
+        "\n"
+        "Lints nmapsim sources for determinism and model-integrity\n"
+        "hazards. With no PATH, scans src/ bench/ tools/ tests/\n"
+        "examples/ under --root (default: cwd). Exit code: 0 clean,\n"
+        "1 findings, 2 usage error.\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+int
+listRules()
+{
+    nmaplint::ensureBuiltinRules();
+    for (const auto &rule :
+         nmaplint::LintRuleRegistry::instance().rules()) {
+        std::printf("%-18s waive: // lint: %s(<reason>)\n    %s\n",
+                    rule.id.c_str(), rule.waiverToken.c_str(),
+                    rule.help.c_str());
+    }
+    return 0;
+}
+
+int
+printWaiver(const std::string &rule, const std::string &reason)
+{
+    nmaplint::ensureBuiltinRules();
+    if (reason.empty()) {
+        std::fprintf(stderr,
+                     "nmaplint: --waive needs a reason: every waiver "
+                     "must say why the rule does not apply\n");
+        return 2;
+    }
+    const std::string comment =
+        nmaplint::waiverComment(rule, reason);
+    if (comment.empty()) {
+        std::fprintf(stderr,
+                     "nmaplint: unknown rule or waiver token '%s' "
+                     "(see --list-rules)\n",
+                     rule.c_str());
+        return 2;
+    }
+    std::printf("%s\n", comment.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = fs::current_path().string();
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--list-rules") {
+            return listRules();
+        } else if (arg == "--waive") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            std::string reason;
+            for (int j = i + 2; j < argc; ++j) {
+                if (!reason.empty())
+                    reason += ' ';
+                reason += argv[j];
+            }
+            return printWaiver(argv[i + 1], reason);
+        } else if (arg == "--root") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            root = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "nmaplint: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    root = fs::path(root).lexically_normal().string();
+
+    std::vector<std::string> files;
+    if (paths.empty()) {
+        for (const char *dir : kDefaultDirs)
+            collectDir(fs::path(root) / dir, files);
+    } else {
+        for (const std::string &p : paths) {
+            if (fs::is_directory(p))
+                collectDir(p, files);
+            else
+                files.push_back(p);
+        }
+    }
+    // Deterministic scan order regardless of directory enumeration.
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    const std::vector<nmaplint::Finding> findings =
+        nmaplint::lintPaths(files, root);
+    for (const nmaplint::Finding &f : findings)
+        std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+
+    if (findings.empty()) {
+        std::fprintf(stderr, "nmaplint: %zu files clean\n",
+                     files.size());
+        return 0;
+    }
+    std::fprintf(stderr, "nmaplint: %zu finding%s in %zu files\n",
+                 findings.size(), findings.size() == 1 ? "" : "s",
+                 files.size());
+    return 1;
+}
