@@ -65,6 +65,16 @@ struct DispatchContext
     PolicyParams params;
     /** Live in-flight request count per host (switch feedback). */
     std::function<std::uint64_t(int)> outstanding;
+    /**
+     * Live health per host (switch failure-detector feedback); null
+     * means no detector, i.e. every host healthy. Queue policies
+     * (round-robin, least-outstanding, power-pack) skip unhealthy
+     * hosts while at least one healthy host remains; affinity
+     * policies keep their hash stable and rely on the switch's
+     * deterministic reroute instead, so readmitted hosts get their
+     * flows back.
+     */
+    std::function<bool(int)> healthy;
 };
 
 /** Chooses a destination host for every request packet. */

@@ -41,6 +41,42 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+/**
+ * Health guard shared by the queue policies: true when @p host may
+ * take new work. With no detector (null feed) or a fully-ejected
+ * cluster the guard passes everyone, so the pick degrades to the
+ * health-blind decision instead of deadlocking.
+ */
+class HealthGuard
+{
+  public:
+    explicit HealthGuard(const DispatchContext &ctx)
+        : healthy_(ctx.healthy), numHosts_(ctx.numHosts)
+    {
+    }
+
+    bool
+    usable(int host) const
+    {
+        if (!healthy_ || !anyHealthy())
+            return true;
+        return healthy_(host);
+    }
+
+  private:
+    bool
+    anyHealthy() const
+    {
+        for (int i = 0; i < numHosts_; ++i)
+            if (healthy_(i))
+                return true;
+        return false;
+    }
+
+    std::function<bool(int)> healthy_;
+    int numHosts_;
+};
+
 std::vector<double>
 checkedWeights(const DispatchContext &ctx, const std::string &who)
 {
@@ -161,7 +197,8 @@ class RoundRobinDispatch : public DispatchPolicy
         : weights_(checkedWeights(ctx, "round-robin")),
           current_(weights_.size(), 0.0),
           total_(std::accumulate(weights_.begin(), weights_.end(),
-                                 0.0))
+                                 0.0)),
+          guard_(ctx)
     {
     }
 
@@ -169,14 +206,20 @@ class RoundRobinDispatch : public DispatchPolicy
     pickHost(const Packet &pkt) override
     {
         (void)pkt;
-        std::size_t best = 0;
+        // Every host accrues credit (so a readmitted host rejoins at
+        // its fair share), but only usable hosts may win the pick.
+        int best = -1;
         for (std::size_t i = 0; i < weights_.size(); ++i) {
             current_[i] += weights_[i];
-            if (current_[i] > current_[best])
-                best = i;
+            if (!guard_.usable(static_cast<int>(i)))
+                continue;
+            if (best < 0 ||
+                current_[i] > current_[static_cast<std::size_t>(best)]) {
+                best = static_cast<int>(i);
+            }
         }
-        current_[best] -= total_;
-        return static_cast<int>(best);
+        current_[static_cast<std::size_t>(best)] -= total_;
+        return best;
     }
 
     std::string name() const override { return "round-robin"; }
@@ -185,6 +228,7 @@ class RoundRobinDispatch : public DispatchPolicy
     std::vector<double> weights_;
     std::vector<double> current_;
     double total_;
+    HealthGuard guard_;
 };
 
 // --- least-outstanding -------------------------------------------------
@@ -196,7 +240,7 @@ class LeastOutstandingDispatch : public DispatchPolicy
   public:
     explicit LeastOutstandingDispatch(const DispatchContext &ctx)
         : weights_(checkedWeights(ctx, "least-outstanding")),
-          outstanding_(ctx.outstanding)
+          outstanding_(ctx.outstanding), guard_(ctx)
     {
         if (!outstanding_)
             fatal("least-outstanding dispatch needs the switch's "
@@ -207,11 +251,13 @@ class LeastOutstandingDispatch : public DispatchPolicy
     pickHost(const Packet &pkt) override
     {
         (void)pkt;
-        int best = 0;
-        double best_load = load(0);
-        for (int i = 1; i < static_cast<int>(weights_.size()); ++i) {
+        int best = -1;
+        double best_load = 0.0;
+        for (int i = 0; i < static_cast<int>(weights_.size()); ++i) {
+            if (!guard_.usable(i))
+                continue;
             double l = load(i);
-            if (l < best_load) {
+            if (best < 0 || l < best_load) {
                 best = i;
                 best_load = l;
             }
@@ -231,6 +277,7 @@ class LeastOutstandingDispatch : public DispatchPolicy
 
     std::vector<double> weights_;
     std::function<std::uint64_t(int)> outstanding_;
+    HealthGuard guard_;
 };
 
 // --- power-pack --------------------------------------------------------
@@ -250,7 +297,8 @@ class PowerPackDispatch : public DispatchPolicy
     explicit PowerPackDispatch(const DispatchContext &ctx)
         : weights_(checkedWeights(ctx, "power-pack")),
           outstanding_(ctx.outstanding),
-          packLimit_(ctx.params.getDouble("dispatch.pack_limit", 16.0))
+          packLimit_(ctx.params.getDouble("dispatch.pack_limit", 16.0)),
+          guard_(ctx)
     {
         if (!outstanding_)
             fatal("power-pack dispatch needs the switch's "
@@ -263,13 +311,15 @@ class PowerPackDispatch : public DispatchPolicy
     pickHost(const Packet &pkt) override
     {
         (void)pkt;
-        int fallback = 0;
-        double fallback_load = load(0);
+        int fallback = -1;
+        double fallback_load = 0.0;
         for (int i = 0; i < static_cast<int>(weights_.size()); ++i) {
+            if (!guard_.usable(i))
+                continue;
             double l = load(i);
             if (l < packLimit_)
                 return i;
-            if (l < fallback_load) {
+            if (fallback < 0 || l < fallback_load) {
                 fallback = i;
                 fallback_load = l;
             }
@@ -290,6 +340,7 @@ class PowerPackDispatch : public DispatchPolicy
     std::vector<double> weights_;
     std::function<std::uint64_t(int)> outstanding_;
     double packLimit_;
+    HealthGuard guard_;
 };
 
 // --- Registrations -----------------------------------------------------

@@ -74,6 +74,9 @@ struct ClusterHostResult
 
     double niThresholdUsed = 0.0;
     double cuThresholdUsed = 0.0;
+
+    /** Times the switch's failure detector ejected this host. */
+    std::uint64_t ejections = 0;
 };
 
 /** One server host behind the cluster switch. */

@@ -13,13 +13,20 @@ ClusterSwitch::ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
                      config.fabricLatency),
       egressFabric_(eq, config.fabricBandwidthBps,
                     config.fabricLatency),
-      clientPort_(eq, config.portBandwidthBps, config.portPropagation)
+      clientPort_(eq, config.portBandwidthBps, config.portPropagation),
+      healthEvent_([this] { healthCheck(); }, "switch.health")
 {
     ensureBuiltinDispatchPolicies();
     const int num_hosts = static_cast<int>(
         weights.empty() ? 0 : weights.size());
     if (num_hosts < 1)
         fatal("ClusterSwitch requires at least one host weight");
+    if (config_.healthInterval > 0 &&
+        (config_.healthTimeout <= 0 || config_.ejectDuration <= 0)) {
+        fatal("switch failure detector needs cluster.health_timeout "
+              "and cluster.eject_duration when cluster.health_interval "
+              "is set");
+    }
 
     ingressFabric_.setLabel("switch.fabric.ingress");
     egressFabric_.setLabel("switch.fabric.egress");
@@ -39,13 +46,27 @@ ClusterSwitch::ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
     }
     requestsForwarded_.assign(static_cast<std::size_t>(num_hosts), 0);
     responsesReturned_.assign(static_cast<std::size_t>(num_hosts), 0);
+    pendingSince_.assign(static_cast<std::size_t>(num_hosts), {});
+    lastResponseAt_.assign(static_cast<std::size_t>(num_hosts), 0);
+    ejected_.assign(static_cast<std::size_t>(num_hosts), false);
+    readmitAt_.assign(static_cast<std::size_t>(num_hosts), 0);
+    ejections_.assign(static_cast<std::size_t>(num_hosts), 0);
 
     DispatchContext ctx;
     ctx.numHosts = num_hosts;
     ctx.weights = std::move(weights);
     ctx.params = params;
     ctx.outstanding = [this](int host) { return outstanding(host); };
+    if (config_.healthInterval > 0) {
+        ctx.healthy = [this](int host) { return !isEjected(host); };
+        eq_.schedule(&healthEvent_, eq_.now() + config_.healthInterval);
+    }
     dispatch_ = DispatchRegistry::instance().make(dispatch, ctx);
+}
+
+ClusterSwitch::~ClusterSwitch()
+{
+    eq_.deschedule(&healthEvent_);
 }
 
 void
@@ -59,18 +80,36 @@ ClusterSwitch::fromClient(const Packet &pkt)
 void
 ClusterSwitch::forwardRequest(const Packet &pkt)
 {
-    const int host = dispatch_->pickHost(pkt);
+    int host = dispatch_->pickHost(pkt);
     if (host < 0 || host >= numHosts())
         panic("dispatch policy '" + dispatch_->name() +
               "' picked host " + std::to_string(host) + " of " +
               std::to_string(numHosts()));
+    if (ejected_[static_cast<std::size_t>(host)]) {
+        // Affinity policies keep hashing to the ejected host; steer
+        // deterministically to the next healthy id so their flows come
+        // back unchanged after readmission.
+        const int alt = nextHealthyAfter(host);
+        if (alt >= 0) {
+            host = alt;
+            ++rerouted_;
+        }
+    }
     Wire &port = *downlinks_[static_cast<std::size_t>(host)];
-    const std::uint64_t drops_before = port.packetsDropped();
+    const std::uint64_t lost_before = port.packetsDropped() +
+                                      port.packetsFaultLost() +
+                                      port.packetsLinkDownLost();
     port.send(pkt);
     // Only requests that actually made the port queue count as
-    // forwarded, so outstanding() tracks live work, not drops.
-    if (port.packetsDropped() == drops_before)
+    // forwarded, so outstanding() tracks live work, not drops (queue
+    // overflow or injected faults).
+    if (port.packetsDropped() + port.packetsFaultLost() +
+            port.packetsLinkDownLost() ==
+        lost_before) {
         ++requestsForwarded_[static_cast<std::size_t>(host)];
+        pendingSince_[static_cast<std::size_t>(host)].push_back(
+            eq_.now());
+    }
 }
 
 void
@@ -80,6 +119,16 @@ ClusterSwitch::fromHost(int id, const Packet &pkt)
         panic("ClusterSwitch: non-response packet from host " +
               std::to_string(id));
     ++responsesReturned_[static_cast<std::size_t>(id)];
+    lastResponseAt_[static_cast<std::size_t>(id)] = eq_.now();
+    std::deque<Tick> &pending =
+        pendingSince_[static_cast<std::size_t>(id)];
+    if (pending.empty()) {
+        // The matching dispatch record was written off at ejection;
+        // the response is still real, so it flows on to the client.
+        ++lateResponses_;
+    } else {
+        pending.pop_front();
+    }
     egressHosts_.push_back(id);
     egressFabric_.send(pkt);
 }
@@ -97,6 +146,54 @@ ClusterSwitch::forwardResponse(const Packet &pkt)
     if (tap_)
         tap_(host, pkt);
     clientPort_.send(pkt);
+}
+
+int
+ClusterSwitch::nextHealthyAfter(int host) const
+{
+    for (int step = 1; step < numHosts(); ++step) {
+        const int candidate = (host + step) % numHosts();
+        if (!ejected_[static_cast<std::size_t>(candidate)])
+            return candidate;
+    }
+    // Whole cluster ejected: no healthy alternative, deliver to the
+    // policy's pick and let the client's retry machinery cope.
+    return -1;
+}
+
+void
+ClusterSwitch::healthCheck()
+{
+    const Tick now = eq_.now();
+    for (int host = 0; host < numHosts(); ++host) {
+        const auto h = static_cast<std::size_t>(host);
+        if (ejected_[h]) {
+            // Optimistic, time-based readmission: the host gets
+            // traffic again and must re-earn an ejection if it is
+            // still down.
+            if (now >= readmitAt_[h])
+                ejected_[h] = false;
+            continue;
+        }
+        if (pendingSince_[h].empty())
+            continue; // idle hosts are unjudgeable, never ejected
+        const Tick oldest = pendingSince_[h].front();
+        const bool work_overdue =
+            now - oldest > config_.healthTimeout;
+        const bool silent =
+            now - std::max(lastResponseAt_[h], oldest) >
+            config_.healthTimeout;
+        if (work_overdue && silent) {
+            ejected_[h] = true;
+            readmitAt_[h] = now + config_.ejectDuration;
+            ++ejections_[h];
+            // Write the pending work off: the client side will
+            // surface it as timeouts; keeping it would freeze
+            // queue-feedback policies on a stale backlog forever.
+            pendingSince_[h].clear();
+        }
+    }
+    eq_.schedule(&healthEvent_, now + config_.healthInterval);
 }
 
 std::uint64_t

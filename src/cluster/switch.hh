@@ -55,6 +55,22 @@ struct SwitchConfig
     /** Egress-port queue bound in packets; 0 = unbounded. */
     std::size_t portQueueLimit = 0;
 
+    /**
+     * @name Failure detector (0 = disabled)
+     * Every healthInterval the switch checks each host: a host with
+     * work pending that has been *silent* (no response at all) for
+     * longer than healthTimeout is ejected — its pending work is
+     * written off and new requests are steered around it — and
+     * optimistically readmitted ejectDuration later. Silence, not
+     * per-request age, is the signal, so a lossy-but-alive host that
+     * keeps answering most requests is never ejected.
+     */
+    /**@{*/
+    Tick healthInterval = 0; //!< detector tick period; 0 disables
+    Tick healthTimeout = 0;  //!< silence threshold with work pending
+    Tick ejectDuration = 0;  //!< how long an ejection lasts
+    /**@}*/
+
     bool operator==(const SwitchConfig &) const = default;
 };
 
@@ -77,6 +93,8 @@ class ClusterSwitch
                   const std::string &dispatch,
                   std::vector<double> weights,
                   const PolicyParams &params);
+
+    ~ClusterSwitch();
 
     ClusterSwitch(const ClusterSwitch &) = delete;
     ClusterSwitch &operator=(const ClusterSwitch &) = delete;
@@ -131,18 +149,47 @@ class ClusterSwitch
             sum += v;
         return sum;
     }
-    /** In-flight requests dispatched to @p host, not yet answered. */
+    /** In-flight requests dispatched to @p host, not yet answered
+     *  (requests written off at ejection no longer count). */
     std::uint64_t outstanding(int host) const
     {
-        return requestsForwarded_[host] - responsesReturned_[host];
+        return pendingSince_[static_cast<std::size_t>(host)].size();
     }
     /** Egress-port queue overflow drops, all ports. */
     std::uint64_t portDrops() const;
+
+    /** @name Failure-detector state and accounting */
+    /**@{*/
+    /** True while the detector has @p host ejected. */
+    bool isEjected(int host) const
+    {
+        return ejected_[static_cast<std::size_t>(host)];
+    }
+    /** Times the detector ejected @p host. */
+    std::uint64_t ejections(int host) const
+    {
+        return ejections_[static_cast<std::size_t>(host)];
+    }
+    std::uint64_t
+    totalEjections() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : ejections_)
+            sum += v;
+        return sum;
+    }
+    /** Requests steered away from their policy-picked (ejected) host. */
+    std::uint64_t requestsRerouted() const { return rerouted_; }
+    /** Responses from hosts whose pending work was written off. */
+    std::uint64_t lateResponses() const { return lateResponses_; }
+    /**@}*/
     /**@}*/
 
   private:
     void forwardRequest(const Packet &pkt);
     void forwardResponse(const Packet &pkt);
+    void healthCheck();
+    int nextHealthyAfter(int host) const;
 
     EventQueue &eq_;
     SwitchConfig config_;
@@ -162,6 +209,20 @@ class ClusterSwitch
 
     std::vector<std::uint64_t> requestsForwarded_;
     std::vector<std::uint64_t> responsesReturned_;
+
+    /** Dispatch times of unanswered requests per host (count-FIFO:
+     *  any response pops the oldest entry; the front is the oldest
+     *  unmatched dispatch). */
+    std::vector<std::deque<Tick>> pendingSince_;
+    /** Last time each host produced any response. */
+    std::vector<Tick> lastResponseAt_;
+    std::vector<bool> ejected_;
+    std::vector<Tick> readmitAt_;
+    std::vector<std::uint64_t> ejections_;
+    std::uint64_t rerouted_ = 0;
+    std::uint64_t lateResponses_ = 0;
+
+    EventFunctionWrapper healthEvent_;
 };
 
 } // namespace nmapsim

@@ -1,0 +1,158 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+
+FaultInjector::FaultInjector(EventQueue &eq, const FaultPlan &plan,
+                             Rng rng)
+    : eq_(eq), plan_(plan), rng_(rng)
+{
+}
+
+FaultInjector::~FaultInjector()
+{
+    for (auto &group : flapGroups_)
+        eq_.deschedule(group->event.get());
+    for (auto &event : events_)
+        eq_.deschedule(event.get());
+    // Filters capture `this`; detach them so a wire outliving the
+    // injector cannot call into freed memory.
+    for (Wire *wire : wires_)
+        wire->setFaultFilter(nullptr);
+}
+
+void
+FaultInjector::trackWire(Wire &wire)
+{
+    if (std::find(wires_.begin(), wires_.end(), &wire) == wires_.end())
+        wires_.push_back(&wire);
+}
+
+void
+FaultInjector::addLossyWire(Wire &wire)
+{
+    if (!plan_.wantsLoss())
+        return;
+    trackWire(wire);
+    wire.setFaultFilter([this](const Packet &) {
+        // A single uniform draw partitions [0, 1) into
+        // lose | corrupt | deliver, so loss and corruption come from
+        // one stream and stay reproducible under either probability.
+        double u = rng_.uniform();
+        if (u < plan_.wireLoss)
+            return WireFault::kDrop;
+        if (u < plan_.wireLoss + plan_.wireCorrupt)
+            return WireFault::kCorrupt;
+        return WireFault::kNone;
+    });
+}
+
+void
+FaultInjector::addFlapGroup(std::vector<Wire *> wires)
+{
+    if (!plan_.wantsFlap() || wires.empty())
+        return;
+    for (Wire *wire : wires)
+        trackWire(*wire);
+    auto group = std::make_unique<FlapGroup>();
+    group->wires = std::move(wires);
+    FlapGroup *raw = group.get();
+    group->event = std::make_unique<EventFunctionWrapper>(
+        [this, raw] { flapEdge(*raw); }, "fault.flap");
+    eq_.schedule(group->event.get(), plan_.flapStart);
+    flapGroups_.push_back(std::move(group));
+}
+
+void
+FaultInjector::flapEdge(FlapGroup &group)
+{
+    if (!group.down) {
+        for (Wire *wire : group.wires)
+            wire->setLinkDown(true);
+        group.down = true;
+        eq_.schedule(group.event.get(), eq_.now() + plan_.flapDown);
+        return;
+    }
+    for (Wire *wire : group.wires)
+        wire->setLinkDown(false);
+    group.down = false;
+    ++group.cycle;
+    if (group.cycle < plan_.flapCycles) {
+        eq_.schedule(group.event.get(),
+                     plan_.flapStart +
+                         static_cast<Tick>(group.cycle) *
+                             plan_.flapPeriod);
+    }
+}
+
+void
+FaultInjector::addDegradableNic(Nic &nic)
+{
+    if (!plan_.wantsRingDegrade())
+        return;
+    Nic *raw = &nic;
+    const std::size_t original = nic.config().rxRingSize;
+    auto degrade = std::make_unique<EventFunctionWrapper>(
+        [this, raw] { raw->setRxRingSize(plan_.ringSize); },
+        "fault.ring_degrade");
+    eq_.schedule(degrade.get(), plan_.ringDegradeAt);
+    events_.push_back(std::move(degrade));
+    if (plan_.ringRestoreAt > 0) {
+        auto restore = std::make_unique<EventFunctionWrapper>(
+            [raw, original] { raw->setRxRingSize(original); },
+            "fault.ring_restore");
+        eq_.schedule(restore.get(), plan_.ringRestoreAt);
+        events_.push_back(std::move(restore));
+    }
+}
+
+void
+FaultInjector::scheduleCrash(std::function<void()> down,
+                             std::function<void()> up)
+{
+    if (!plan_.wantsCrash())
+        return;
+    auto crash = std::make_unique<EventFunctionWrapper>(
+        std::move(down), "fault.crash");
+    eq_.schedule(crash.get(), plan_.crashAt);
+    events_.push_back(std::move(crash));
+    if (plan_.recoverAt > 0) {
+        auto recover = std::make_unique<EventFunctionWrapper>(
+            std::move(up), "fault.recover");
+        eq_.schedule(recover.get(), plan_.recoverAt);
+        events_.push_back(std::move(recover));
+    }
+}
+
+std::uint64_t
+FaultInjector::packetsFaultLost() const
+{
+    std::uint64_t total = 0;
+    for (const Wire *wire : wires_)
+        total += wire->packetsFaultLost();
+    return total;
+}
+
+std::uint64_t
+FaultInjector::packetsCorrupted() const
+{
+    std::uint64_t total = 0;
+    for (const Wire *wire : wires_)
+        total += wire->packetsCorrupted();
+    return total;
+}
+
+std::uint64_t
+FaultInjector::packetsLinkDownLost() const
+{
+    std::uint64_t total = 0;
+    for (const Wire *wire : wires_)
+        total += wire->packetsLinkDownLost();
+    return total;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Executes a FaultPlan against a rig: installs loss/corruption filters
+ * on wires, schedules link flap windows, NIC ring degradation and
+ * whole-host crash/recovery callbacks on the event queue.
+ *
+ * Determinism contract: the injector owns a forked Rng stream and is
+ * the only consumer of randomness in the fault path; the stream is
+ * forked *after* every pre-existing component's stream, so enabling a
+ * plan never perturbs the workload/service-time draws, and a disabled
+ * plan forks nothing at all. All scheduled events are owned here and
+ * descheduled on destruction.
+ */
+
+#ifndef NMAPSIM_FAULT_INJECTOR_HH_
+#define NMAPSIM_FAULT_INJECTOR_HH_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fault/plan.hh"
+#include "net/nic.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+
+/** Runtime executor for a validated FaultPlan. */
+class FaultInjector
+{
+  public:
+    FaultInjector(EventQueue &eq, const FaultPlan &plan, Rng rng);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Subject @p wire to the plan's probabilistic loss/corruption.
+     * One uniform draw per packet; attachment order is part of the
+     * determinism contract (attach in topology order).
+     */
+    void addLossyWire(Wire &wire);
+
+    /**
+     * Flap all wires in @p wires together: down at flapStart, up
+     * after flapDown, repeating every flapPeriod for flapCycles.
+     */
+    void addFlapGroup(std::vector<Wire *> wires);
+
+    /** Degrade (and possibly restore) @p nic's Rx ring per the plan. */
+    void addDegradableNic(Nic &nic);
+
+    /**
+     * Schedule a generic fail-stop window: @p down runs at
+     * plan.crashAt, @p up at plan.recoverAt (skipped when 0).
+     */
+    void scheduleCrash(std::function<void()> down,
+                       std::function<void()> up);
+
+    /**
+     * Include @p wire in the aggregated fault counters without
+     * installing any filter (e.g. links a crash callback downs).
+     */
+    void trackWire(Wire &wire);
+
+    /** @name Aggregated accounting over attached wires */
+    /**@{*/
+    std::uint64_t packetsFaultLost() const;
+    std::uint64_t packetsCorrupted() const;
+    std::uint64_t packetsLinkDownLost() const;
+    /**@}*/
+
+  private:
+    struct FlapGroup {
+        std::vector<Wire *> wires;
+        int cycle = 0;
+        bool down = false;
+        std::unique_ptr<EventFunctionWrapper> event;
+    };
+
+    void flapEdge(FlapGroup &group);
+
+    EventQueue &eq_;
+    FaultPlan plan_;
+    Rng rng_;
+    std::vector<Wire *> wires_;
+    std::vector<std::unique_ptr<FlapGroup>> flapGroups_;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_FAULT_INJECTOR_HH_

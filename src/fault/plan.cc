@@ -1,0 +1,103 @@
+#include "fault/plan.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+constexpr const char *kKnownKeys[] = {
+    "fault.wire_loss",       "fault.wire_corrupt", "fault.flap_start",
+    "fault.flap_down",       "fault.flap_period",  "fault.flap_cycles",
+    "fault.flap_host",       "fault.ring_degrade_at", "fault.ring_size",
+    "fault.ring_restore_at", "fault.crash_host",   "fault.crash_at",
+    "fault.recover_at",
+};
+
+bool
+isKnownFaultKey(const std::string &key)
+{
+    for (const char *known : kKnownKeys)
+        if (key == known)
+            return true;
+    return false;
+}
+
+void
+validate(const FaultPlan &plan)
+{
+    if (plan.wireLoss < 0.0 || plan.wireLoss >= 1.0)
+        fatal("fault.wire_loss must be in [0, 1)");
+    if (plan.wireCorrupt < 0.0 || plan.wireCorrupt >= 1.0)
+        fatal("fault.wire_corrupt must be in [0, 1)");
+    if (plan.wireLoss + plan.wireCorrupt >= 1.0)
+        fatal("fault.wire_loss + fault.wire_corrupt must stay below 1");
+
+    if (plan.flapCycles < 0)
+        fatal("fault.flap_cycles must be >= 0");
+    if (plan.flapCycles > 0) {
+        if (plan.flapDown <= 0)
+            fatal("fault.flap_down must be positive when flapping");
+        if (plan.flapCycles > 1 && plan.flapPeriod <= plan.flapDown)
+            fatal("fault.flap_period must exceed fault.flap_down");
+    }
+    if (plan.flapHost < -1)
+        fatal("fault.flap_host must be -1 (all hosts) or a host id");
+
+    if (plan.ringSize > 0 && plan.ringRestoreAt != 0 &&
+        plan.ringRestoreAt <= plan.ringDegradeAt) {
+        fatal("fault.ring_restore_at must come after "
+              "fault.ring_degrade_at");
+    }
+
+    if (plan.crashHost < -1)
+        fatal("fault.crash_host must be -1 (none) or a host id");
+    if (plan.crashHost >= 0 && plan.recoverAt != 0 &&
+        plan.recoverAt <= plan.crashAt) {
+        fatal("fault.recover_at must come after fault.crash_at");
+    }
+}
+
+} // namespace
+
+bool
+FaultPlan::enabled() const
+{
+    return wantsLoss() || wantsFlap() || wantsRingDegrade() ||
+           wantsCrash();
+}
+
+FaultPlan
+FaultPlan::fromParams(const PolicyParams &params)
+{
+    for (const auto &[key, value] : params) {
+        if (key.rfind("fault.", 0) == 0 && !isKnownFaultKey(key))
+            fatal("unknown fault key '" + key + "'");
+    }
+
+    FaultPlan plan;
+    plan.wireLoss = params.getDouble("fault.wire_loss", 0.0);
+    plan.wireCorrupt = params.getDouble("fault.wire_corrupt", 0.0);
+    plan.flapStart = params.getTick("fault.flap_start", 0);
+    plan.flapDown = params.getTick("fault.flap_down", 0);
+    plan.flapPeriod = params.getTick("fault.flap_period", 0);
+    plan.flapCycles = params.getInt("fault.flap_cycles",
+                                    plan.flapDown > 0 ? 1 : 0);
+    plan.flapHost = params.getInt("fault.flap_host", -1);
+    plan.ringDegradeAt = params.getTick("fault.ring_degrade_at", 0);
+    const int ringSlots = params.getInt("fault.ring_size", 0);
+    if (ringSlots < 0)
+        fatal("fault.ring_size must be >= 0");
+    plan.ringSize = static_cast<std::size_t>(ringSlots);
+    plan.ringRestoreAt = params.getTick("fault.ring_restore_at", 0);
+    plan.crashHost = params.getInt("fault.crash_host", -1);
+    plan.crashAt = params.getTick("fault.crash_at", 0);
+    plan.recoverAt = params.getTick("fault.recover_at", 0);
+    if (plan.crashHost >= 0 && plan.crashAt == 0)
+        fatal("fault.crash_host requires fault.crash_at");
+    validate(plan);
+    return plan;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Declarative fault schedule: what goes wrong, where, and when.
+ *
+ * A FaultPlan is parsed from the ordinary key=value config pipeline
+ * (`fault.*` namespace in ExperimentConfig::params), validated once,
+ * and handed to a FaultInjector that executes it against a rig. The
+ * plan itself holds no state and draws no randomness; all probabilistic
+ * decisions happen inside the injector from a forked Rng stream, so
+ * identical (seed, plan) pairs replay byte-identically.
+ *
+ * An empty plan (`enabled() == false`) is the zero-fault bypass: no
+ * injector is constructed, no Rng stream is forked, and the simulation
+ * is bit-for-bit the same as before the fault subsystem existed.
+ */
+
+#ifndef NMAPSIM_FAULT_PLAN_HH_
+#define NMAPSIM_FAULT_PLAN_HH_
+
+#include <cstddef>
+
+#include "harness/policy_params.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** Seeded, reproducible fault schedule (see `fault.*` config keys). */
+struct FaultPlan {
+    /** Per-packet loss probability on faulted wires, [0, 1). */
+    double wireLoss = 0.0;
+    /** Per-packet corruption (FCS-drop) probability, [0, 1). */
+    double wireCorrupt = 0.0;
+
+    /** First link-down edge of the flap schedule (absolute tick). */
+    Tick flapStart = 0;
+    /** Length of each down window. 0 disables flapping. */
+    Tick flapDown = 0;
+    /** Down-edge to down-edge period; must exceed flapDown. */
+    Tick flapPeriod = 0;
+    /** Number of down/up cycles to run. */
+    int flapCycles = 0;
+    /** Cluster host whose access links flap; -1 flaps every host. */
+    int flapHost = -1;
+
+    /** When to shrink NIC rx rings. 0 disables degradation. */
+    Tick ringDegradeAt = 0;
+    /** Degraded rx ring size (slots); 0 disables degradation. */
+    std::size_t ringSize = 0;
+    /** When to restore the original ring size; 0 = never. */
+    Tick ringRestoreAt = 0;
+
+    /** Cluster host to fail-stop; -1 = no crash. */
+    int crashHost = -1;
+    /** When the crash cuts the host's access links. */
+    Tick crashAt = 0;
+    /** When the host's links come back; 0 = stays down. */
+    Tick recoverAt = 0;
+
+    /** True when any fault is scheduled; false = zero-fault bypass. */
+    bool enabled() const;
+
+    bool wantsLoss() const { return wireLoss > 0.0 || wireCorrupt > 0.0; }
+    bool wantsFlap() const { return flapDown > 0 && flapCycles > 0; }
+    bool wantsRingDegrade() const { return ringSize > 0; }
+    bool wantsCrash() const { return crashHost >= 0; }
+
+    /**
+     * Build a plan from the `fault.*` keys in @p params. Unknown
+     * `fault.*` keys and out-of-range values are fatal (config
+     * errors); non-fault keys are ignored. A params blob without
+     * fault keys yields a disabled plan.
+     */
+    static FaultPlan fromParams(const PolicyParams &params);
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_FAULT_PLAN_HH_

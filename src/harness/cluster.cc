@@ -2,8 +2,11 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "cluster/dispatch.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
 #include "harness/policy_registry.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -40,6 +43,15 @@ ClusterExperiment::ClusterExperiment(ClusterConfig config)
               "extra observers");
     if (!DispatchRegistry::instance().has(config_.dispatch))
         fatal("unknown dispatch policy '" + config_.dispatch + "'");
+
+    // Surface fault/retry config errors at construction, like every
+    // other config error.
+    const FaultPlan plan = FaultPlan::fromParams(config_.base.params);
+    ClientRetryPolicy::fromParams(config_.base.params);
+    if (plan.flapHost >= config_.numHosts)
+        fatal("fault.flap_host out of range");
+    if (plan.crashHost >= config_.numHosts)
+        fatal("fault.crash_host out of range");
 }
 
 ExperimentConfig
@@ -134,6 +146,67 @@ ClusterExperiment::run()
     // The configured rate is the cluster's offered load.
     spec.rps /= static_cast<double>(config_.clientGroups);
 
+    // --- Fault injection ----------------------------------------------
+    // Built after every pre-existing component so the injector's Rng
+    // fork is the last one taken: a disabled plan leaves all other
+    // streams untouched and the run byte-identical to a fault-free
+    // build.
+    const FaultPlan fault_plan =
+        FaultPlan::fromParams(config_.base.params);
+    const ClientRetryPolicy retry =
+        ClientRetryPolicy::fromParams(config_.base.params);
+    if (retry.enabled())
+        for (Group &group : groups)
+            group.client->setRetryPolicy(retry);
+
+    std::unique_ptr<FaultInjector> injector;
+    if (fault_plan.enabled()) {
+        injector = std::make_unique<FaultInjector>(eq, fault_plan,
+                                                   rng.fork());
+        // Loss/corruption live on the host access links (switch port
+        // down, host uplink up), in topology order.
+        for (int id = 0; id < config_.numHosts; ++id) {
+            injector->addLossyWire(sw.downlink(id));
+            injector->addLossyWire(
+                hosts[static_cast<std::size_t>(id)]->uplink());
+        }
+        if (fault_plan.wantsFlap()) {
+            std::vector<Wire *> flapping;
+            for (int id = 0; id < config_.numHosts; ++id) {
+                if (fault_plan.flapHost >= 0 &&
+                    fault_plan.flapHost != id)
+                    continue;
+                flapping.push_back(&sw.downlink(id));
+                flapping.push_back(
+                    &hosts[static_cast<std::size_t>(id)]->uplink());
+            }
+            injector->addFlapGroup(std::move(flapping));
+        }
+        if (fault_plan.wantsRingDegrade())
+            for (std::unique_ptr<ClusterHost> &host : hosts)
+                injector->addDegradableNic(host->nic());
+        if (fault_plan.wantsCrash()) {
+            // Fail-stop from the network's point of view: both access
+            // links go dark; the host itself keeps simulating (its
+            // power draw during the outage is part of the result).
+            Wire *down_link = &sw.downlink(fault_plan.crashHost);
+            Wire *up_link =
+                &hosts[static_cast<std::size_t>(fault_plan.crashHost)]
+                     ->uplink();
+            injector->trackWire(*down_link);
+            injector->trackWire(*up_link);
+            injector->scheduleCrash(
+                [down_link, up_link] {
+                    down_link->setLinkDown(true);
+                    up_link->setLinkDown(true);
+                },
+                [down_link, up_link] {
+                    down_link->setLinkDown(false);
+                    up_link->setLinkDown(false);
+                });
+        }
+    }
+
     // --- Run ----------------------------------------------------------
     for (std::unique_ptr<ClusterHost> &host : hosts)
         host->start();
@@ -147,8 +220,10 @@ ClusterExperiment::run()
     Tick measure_start = eq.now();
     for (std::unique_ptr<ClusterHost> &host : hosts)
         host->beginMeasurement(measure_start);
-    for (Group &group : groups)
+    for (Group &group : groups) {
         group.client->latencies().clear();
+        group.client->attemptLatencies().clear();
+    }
 
     Tick end = config_.base.warmup + config_.base.duration;
     eq.runUntil(end);
@@ -161,10 +236,17 @@ ClusterExperiment::run()
     // --- Collect ------------------------------------------------------
     ClusterResult result;
     LatencyRecorder merged;
+    LatencyRecorder merged_attempts;
     for (Group &group : groups) {
         merged.merge(group.client->latencies());
+        merged_attempts.merge(group.client->attemptLatencies());
         result.requestsSent += group.client->requestsSent();
         result.responsesReceived += group.client->responsesReceived();
+        result.requestsTimedOut += group.client->requestsTimedOut();
+        result.retransmits += group.client->retransmits();
+        result.requestsInFlight += group.client->requestsInFlight();
+        result.duplicateResponses +=
+            group.client->duplicateResponses();
     }
     result.slo = config_.base.app.slo;
     result.p50 = merged.percentile(50.0);
@@ -177,11 +259,29 @@ ClusterExperiment::run()
     result.responsesReturned = sw.totalResponsesReturned();
     result.switchPortDrops = sw.portDrops();
     result.strayResponses = stray;
+    result.ejections = sw.totalEjections();
+    result.requestsRerouted = sw.requestsRerouted();
+    result.lateResponses = sw.lateResponses();
+    result.attemptP99 = merged_attempts.percentile(99.0);
+    if (injector) {
+        result.faultPacketsLost = injector->packetsFaultLost();
+        result.faultPacketsCorrupted = injector->packetsCorrupted();
+        result.linkDownDrops = injector->packetsLinkDownLost();
+    }
+    result.availability =
+        result.requestsSent == 0
+            ? 1.0
+            : static_cast<double>(result.responsesReceived) /
+                  static_cast<double>(result.requestsSent);
+    result.goodputRps =
+        static_cast<double>(result.responsesReceived) /
+        toSeconds(sim_end);
 
     const double measured_seconds = toSeconds(sim_end - measure_start);
     for (const std::unique_ptr<ClusterHost> &host : hosts) {
         ClusterHostResult hr = host->collect(sim_end);
         hr.avgPowerWatts = hr.energyJoules / measured_seconds;
+        hr.ejections = sw.ejections(hr.id);
         result.energyJoules += hr.energyJoules;
         result.hostNicDrops += hr.nicDrops;
         result.hosts.push_back(std::move(hr));

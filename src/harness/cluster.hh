@@ -107,6 +107,26 @@ struct ClusterResult
     std::uint64_t strayResponses = 0;
     /**@}*/
 
+    /** @name Fault/robustness accounting (all zero in fault-free runs) */
+    /**@{*/
+    std::uint64_t requestsTimedOut = 0;   //!< client retry budget spent
+    std::uint64_t retransmits = 0;        //!< client retransmissions
+    std::uint64_t requestsInFlight = 0;   //!< unanswered at sim end
+    std::uint64_t duplicateResponses = 0; //!< answers after give-up
+    std::uint64_t faultPacketsLost = 0;   //!< injected wire loss
+    std::uint64_t faultPacketsCorrupted = 0; //!< injected corruption
+    std::uint64_t linkDownDrops = 0;      //!< lost to downed links
+    std::uint64_t ejections = 0;          //!< failure-detector ejections
+    std::uint64_t requestsRerouted = 0;   //!< steered around ejections
+    std::uint64_t lateResponses = 0;      //!< from written-off hosts
+    /** Completed / sent; 1 when nothing was sent. */
+    double availability = 1.0;
+    /** Completions per second over the whole run (goodput). */
+    double goodputRps = 0.0;
+    /** P99 of the winning attempt only (0 without client retry). */
+    Tick attemptP99 = 0;
+    /**@}*/
+
     std::vector<ClusterHostResult> hosts;
 };
 

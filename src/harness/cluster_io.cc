@@ -108,6 +108,12 @@ setClusterConfigValue(ClusterConfig &c, const std::string &key,
     } else if (key == "cluster.port_queue") {
         c.fabric.portQueueLimit =
             static_cast<std::size_t>(parseInt(value, key));
+    } else if (key == "cluster.health_interval") {
+        c.fabric.healthInterval = PolicyParams::parseTick(value, key);
+    } else if (key == "cluster.health_timeout") {
+        c.fabric.healthTimeout = PolicyParams::parseTick(value, key);
+    } else if (key == "cluster.eject_duration") {
+        c.fabric.ejectDuration = PolicyParams::parseTick(value, key);
     } else if (key.rfind("cluster.", 0) == 0) {
         fatal("unknown config key '" + key + "'");
     } else if (splitHostKey(key, host, rest)) {
@@ -152,6 +158,10 @@ printClusterConfig(const ClusterConfig &c)
         formatTick(c.fabric.portPropagation));
     put("cluster.port_queue",
         std::to_string(c.fabric.portQueueLimit));
+    put("cluster.health_interval",
+        formatTick(c.fabric.healthInterval));
+    put("cluster.health_timeout", formatTick(c.fabric.healthTimeout));
+    put("cluster.eject_duration", formatTick(c.fabric.ejectDuration));
 
     for (std::size_t i = 0; i < c.hosts.size(); ++i) {
         const HostSpec &spec = c.hosts[i];
@@ -240,7 +250,21 @@ appendClusterResultRecord(ResultWriter &writer,
         .set("responses_returned", result.responsesReturned)
         .set("switch_port_drops", result.switchPortDrops)
         .set("host_nic_drops", result.hostNicDrops)
-        .set("stray_responses", result.strayResponses);
+        .set("stray_responses", result.strayResponses)
+        .set("requests_timed_out", result.requestsTimedOut)
+        .set("retransmits", result.retransmits)
+        .set("requests_in_flight", result.requestsInFlight)
+        .set("duplicate_responses", result.duplicateResponses)
+        .set("fault_pkts_lost", result.faultPacketsLost)
+        .set("fault_pkts_corrupted", result.faultPacketsCorrupted)
+        .set("link_down_drops", result.linkDownDrops)
+        .set("ejections", result.ejections)
+        .set("requests_rerouted", result.requestsRerouted)
+        .set("late_responses", result.lateResponses)
+        .set("availability", result.availability)
+        .set("goodput_rps", result.goodputRps)
+        .set("attempt_p99_ns",
+             static_cast<std::int64_t>(result.attemptP99));
 
     // Per-host summary columns.
     for (const ClusterHostResult &host : result.hosts) {
@@ -255,7 +279,8 @@ appendClusterResultRecord(ResultWriter &writer,
             .set(p + "busy_fraction", host.busyFraction)
             .set(p + "nic_drops", host.nicDrops)
             .set(p + "pkts_intr_mode", host.pktsIntrMode)
-            .set(p + "pkts_poll_mode", host.pktsPollMode);
+            .set(p + "pkts_poll_mode", host.pktsPollMode)
+            .set(p + "ejections", host.ejections);
     }
     return rec;
 }

@@ -5,6 +5,8 @@
 #include "cpu/core.hh"
 #include "cpu/cpu_profile.hh"
 #include "cpu/package_power.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
 #include "governors/switchable_idle.hh"
 #include "harness/policy_registry.hh"
 #include "net/wire.hh"
@@ -48,6 +50,15 @@ Experiment::Experiment(ExperimentConfig config)
         fatal("Experiment requires at least one core");
     if (config_.duration <= 0)
         fatal("Experiment duration must be positive");
+
+    // Surface fault/retry config errors here, like every other config
+    // error; host-indexed faults only make sense behind a switch.
+    const FaultPlan plan = FaultPlan::fromParams(config_.params);
+    ClientRetryPolicy::fromParams(config_.params);
+    if (plan.crashHost >= 0)
+        fatal("fault.crash_host requires a cluster run");
+    if (plan.flapHost >= 0)
+        fatal("fault.flap_host requires a cluster run");
 }
 
 std::pair<double, double>
@@ -67,6 +78,16 @@ Experiment::profileThresholds(const ExperimentConfig &config)
     pcfg.duration = pcfg.burst.period; // one burst + its drain
     pcfg.collectTraces = false;
     pcfg.collectLatencyTrace = false;
+
+    // Thresholds describe a *healthy* system: profile without any
+    // injected faults or client retries (also keeps cluster-derived
+    // configs from tripping the cluster-only fault key checks).
+    std::vector<std::string> stripped;
+    for (const auto &[key, value] : pcfg.params)
+        if (key.rfind("fault.", 0) == 0 || key.rfind("client.", 0) == 0)
+            stripped.push_back(key);
+    for (const std::string &key : stripped)
+        pcfg.params.erase(key);
 
     ThresholdProfiler profiler(pcfg.numCores);
     profiler.beginBurst();
@@ -98,6 +119,8 @@ Experiment::run()
 
     Wire client_to_server(eq);
     Wire server_to_client(eq);
+    client_to_server.setLabel("client->server");
+    server_to_client.setLabel("server->client");
     client_to_server.setSink(
         [&nic](const Packet &pkt) { nic.receive(pkt); });
     nic.setTxWire(&server_to_client);
@@ -178,6 +201,30 @@ Experiment::run()
         eq.schedule(load_events.back().get(), change.at);
     }
 
+    // --- Fault injection ----------------------------------------------
+    // Built after every pre-existing component so the injector's Rng
+    // fork is the last one taken: a disabled plan leaves all other
+    // streams untouched and the run byte-identical to a fault-free
+    // build.
+    const FaultPlan fault_plan = FaultPlan::fromParams(config_.params);
+    const ClientRetryPolicy retry =
+        ClientRetryPolicy::fromParams(config_.params);
+    if (retry.enabled())
+        client.setRetryPolicy(retry);
+
+    std::unique_ptr<FaultInjector> injector;
+    if (fault_plan.enabled()) {
+        injector = std::make_unique<FaultInjector>(eq, fault_plan,
+                                                   rng.fork());
+        injector->addLossyWire(client_to_server);
+        injector->addLossyWire(server_to_client);
+        if (fault_plan.wantsFlap())
+            injector->addFlapGroup(
+                {&client_to_server, &server_to_client});
+        if (fault_plan.wantsRingDegrade())
+            injector->addDegradableNic(nic);
+    }
+
     // --- Run -----------------------------------------------------------
     os.start();
     policy.governor->start();
@@ -189,6 +236,7 @@ Experiment::run()
     Tick measure_start = eq.now();
     package.startMeasurement(measure_start);
     client.latencies().clear();
+    client.attemptLatencies().clear();
 
     Tick end = config_.warmup + config_.duration;
     eq.runUntil(end);
@@ -212,6 +260,21 @@ Experiment::run()
 
     result.requestsSent = client.requestsSent();
     result.responsesReceived = client.responsesReceived();
+    result.requestsTimedOut = client.requestsTimedOut();
+    result.retransmits = client.retransmits();
+    result.requestsInFlight = client.requestsInFlight();
+    result.duplicateResponses = client.duplicateResponses();
+    if (injector) {
+        result.faultPacketsLost = injector->packetsFaultLost();
+        result.faultPacketsCorrupted = injector->packetsCorrupted();
+        result.linkDownDrops = injector->packetsLinkDownLost();
+    }
+    result.availability =
+        result.requestsSent == 0
+            ? 1.0
+            : static_cast<double>(result.responsesReceived) /
+                  static_cast<double>(result.requestsSent);
+    result.attemptP99 = client.attemptLatencies().percentile(99.0);
     result.nicDrops = nic.packetsDropped();
     result.nicRxHarvested = nic.rxHarvested();
     result.nicTxConsumed = nic.txConsumed();

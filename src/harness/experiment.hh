@@ -133,6 +133,21 @@ struct ExperimentResult
     double niThresholdUsed = 0.0;
     double cuThresholdUsed = 0.0;
 
+    /** @name Fault/robustness accounting (all zero in fault-free runs) */
+    /**@{*/
+    std::uint64_t requestsTimedOut = 0;   //!< client retry budget spent
+    std::uint64_t retransmits = 0;        //!< client retransmissions
+    std::uint64_t requestsInFlight = 0;   //!< unanswered at sim end
+    std::uint64_t duplicateResponses = 0; //!< answers after give-up
+    std::uint64_t faultPacketsLost = 0;   //!< injected wire loss
+    std::uint64_t faultPacketsCorrupted = 0; //!< injected corruption
+    std::uint64_t linkDownDrops = 0;      //!< lost to downed links
+    /** Completed / sent; 1 when nothing was sent. */
+    double availability = 1.0;
+    /** P99 of the winning attempt only (0 without client retry). */
+    Tick attemptP99 = 0;
+    /**@}*/
+
     /** Time-series traces (only with collectTraces). */
     std::shared_ptr<TraceCollector> traces;
     /** CC6 entry times on the watched core (with collectTraces). */

@@ -45,7 +45,17 @@ appendResultRecord(ResultWriter &writer, const ExperimentConfig &config,
         .set("cc1_wakes", result.cc1Wakes)
         .set("busy_fraction", result.busyFraction)
         .set("ni_threshold_used", result.niThresholdUsed)
-        .set("cu_threshold_used", result.cuThresholdUsed);
+        .set("cu_threshold_used", result.cuThresholdUsed)
+        .set("requests_timed_out", result.requestsTimedOut)
+        .set("retransmits", result.retransmits)
+        .set("requests_in_flight", result.requestsInFlight)
+        .set("duplicate_responses", result.duplicateResponses)
+        .set("fault_pkts_lost", result.faultPacketsLost)
+        .set("fault_pkts_corrupted", result.faultPacketsCorrupted)
+        .set("link_down_drops", result.linkDownDrops)
+        .set("availability", result.availability)
+        .set("attempt_p99_ns",
+             static_cast<std::int64_t>(result.attemptP99));
     return rec;
 }
 

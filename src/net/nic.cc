@@ -29,6 +29,14 @@ Nic::~Nic()
 }
 
 void
+Nic::setRxRingSize(std::size_t slots)
+{
+    if (slots < 1)
+        fatal("Nic rx ring must hold at least one descriptor");
+    config_.rxRingSize = slots;
+}
+
+void
 Nic::addPacketObserver(PacketObserver obs)
 {
     observers_.push_back(std::move(obs));

@@ -59,6 +59,13 @@ class Nic
     const NicConfig &config() const { return config_; }
     int numQueues() const { return config_.numQueues; }
 
+    /**
+     * Resize the per-queue Rx descriptor ring at runtime (fault
+     * injection: ring degradation). Packets already queued stay; the
+     * new bound applies to subsequent arrivals.
+     */
+    void setRxRingSize(std::size_t slots);
+
     /** Attach the CPU-side interrupt handler (one for all queues). */
     void setIrqHandler(IrqHandler handler) { irq_ = std::move(handler); }
 

@@ -18,14 +18,48 @@ Wire::~Wire()
 }
 
 void
+Wire::setLinkDown(bool down)
+{
+    if (down == linkDown_)
+        return;
+    linkDown_ = down;
+    if (down) {
+        // Everything on the line is lost: the signal stops, nothing
+        // reaches the far end.
+        linkDownLost_ += inFlight_.size();
+        inFlight_.clear();
+        deliveryTimes_.clear();
+        corruptFlags_.clear();
+        eq_.deschedule(&deliverEvent_);
+    }
+}
+
+void
 Wire::send(const Packet &pkt)
 {
     if (!sink_) {
         std::string which =
             label_.empty() ? std::string("<unlabelled>") : label_;
-        panic("Wire::send on wire '" + which +
+        fatal("Wire::send on wire '" + which +
               "' before setSink(): every wire must be connected to a "
               "receiver before traffic starts (mis-wired topology?)");
+    }
+    if (linkDown_) {
+        ++linkDownLost_;
+        return;
+    }
+    bool corrupt = false;
+    if (faultFilter_) {
+        switch (faultFilter_(pkt)) {
+          case WireFault::kNone:
+            break;
+          case WireFault::kDrop:
+            ++faultLost_;
+            return;
+          case WireFault::kCorrupt:
+            corrupt = true;
+            break;
+        }
     }
     if (queueLimit_ != 0 && inFlight_.size() >= queueLimit_) {
         ++dropped_;
@@ -44,6 +78,7 @@ Wire::send(const Packet &pkt)
     // so the head always has the earliest delivery.
     inFlight_.push_back(copy);
     deliveryTimes_.push_back(lineIdleAt_ + propagation_);
+    corruptFlags_.push_back(corrupt);
     if (!deliverEvent_.scheduled())
         eq_.schedule(&deliverEvent_, deliveryTimes_.front());
 }
@@ -53,8 +88,16 @@ Wire::deliverHead()
 {
     while (!inFlight_.empty() && deliveryTimes_.front() <= eq_.now()) {
         Packet pkt = inFlight_.front();
+        bool corrupt = corruptFlags_.front();
         inFlight_.pop_front();
         deliveryTimes_.pop_front();
+        corruptFlags_.pop_front();
+        if (corrupt) {
+            // A mangled frame consumed line time but fails the FCS
+            // check: the receiver discards it without ever seeing it.
+            ++corrupted_;
+            continue;
+        }
         ++delivered_;
         bytesDelivered_ += pkt.sizeBytes;
         sink_(pkt);

@@ -12,6 +12,15 @@
  * output-queued); packets arriving at a full queue are dropped and
  * accounted, never silently lost. Labels make mis-wiring diagnosable:
  * a send() on a sink-less wire names the wire that was left dangling.
+ *
+ * Fault hooks (driven by fault/FaultInjector): an optional per-packet
+ * fault filter can drop a packet at ingress (loss) or mark it corrupt
+ * — a corrupt packet still occupies the line (it serialises and
+ * propagates) but is discarded at the receiver, modelling an FCS-drop.
+ * A wire can also be administratively downed (link flap, host crash):
+ * packets in flight are lost and sends while down are counted drops,
+ * never errors. All fault paths are separately accounted so
+ * conservation checks can tell loss modes apart.
  */
 
 #ifndef NMAPSIM_NET_WIRE_HH_
@@ -28,11 +37,19 @@
 
 namespace nmapsim {
 
+/** Verdict of a per-packet fault filter. */
+enum class WireFault {
+    kNone,    //!< deliver normally
+    kDrop,    //!< lose the packet at ingress (never serialises)
+    kCorrupt, //!< serialise, then FCS-drop at the receiver
+};
+
 /** One direction of a full-duplex link. */
 class Wire
 {
   public:
     using Sink = std::function<void(const Packet &)>;
+    using FaultFilter = std::function<WireFault(const Packet &)>;
 
     /**
      * @param eq            simulation event queue
@@ -62,6 +79,25 @@ class Wire
     void setQueueLimit(std::size_t packets) { queueLimit_ = packets; }
     std::size_t queueLimit() const { return queueLimit_; }
 
+    /**
+     * Install a per-packet fault filter consulted on every send()
+     * (fault injection); pass an empty function to remove it. The
+     * filter runs before queue-limit accounting, so injected loss and
+     * congestion drops stay separately attributable.
+     */
+    void setFaultFilter(FaultFilter filter)
+    {
+        faultFilter_ = std::move(filter);
+    }
+
+    /**
+     * Administratively down (or restore) the link. Downing flushes
+     * packets in flight into the link-down drop counters; sends while
+     * down are counted drops, not errors.
+     */
+    void setLinkDown(bool down);
+    bool linkDown() const { return linkDown_; }
+
     /** Enqueue a packet for transmission now. */
     void send(const Packet &pkt);
 
@@ -71,6 +107,12 @@ class Wire
     std::uint64_t bytesDelivered() const { return bytesDelivered_; }
     std::uint64_t packetsDropped() const { return dropped_; }
     std::uint64_t bytesDropped() const { return bytesDropped_; }
+    /** Packets lost to the injected-loss fault filter. */
+    std::uint64_t packetsFaultLost() const { return faultLost_; }
+    /** Packets corrupted in flight (discarded at the receiver). */
+    std::uint64_t packetsCorrupted() const { return corrupted_; }
+    /** Packets lost to a downed link (in flight or sent while down). */
+    std::uint64_t packetsLinkDownLost() const { return linkDownLost_; }
     /** Packets queued on the wire right now (sent, not yet delivered). */
     std::size_t packetsInFlight() const { return inFlight_.size(); }
     /**@}*/
@@ -82,16 +124,22 @@ class Wire
     double bandwidthBps_;
     Tick propagation_;
     Sink sink_;
+    FaultFilter faultFilter_;
     std::string label_;
     std::size_t queueLimit_ = 0;
+    bool linkDown_ = false;
 
     std::deque<Packet> inFlight_;
     std::deque<Tick> deliveryTimes_;
+    std::deque<bool> corruptFlags_;
     Tick lineIdleAt_ = 0; //!< when the transmitter finishes current work
     std::uint64_t delivered_ = 0;
     std::uint64_t bytesDelivered_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t bytesDropped_ = 0;
+    std::uint64_t faultLost_ = 0;
+    std::uint64_t corrupted_ = 0;
+    std::uint64_t linkDownLost_ = 0;
 
     EventFunctionWrapper deliverEvent_;
 };

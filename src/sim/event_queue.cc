@@ -1,7 +1,8 @@
 #include "sim/event_queue.hh"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "sim/logging.hh"
 
 namespace nmapsim {
 
@@ -14,8 +15,11 @@ Event::~Event()
 {
     // Owning components must deschedule before destruction; firing a
     // destroyed event would be use-after-free. The queue tolerates the
-    // stale heap entry (token mismatch) but only while the object lives.
-    assert(!scheduled_ && "event destroyed while scheduled");
+    // stale heap entry (token mismatch) but only while the object
+    // lives. panic() from a destructor reaches std::terminate — the
+    // intended fail-stop, and unlike assert() it survives Release.
+    if (scheduled_)
+        panic("event destroyed while scheduled");
 }
 
 EventFunctionWrapper::EventFunctionWrapper(std::function<void()> callback,
@@ -69,7 +73,8 @@ EventQueue::step()
         Event *ev = e.event;
         if (!ev->scheduled_ || ev->token_ != e.token)
             continue; // stale entry from a deschedule/reschedule
-        assert(e.when >= now_);
+        if (e.when < now_)
+            panic("event queue went backwards in time");
         now_ = e.when;
         ev->scheduled_ = false;
         ev->token_ = 0;

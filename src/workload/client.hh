@@ -14,7 +14,11 @@
 #define NMAPSIM_WORKLOAD_CLIENT_HH_
 
 #include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
 
+#include "harness/policy_params.hh"
 #include "net/packet.hh"
 #include "net/wire.hh"
 #include "sim/event_queue.hh"
@@ -23,6 +27,33 @@
 #include "workload/app_profile.hh"
 
 namespace nmapsim {
+
+/**
+ * Per-request timeout/retransmission policy (`client.*` config keys).
+ *
+ * Disabled by default (timeout == 0): the client fires and forgets,
+ * exactly the pre-fault behaviour. When enabled, every request is
+ * tracked until its response arrives; a request unanswered after the
+ * timeout is retransmitted with the wait doubling each attempt
+ * (capped at backoffCap when nonzero) until maxRetries
+ * retransmissions are spent, at which point the request is counted as
+ * timed out. This is what turns injected loss into visible latency
+ * instead of coordinated omission.
+ */
+struct ClientRetryPolicy {
+    Tick timeout = 0;    //!< base per-request timeout; 0 disables
+    int maxRetries = 0;  //!< retransmissions after the first attempt
+    Tick backoffCap = 0; //!< upper bound on the backoff wait; 0 = none
+
+    bool enabled() const { return timeout > 0; }
+
+    /**
+     * Read `client.timeout` / `client.retries` /
+     * `client.backoff_cap` from @p params; unknown `client.*` keys
+     * and nonsensical values are fatal.
+     */
+    static ClientRetryPolicy fromParams(const PolicyParams &params);
+};
 
 /**
  * Spacing between independent clients' flow spaces sharing one
@@ -46,6 +77,19 @@ class Client
     Client(EventQueue &eq, Wire &to_server, const AppProfile &profile,
            int num_connections, std::uint32_t flow_base = 0);
 
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Enable request tracking with timeouts and retransmission; must
+     * be set before the first request. With the default (disabled)
+     * policy the send/receive paths are byte-identical to a client
+     * built without retry support.
+     */
+    void setRetryPolicy(const ClientRetryPolicy &policy);
+
     /** First flow hash of this client's flow space. */
     std::uint32_t flowBase() const { return flowBase_; }
 
@@ -66,12 +110,38 @@ class Client
     /** Wire sink for server responses. */
     void onResponse(const Packet &pkt);
 
-    /** All completed-request latencies. */
+    /** All completed-request latencies (first send to completion). */
     LatencyRecorder &latencies() { return latencies_; }
     const LatencyRecorder &latencies() const { return latencies_; }
 
+    /**
+     * Latency of the *winning attempt* only (last transmission to
+     * response); diverges from latencies() once retransmission kicks
+     * in and shows what the network did, not what the user saw.
+     */
+    LatencyRecorder &attemptLatencies() { return attemptLatencies_; }
+    const LatencyRecorder &attemptLatencies() const
+    {
+        return attemptLatencies_;
+    }
+
     std::uint64_t requestsSent() const { return sent_; }
     std::uint64_t responsesReceived() const { return received_; }
+
+    /** @name Retry/timeout accounting (all zero when retry is off) */
+    /**@{*/
+    std::uint64_t requestsTimedOut() const { return timedOut_; }
+    std::uint64_t retransmits() const { return retransmits_; }
+    std::uint64_t duplicateResponses() const { return duplicates_; }
+    /**@}*/
+
+    /**
+     * Requests sent but neither answered nor timed out. Nonzero at
+     * the end of a run means the conservation identity
+     * sent == received + timedOut + inFlight has unfinished business
+     * (lost without retry, or still on the wire).
+     */
+    std::uint64_t requestsInFlight() const;
 
     /**
      * P99 of responses completed since the last call, then reset the
@@ -81,6 +151,20 @@ class Client
     Tick windowP99AndReset();
 
   private:
+    /** Book-keeping for one unanswered tracked request. */
+    struct Outstanding {
+        int conn = 0;
+        Tick firstSend = 0;   //!< first transmission (completion base)
+        Tick lastSend = 0;    //!< latest transmission
+        int attempts = 1;     //!< transmissions so far
+        Tick deadline = 0;    //!< when the current attempt expires
+    };
+
+    void transmit(std::uint64_t id, Outstanding &entry);
+    void onTimeoutDeadline();
+    void armTimeoutEvent();
+    Tick backoffFor(int attempts) const;
+
     EventQueue &eq_;
     Wire &toServer_;
     AppProfile profile_;
@@ -88,10 +172,21 @@ class Client
     std::uint32_t flowBase_;
 
     LatencyRecorder latencies_;
+    LatencyRecorder attemptLatencies_;
     LatencyRecorder window_;
     std::uint64_t nextRequestId_ = 1;
     std::uint64_t sent_ = 0;
     std::uint64_t received_ = 0;
+
+    ClientRetryPolicy retry_;
+    std::map<std::uint64_t, Outstanding> outstanding_;
+    /** (deadline, requestId) pairs mirroring outstanding_. */
+    std::set<std::pair<Tick, std::uint64_t>> deadlines_;
+    std::uint64_t timedOut_ = 0;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t duplicates_ = 0;
+
+    EventFunctionWrapper timeoutEvent_;
 };
 
 } // namespace nmapsim

@@ -103,5 +103,41 @@ TEST(DeterminismTest, ClusterOutputByteIdenticalAcrossRuns)
     EXPECT_EQ(first, second);
 }
 
+/** Same seed + same FaultPlan ⇒ byte-identical output: injected loss
+ *  and client retries draw only from their own forked streams. */
+TEST(DeterminismTest, FaultySingleHostOutputByteIdenticalAcrossRuns)
+{
+    ExperimentConfig cfg = smallSingleHost();
+    cfg.params.set("fault.wire_loss", "0.02");
+    cfg.params.set("fault.wire_corrupt", "0.01");
+    cfg.params.setTick("client.timeout", milliseconds(2));
+    cfg.params.set("client.retries", 3);
+    const std::string first = renderSingleHost(cfg);
+    const std::string second = renderSingleHost(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+/** The hardest path: whole-host crash + recovery, failure-detector
+ *  ejection/readmission and retries, twice, byte-identical. */
+TEST(DeterminismTest, FaultyClusterOutputByteIdenticalAcrossRuns)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.dispatch = "least-outstanding";
+    cfg.fabric.healthInterval = milliseconds(1);
+    cfg.fabric.healthTimeout = milliseconds(3);
+    cfg.fabric.ejectDuration = milliseconds(5);
+    cfg.base.params.set("fault.wire_loss", "0.01");
+    cfg.base.params.set("fault.crash_host", 1);
+    cfg.base.params.setTick("fault.crash_at", milliseconds(15));
+    cfg.base.params.setTick("fault.recover_at", milliseconds(30));
+    cfg.base.params.setTick("client.timeout", milliseconds(2));
+    cfg.base.params.set("client.retries", 2);
+    const std::string first = renderCluster(cfg);
+    const std::string second = renderCluster(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
 } // namespace
 } // namespace nmapsim

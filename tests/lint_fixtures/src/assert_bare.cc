@@ -1,0 +1,12 @@
+// Fixture: trips assert-in-model (and only that rule).
+#include <cassert>
+
+namespace nmapsim {
+
+void
+checkInvariant(int depth)
+{
+    assert(depth >= 0);
+}
+
+} // namespace nmapsim

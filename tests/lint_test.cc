@@ -74,6 +74,7 @@ struct FixtureCase
 };
 
 constexpr FixtureCase kFixtures[] = {
+    {"src/assert_bare.cc", "assert-in-model"},
     {"src/nondet.cc", "nondet-source"},
     {"src/unordered_iter.cc", "unordered-iter"},
     {"src/raw_output.cc", "raw-output"},
@@ -149,8 +150,8 @@ TEST(LintTest, ListRulesNamesEveryRule)
     const RunResult r = run("--list-rules");
     EXPECT_EQ(r.exitCode, 0);
     for (const char *rule :
-         {"nondet-source", "unordered-iter", "raw-output",
-          "header-hygiene", "register-hygiene"})
+         {"assert-in-model", "nondet-source", "unordered-iter",
+          "raw-output", "header-hygiene", "register-hygiene"})
         EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
 }
 

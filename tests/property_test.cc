@@ -227,6 +227,49 @@ INSTANTIATE_TEST_SUITE_P(RandomConfigs, PacketConservation,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u,
                                            66u));
 
+class LossConservation : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/**
+ * With injected wire loss and client retries, the fire-and-forget
+ * identity becomes exact bookkeeping: every request the client sent is
+ * answered, timed out, or still in flight — nothing vanishes, however
+ * many transmissions the loss ate.
+ */
+TEST_P(LossConservation, SentEqualsAnsweredPlusTimedOutPlusInFlight)
+{
+    const unsigned seed = GetParam();
+    Rng rng(seed);
+
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.freqPolicy = rng.bernoulli(0.5) ? "ondemand" : "performance";
+    cfg.load = LoadLevel::kMed;
+    cfg.seed = seed;
+    cfg.warmup = milliseconds(30);
+    cfg.duration = milliseconds(150);
+    cfg.params.set("fault.wire_loss",
+                   PolicyParams::formatDouble(rng.uniform(0.01, 0.1)));
+    cfg.params.setTick("client.timeout", milliseconds(2));
+    cfg.params.set("client.retries", 3);
+    ExperimentResult r = Experiment(cfg).run();
+
+    // The loss actually bit, and retries actually fought back.
+    EXPECT_GT(r.faultPacketsLost, 0u);
+    EXPECT_GT(r.retransmits, 0u);
+
+    // Exact conservation at the instant the run ended.
+    EXPECT_EQ(r.requestsSent, r.responsesReceived +
+                                  r.requestsTimedOut +
+                                  r.requestsInFlight);
+    EXPECT_LE(r.availability, 1.0);
+    EXPECT_GT(r.availability, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSeeds, LossConservation,
+                         ::testing::Values(7u, 8u, 9u));
+
 /** Every registered dispatch policy, so a newly registered policy is
  *  automatically swept. */
 std::vector<std::string>

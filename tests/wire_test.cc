@@ -135,19 +135,86 @@ TEST(WireTest, QueueLimitDropsOverflowAndAccountsIt)
     EXPECT_EQ(wire.packetsDropped(), 2u);
 }
 
-TEST(WireTest, SendBeforeSinkPanicsNamingTheWire)
+TEST(WireTest, SendBeforeSinkIsAFatalNamingTheWire)
 {
     EventQueue eq;
     Wire wire(eq, 10e9, 0);
     wire.setLabel("switch->host3");
+    // A dangling wire is a rig misconfiguration (config error), not a
+    // model invariant violation: FatalError, naming the wire.
     try {
         wire.send(makePacket(1, 64));
-        FAIL() << "expected PanicError";
-    } catch (const PanicError &err) {
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
         EXPECT_NE(std::string(err.what()).find("switch->host3"),
                   std::string::npos)
             << err.what();
     }
+}
+
+TEST(WireTest, DownedLinkCountsSendsAsDropsNotErrors)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    std::uint64_t delivered = 0;
+    wire.setSink([&](const Packet &) { ++delivered; });
+    wire.setLinkDown(true);
+    wire.send(makePacket(1, 200));
+    wire.send(makePacket(2, 200));
+    eq.runAll();
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(wire.packetsLinkDownLost(), 2u);
+    EXPECT_EQ(wire.packetsDropped(), 0u); // distinct from queue drops
+
+    wire.setLinkDown(false);
+    wire.send(makePacket(3, 200));
+    eq.runAll();
+    EXPECT_EQ(delivered, 1u);
+}
+
+TEST(WireTest, DowningFlushesInFlightPackets)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, microseconds(5));
+    std::uint64_t delivered = 0;
+    wire.setSink([&](const Packet &) { ++delivered; });
+    wire.send(makePacket(1, 1250));
+    wire.send(makePacket(2, 1250));
+    // Cut the link while both packets are still on it.
+    EventFunctionWrapper cut([&] { wire.setLinkDown(true); }, "cut");
+    eq.schedule(&cut, microseconds(1));
+    eq.runAll();
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(wire.packetsLinkDownLost(), 2u);
+    EXPECT_EQ(wire.packetsInFlight(), 0u);
+}
+
+TEST(WireTest, FaultFilterDropsAndCorrupts)
+{
+    EventQueue eq;
+    Wire wire(eq, 10e9, 0);
+    std::uint64_t delivered = 0;
+    wire.setSink([&](const Packet &) { ++delivered; });
+    // Drop odd ids at ingress, corrupt id 2, deliver the rest.
+    wire.setFaultFilter([](const Packet &p) {
+        if (p.requestId % 2 == 1)
+            return WireFault::kDrop;
+        if (p.requestId == 2)
+            return WireFault::kCorrupt;
+        return WireFault::kNone;
+    });
+    for (std::uint64_t id = 1; id <= 4; ++id)
+        wire.send(makePacket(id, 200));
+    eq.runAll();
+    EXPECT_EQ(delivered, 1u); // only id 4
+    EXPECT_EQ(wire.packetsFaultLost(), 2u);    // ids 1, 3
+    EXPECT_EQ(wire.packetsCorrupted(), 1u);    // id 2
+    EXPECT_EQ(wire.packetsDelivered(), 1u);
+    // Removing the filter restores clean delivery.
+    wire.setFaultFilter(nullptr);
+    wire.send(makePacket(5, 200));
+    eq.runAll();
+    EXPECT_EQ(delivered, 2u);
 }
 
 TEST(WireTest, TinyPacketStillTakesTime)

@@ -521,6 +521,7 @@ lintPaths(const std::vector<std::string> &files, const std::string &root)
 // Defined in the registering rule TUs; calling them forces the
 // registrar statics out of a static archive (same linker dance as
 // ensureBuiltinPolicies() in src/harness/policy_registry.cc).
+void linkAssertRule();
 void linkNondetRule();
 void linkUnorderedIterRule();
 void linkRawOutputRule();
@@ -530,6 +531,7 @@ void linkRegisterHygieneRule();
 void
 ensureBuiltinRules()
 {
+    linkAssertRule();
     linkNondetRule();
     linkUnorderedIterRule();
     linkRawOutputRule();

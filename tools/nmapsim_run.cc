@@ -62,6 +62,8 @@ usage()
         "                     tunables pass through, e.g. nmap.ni_th=13;\n"
         "                     cluster keys (cluster.*, host<i>.*) switch\n"
         "                     to cluster mode\n"
+        "  --fault KEY=VALUE  fault-plan sugar: --fault wire_loss=0.01\n"
+        "                     is --set fault.wire_loss=0.01\n"
         "  --config=FILE      load a key=value config file first\n"
         "  --print-config     print the resolved config and exit\n"
         "  --json=PATH        append the run record as JSON\n"
@@ -120,6 +122,21 @@ parseFlag(int argc, char **argv, int &i)
     return f;
 }
 
+/** True when the config asks for faults or client retries: the extra
+ *  robustness rows print only then, keeping fault-free stdout
+ *  byte-identical to earlier releases. */
+bool
+faultsConfigured(const ExperimentConfig &cfg)
+{
+    for (const auto &[key, value] : cfg.params) {
+        (void)value;
+        if (key.rfind("fault.", 0) == 0 ||
+            key.rfind("client.", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
 /** Cluster mode: run, print aggregate + per-host tables, serialise. */
 int
 runCluster(const ClusterConfig &ccfg, const std::string &json_path,
@@ -159,6 +176,30 @@ runCluster(const ClusterConfig &ccfg, const std::string &json_path,
         {"switch port drops", std::to_string(r.switchPortDrops)});
     table.addRow(
         {"host NIC drops", std::to_string(r.hostNicDrops)});
+    if (faultsConfigured(cfg) || ccfg.fabric.healthInterval > 0) {
+        table.addRow({"availability",
+                      Table::num(r.availability, 4)});
+        table.addRow({"goodput (RPS)", Table::num(r.goodputRps, 0)});
+        table.addRow({"requests timed out",
+                      std::to_string(r.requestsTimedOut)});
+        table.addRow(
+            {"retransmits", std::to_string(r.retransmits)});
+        table.addRow({"requests in flight",
+                      std::to_string(r.requestsInFlight)});
+        table.addRow({"fault pkts lost",
+                      std::to_string(r.faultPacketsLost)});
+        table.addRow({"fault pkts corrupted",
+                      std::to_string(r.faultPacketsCorrupted)});
+        table.addRow({"link-down drops",
+                      std::to_string(r.linkDownDrops)});
+        table.addRow({"ejections", std::to_string(r.ejections)});
+        table.addRow({"requests rerouted",
+                      std::to_string(r.requestsRerouted)});
+        if (r.attemptP99 > 0)
+            table.addRow({"attempt P99 (us)",
+                          Table::num(toMicroseconds(r.attemptP99),
+                                     1)});
+    }
     table.print(std::cout);
 
     Table hosts({"host", "freq policy", "idle policy", "served",
@@ -258,6 +299,18 @@ main(int argc, char **argv)
                     return 2;
                 }
                 apply(kv.substr(0, eq), kv.substr(eq + 1));
+            } else if (f.name == "--fault") {
+                const std::string &kv = need(f);
+                std::size_t eq = kv.find('=');
+                if (eq == std::string::npos) {
+                    std::fprintf(
+                        stderr,
+                        "--fault expects KEY=VALUE, got '%s'\n",
+                        kv.c_str());
+                    return 2;
+                }
+                apply("fault." + kv.substr(0, eq),
+                      kv.substr(eq + 1));
             } else if (f.name == "--config") {
                 std::ifstream is(need(f));
                 if (!is) {
@@ -380,6 +433,28 @@ main(int argc, char **argv)
                 {"NI_TH used", Table::num(r.niThresholdUsed, 1)});
             table.addRow(
                 {"CU_TH used", Table::num(r.cuThresholdUsed, 2)});
+        }
+        if (faultsConfigured(cfg)) {
+            table.addRow({"availability",
+                          Table::num(r.availability, 4)});
+            table.addRow({"requests timed out",
+                          std::to_string(r.requestsTimedOut)});
+            table.addRow(
+                {"retransmits", std::to_string(r.retransmits)});
+            table.addRow({"requests in flight",
+                          std::to_string(r.requestsInFlight)});
+            table.addRow({"duplicate responses",
+                          std::to_string(r.duplicateResponses)});
+            table.addRow({"fault pkts lost",
+                          std::to_string(r.faultPacketsLost)});
+            table.addRow({"fault pkts corrupted",
+                          std::to_string(r.faultPacketsCorrupted)});
+            table.addRow({"link-down drops",
+                          std::to_string(r.linkDownDrops)});
+            if (r.attemptP99 > 0)
+                table.addRow(
+                    {"attempt P99 (us)",
+                     Table::num(toMicroseconds(r.attemptP99), 1)});
         }
         table.print(std::cout);
 
