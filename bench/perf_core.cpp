@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Simulator-core performance benchmark — the perf trajectory's anchor.
+ *
+ * Runs one fixed single-host rig and one fixed cluster rig and reports
+ * how fast the *simulator* is: simulated events per wall-clock second
+ * and wall-clock milliseconds per simulated second. The simulated
+ * results stay pinned by the golden/parity suite; this bench pins the
+ * speed at which they are produced.
+ *
+ *   ./bench/perf_core                    # table on stdout
+ *   ./bench/perf_core --json PATH        # also write machine-readable
+ *   ./bench/perf_core --check PATH       # compare against a committed
+ *                                        # baseline (BENCH_perf.json),
+ *                                        # exit 1 on a large regression
+ *   ./bench/perf_core --check PATH --tolerance 0.4
+ *
+ * Event counts are byte-deterministic; only wall-clock times vary
+ * between hosts and runs. Each rig runs NMAPSIM_PERF_REPEATS times
+ * (default 3) and the best wall time is reported, which filters most
+ * scheduler noise; the --check gate is deliberately generous (default
+ * 40%) to tolerate the rest on shared CI runners.
+ */
+
+#include <chrono> // lint: nondet-ok(measures the simulator's own speed, never simulated state)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "harness/cluster.hh"
+#include "harness/experiment.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+/** One rig's measured speed. */
+struct PerfPoint
+{
+    std::string name;
+    std::uint64_t events = 0;   //!< deterministic event count
+    double simSeconds = 0.0;    //!< simulated time covered
+    double wallSeconds = 0.0;   //!< best-of-repeats wall time
+    double eventsPerSec = 0.0;
+    double wallMsPerSimSec = 0.0;
+};
+
+double
+wallNow()
+{
+    using clk = std::chrono::steady_clock; // lint: nondet-ok(bench-only wall clock; sim results never depend on it)
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+int
+repeats()
+{
+    const char *env = std::getenv("NMAPSIM_PERF_REPEATS");
+    if (!env)
+        return 3;
+    int v = std::atoi(env);
+    return v > 0 ? v : 3;
+}
+
+/** The pinned single-host rig: the paper's full 8-core server under
+ *  high memcached load with the NMAP policy (thresholds pinned so the
+ *  bench never profiles). */
+ExperimentConfig
+singleHostConfig()
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.load = LoadLevel::kHigh;
+    cfg.freqPolicy = "NMAP";
+    cfg.idlePolicy = "menu";
+    cfg.params.set("nmap.ni_th", "400");
+    cfg.params.set("nmap.cu_th", "0.7");
+    cfg.numCores = 8;
+    cfg.warmup = milliseconds(50);
+    cfg.duration = static_cast<Tick>(
+        static_cast<double>(milliseconds(400)) *
+        bench::durationScale());
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** The pinned cluster rig: 4 full hosts behind the ToR switch, two
+ *  client groups, flow-hash dispatch — the configuration class the
+ *  million-client roadmap scales up. */
+ClusterConfig
+clusterConfig()
+{
+    ClusterConfig cfg;
+    cfg.base = singleHostConfig();
+    cfg.base.freqPolicy = "ondemand";
+    cfg.base.numCores = 4;
+    cfg.base.duration = static_cast<Tick>(
+        static_cast<double>(milliseconds(300)) *
+        bench::durationScale());
+    cfg.numHosts = 4;
+    cfg.clientGroups = 2;
+    cfg.dispatch = "flow-hash";
+    cfg.drain = milliseconds(5);
+    return cfg;
+}
+
+template <typename RunFn>
+PerfPoint
+measure(const std::string &name, Tick sim_ticks, RunFn run)
+{
+    PerfPoint p;
+    p.name = name;
+    p.simSeconds = toSeconds(sim_ticks);
+    double best = 0.0;
+    const int n = repeats();
+    for (int i = 0; i < n; ++i) {
+        const double t0 = wallNow();
+        const std::uint64_t events = run();
+        const double wall = wallNow() - t0;
+        if (i == 0 || wall < best)
+            best = wall;
+        if (p.events != 0 && p.events != events) {
+            std::fprintf(stderr,
+                         "perf_core: %s event count varied between "
+                         "repeats (%llu vs %llu) — determinism bug\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(p.events),
+                         static_cast<unsigned long long>(events));
+            std::exit(1);
+        }
+        p.events = events;
+    }
+    p.wallSeconds = best;
+    p.eventsPerSec = static_cast<double>(p.events) / best;
+    p.wallMsPerSimSec = best * 1e3 / p.simSeconds;
+    return p;
+}
+
+std::vector<PerfPoint>
+runAllRigs()
+{
+    std::vector<PerfPoint> points;
+
+    const ExperimentConfig host_cfg = singleHostConfig();
+    points.push_back(measure(
+        "single_host", host_cfg.warmup + host_cfg.duration, [&] {
+            return Experiment(host_cfg).run().eventsProcessed;
+        }));
+
+    const ClusterConfig cluster_cfg = clusterConfig();
+    points.push_back(measure(
+        "cluster",
+        cluster_cfg.base.warmup + cluster_cfg.base.duration +
+            cluster_cfg.drain,
+        [&] {
+            return ClusterExperiment(cluster_cfg).run().eventsProcessed;
+        }));
+
+    return points;
+}
+
+void
+printTable(const std::vector<PerfPoint> &points)
+{
+    bench::banner("perf_core",
+                  "simulator-core speed (events/sec, wall per sim-sec)");
+    std::printf("%-14s %14s %10s %10s %16s %14s\n", "rig", "events",
+                "sim (s)", "wall (s)", "events/sec", "ms/sim-sec");
+    std::printf("%s\n", std::string(84, '-').c_str());
+    for (const PerfPoint &p : points)
+        std::printf("%-14s %14llu %10.3f %10.3f %16.0f %14.1f\n",
+                    p.name.c_str(),
+                    static_cast<unsigned long long>(p.events),
+                    p.simSeconds, p.wallSeconds, p.eventsPerSec,
+                    p.wallMsPerSimSec);
+}
+
+void
+writeJson(const std::vector<PerfPoint> &points, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "perf_core: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PerfPoint &p = points[i];
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"events\": %llu, "
+                      "\"sim_seconds\": %.6f, \"wall_seconds\": %.6f, "
+                      "\"events_per_sec\": %.0f, "
+                      "\"wall_ms_per_sim_second\": %.3f}%s\n",
+                      p.name.c_str(),
+                      static_cast<unsigned long long>(p.events),
+                      p.simSeconds, p.wallSeconds, p.eventsPerSec,
+                      p.wallMsPerSimSec,
+                      i + 1 < points.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+}
+
+/** Minimal extractor for the baseline file this bench itself writes:
+ *  finds `"name": "<rig>"` records and their `"events_per_sec"`. */
+double
+baselineEventsPerSec(const std::string &json, const std::string &rig)
+{
+    const std::string needle = "\"name\": \"" + rig + "\"";
+    std::size_t at = json.find(needle);
+    if (at == std::string::npos)
+        return 0.0;
+    const std::string key = "\"events_per_sec\": ";
+    at = json.find(key, at);
+    if (at == std::string::npos)
+        return 0.0;
+    return std::atof(json.c_str() + at + key.size());
+}
+
+int
+check(const std::vector<PerfPoint> &points, const std::string &path,
+      double tolerance)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "perf_core: cannot read baseline %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+
+    int failures = 0;
+    for (const PerfPoint &p : points) {
+        const double base = baselineEventsPerSec(json, p.name);
+        if (base <= 0.0) {
+            std::fprintf(stderr,
+                         "perf_core: rig '%s' missing from %s\n",
+                         p.name.c_str(), path.c_str());
+            ++failures;
+            continue;
+        }
+        const double floor = base * (1.0 - tolerance);
+        const bool ok = p.eventsPerSec >= floor;
+        std::printf("check %-14s %10.0f events/sec vs baseline %10.0f "
+                    "(floor %10.0f): %s\n",
+                    p.name.c_str(), p.eventsPerSec, base, floor,
+                    ok ? "ok" : "REGRESSION");
+        if (!ok)
+            ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::string check_path;
+    double tolerance = 0.4;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--check") == 0 &&
+                   i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--tolerance") == 0 &&
+                   i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_core [--json PATH] "
+                         "[--check PATH [--tolerance X]]\n");
+            return 2;
+        }
+    }
+
+    const std::vector<PerfPoint> points = runAllRigs();
+    printTable(points);
+    if (!json_path.empty())
+        writeJson(points, json_path);
+    if (!check_path.empty())
+        return check(points, check_path, tolerance);
+    return 0;
+}

@@ -46,7 +46,7 @@ ClusterSwitch::ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
     }
     requestsForwarded_.assign(static_cast<std::size_t>(num_hosts), 0);
     responsesReturned_.assign(static_cast<std::size_t>(num_hosts), 0);
-    pendingSince_.assign(static_cast<std::size_t>(num_hosts), {});
+    pendingSince_.assign(static_cast<std::size_t>(num_hosts), Ring<Tick>());
     lastResponseAt_.assign(static_cast<std::size_t>(num_hosts), 0);
     ejected_.assign(static_cast<std::size_t>(num_hosts), false);
     readmitAt_.assign(static_cast<std::size_t>(num_hosts), 0);
@@ -120,7 +120,7 @@ ClusterSwitch::fromHost(int id, const Packet &pkt)
               std::to_string(id));
     ++responsesReturned_[static_cast<std::size_t>(id)];
     lastResponseAt_[static_cast<std::size_t>(id)] = eq_.now();
-    std::deque<Tick> &pending =
+    Ring<Tick> &pending =
         pendingSince_[static_cast<std::size_t>(id)];
     if (pending.empty()) {
         // The matching dispatch record was written off at ejection;

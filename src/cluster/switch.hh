@@ -27,7 +27,6 @@
 #define NMAPSIM_CLUSTER_SWITCH_HH_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -37,6 +36,7 @@
 #include "net/packet.hh"
 #include "net/wire.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/time.hh"
 
 namespace nmapsim {
@@ -205,7 +205,7 @@ class ClusterSwitch
     /** Host attribution for responses inside the egress fabric; the
      *  fabric wire is FIFO, so front() always names the host of the
      *  next response to leave it. */
-    std::deque<int> egressHosts_;
+    Ring<int> egressHosts_;
 
     std::vector<std::uint64_t> requestsForwarded_;
     std::vector<std::uint64_t> responsesReturned_;
@@ -213,7 +213,7 @@ class ClusterSwitch
     /** Dispatch times of unanswered requests per host (count-FIFO:
      *  any response pops the oldest entry; the front is the oldest
      *  unmatched dispatch). */
-    std::vector<std::deque<Tick>> pendingSince_;
+    std::vector<Ring<Tick>> pendingSince_;
     /** Last time each host produced any response. */
     std::vector<Tick> lastResponseAt_;
     std::vector<bool> ejected_;

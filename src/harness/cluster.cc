@@ -288,6 +288,9 @@ ClusterExperiment::run()
     }
     result.avgPowerWatts = result.energyJoules / measured_seconds;
 
+    result.eventsProcessed = eq.numProcessed();
+    result.simulatedTicks = eq.now();
+
     return result;
 }
 

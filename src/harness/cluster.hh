@@ -127,6 +127,13 @@ struct ClusterResult
     Tick attemptP99 = 0;
     /**@}*/
 
+    /** @name Engine counters (bench/perf_core; never serialised —
+     *  they describe the simulator, not the simulated system) */
+    /**@{*/
+    std::uint64_t eventsProcessed = 0; //!< kernel events fired, whole run
+    Tick simulatedTicks = 0;           //!< eq.now() when the run ended
+    /**@}*/
+
     std::vector<ClusterHostResult> hosts;
 };
 

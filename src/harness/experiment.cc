@@ -292,6 +292,9 @@ Experiment::run()
                                static_cast<double>(config_.numCores);
     }
 
+    result.eventsProcessed = eq.numProcessed();
+    result.simulatedTicks = eq.now();
+
     if (policy.finalize)
         policy.finalize(result);
     result.traces = traces;

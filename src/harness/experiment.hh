@@ -148,6 +148,13 @@ struct ExperimentResult
     Tick attemptP99 = 0;
     /**@}*/
 
+    /** @name Engine counters (bench/perf_core; never serialised —
+     *  they describe the simulator, not the simulated system) */
+    /**@{*/
+    std::uint64_t eventsProcessed = 0; //!< kernel events fired, whole run
+    Tick simulatedTicks = 0;           //!< eq.now() when the run ended
+    /**@}*/
+
     /** Time-series traces (only with collectTraces). */
     std::shared_ptr<TraceCollector> traces;
     /** CC6 entry times on the watched core (with collectTraces). */

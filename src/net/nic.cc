@@ -13,10 +13,12 @@ Nic::Nic(EventQueue &eq, const NicConfig &config)
     for (int q = 0; q < config_.numQueues; ++q) {
         Queue &queue = queues_[static_cast<std::size_t>(q)];
         queue.lastIrq = -config_.itr; // first interrupt is not moderated
-        queue.itrEvent = std::make_unique<EventFunctionWrapper>(
-            [this, q] { maybeRaiseIrq(q); }, "nic.itr");
-        queue.dmaEvent = std::make_unique<EventFunctionWrapper>(
-            [this, q] { dmaComplete(q); }, "nic.dma");
+        queue.itrEvent = std::make_unique<
+            IndexedMemberEvent<Nic, &Nic::maybeRaiseIrq>>(this, q,
+                                                          "nic.itr");
+        queue.dmaEvent = std::make_unique<
+            IndexedMemberEvent<Nic, &Nic::dmaComplete>>(this, q,
+                                                        "nic.dma");
     }
 }
 

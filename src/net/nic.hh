@@ -18,7 +18,6 @@
 #define NMAPSIM_NET_NIC_HH_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "net/packet.hh"
 #include "net/wire.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/time.hh"
 
 namespace nmapsim {
@@ -130,20 +130,22 @@ class Nic
     }
 
   private:
-    struct Queue
-    {
-        std::deque<Packet> rx;
-        std::uint32_t txPending = 0;
-        bool irqEnabled = true;
-        Tick lastIrq;
-        std::unique_ptr<EventFunctionWrapper> itrEvent;
-        std::unique_ptr<EventFunctionWrapper> dmaEvent;
-        std::uint32_t dmaInFlight = 0;
-    };
-
     void maybeRaiseIrq(int q);
     void raiseIrq(int q);
     void dmaComplete(int q);
+
+    struct Queue
+    {
+        Ring<Packet> rx;
+        std::uint32_t txPending = 0;
+        bool irqEnabled = true;
+        Tick lastIrq;
+        std::unique_ptr<IndexedMemberEvent<Nic, &Nic::maybeRaiseIrq>>
+            itrEvent;
+        std::unique_ptr<IndexedMemberEvent<Nic, &Nic::dmaComplete>>
+            dmaEvent;
+        std::uint32_t dmaInFlight = 0;
+    };
 
     EventQueue &eq_;
     NicConfig config_;

@@ -6,7 +6,7 @@ namespace nmapsim {
 
 Wire::Wire(EventQueue &eq, double bandwidth_bps, Tick propagation)
     : eq_(eq), bandwidthBps_(bandwidth_bps), propagation_(propagation),
-      deliverEvent_([this] { deliverHead(); }, "wire.deliver")
+      deliverEvent_(this, "wire.deliver")
 {
     if (bandwidth_bps <= 0.0)
         fatal("Wire bandwidth must be positive");
@@ -28,10 +28,32 @@ Wire::setLinkDown(bool down)
         // reaches the far end.
         linkDownLost_ += inFlight_.size();
         inFlight_.clear();
-        deliveryTimes_.clear();
-        corruptFlags_.clear();
         eq_.deschedule(&deliverEvent_);
     }
+}
+
+Tick
+Wire::serializationTicks(std::uint32_t size_bytes)
+{
+    // Memoised: the expression (and therefore its floating-point
+    // rounding) is exactly the per-packet computation this replaces,
+    // evaluated once per distinct size instead of once per packet.
+    if (serSizeCache_[0] == size_bytes)
+        return serTicksCache_[0];
+    if (serSizeCache_[1] == size_bytes) {
+        std::swap(serSizeCache_[0], serSizeCache_[1]);
+        std::swap(serTicksCache_[0], serTicksCache_[1]);
+        return serTicksCache_[0];
+    }
+    Tick ser = static_cast<Tick>(static_cast<double>(size_bytes) * 8.0 /
+                                 bandwidthBps_ * 1e9);
+    if (ser < 1)
+        ser = 1;
+    serSizeCache_[1] = serSizeCache_[0];
+    serTicksCache_[1] = serTicksCache_[0];
+    serSizeCache_[0] = size_bytes;
+    serTicksCache_[0] = ser;
+    return ser;
 }
 
 void
@@ -67,43 +89,34 @@ Wire::send(const Packet &pkt)
         return;
     }
     Tick start = std::max(eq_.now(), lineIdleAt_);
-    Tick ser = static_cast<Tick>(static_cast<double>(pkt.sizeBytes) * 8.0 /
-                                 bandwidthBps_ * 1e9);
-    if (ser < 1)
-        ser = 1;
-    lineIdleAt_ = start + ser;
+    lineIdleAt_ = start + serializationTicks(pkt.sizeBytes);
 
-    Packet copy = pkt;
-    // Stash the delivery time in the queue ordering: packets are FIFO,
-    // so the head always has the earliest delivery.
-    inFlight_.push_back(copy);
-    deliveryTimes_.push_back(lineIdleAt_ + propagation_);
-    corruptFlags_.push_back(corrupt);
+    // Packets are FIFO, so the head always has the earliest delivery.
+    inFlight_.push_back(
+        TxRec{pkt, lineIdleAt_ + propagation_, corrupt});
     if (!deliverEvent_.scheduled())
-        eq_.schedule(&deliverEvent_, deliveryTimes_.front());
+        eq_.schedule(&deliverEvent_, inFlight_.front().deliverAt);
 }
 
 void
 Wire::deliverHead()
 {
-    while (!inFlight_.empty() && deliveryTimes_.front() <= eq_.now()) {
-        Packet pkt = inFlight_.front();
-        bool corrupt = corruptFlags_.front();
+    while (!inFlight_.empty() &&
+           inFlight_.front().deliverAt <= eq_.now()) {
+        const TxRec rec = inFlight_.front();
         inFlight_.pop_front();
-        deliveryTimes_.pop_front();
-        corruptFlags_.pop_front();
-        if (corrupt) {
+        if (rec.corrupt) {
             // A mangled frame consumed line time but fails the FCS
             // check: the receiver discards it without ever seeing it.
             ++corrupted_;
             continue;
         }
         ++delivered_;
-        bytesDelivered_ += pkt.sizeBytes;
-        sink_(pkt);
+        bytesDelivered_ += rec.pkt.sizeBytes;
+        sink_(rec.pkt);
     }
     if (!inFlight_.empty())
-        eq_.schedule(&deliverEvent_, deliveryTimes_.front());
+        eq_.schedule(&deliverEvent_, inFlight_.front().deliverAt);
 }
 
 } // namespace nmapsim

@@ -27,12 +27,12 @@
 #define NMAPSIM_NET_WIRE_HH_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
 #include "net/packet.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/time.hh"
 
 namespace nmapsim {
@@ -118,7 +118,17 @@ class Wire
     /**@}*/
 
   private:
+    /** One queued transmission: the packet plus its delivery metadata
+     *  (a single ring record instead of three parallel deques). */
+    struct TxRec
+    {
+        Packet pkt;
+        Tick deliverAt;
+        bool corrupt;
+    };
+
     void deliverHead();
+    Tick serializationTicks(std::uint32_t size_bytes);
 
     EventQueue &eq_;
     double bandwidthBps_;
@@ -129,10 +139,12 @@ class Wire
     std::size_t queueLimit_ = 0;
     bool linkDown_ = false;
 
-    std::deque<Packet> inFlight_;
-    std::deque<Tick> deliveryTimes_;
-    std::deque<bool> corruptFlags_;
+    Ring<TxRec> inFlight_;
     Tick lineIdleAt_ = 0; //!< when the transmitter finishes current work
+    /** Memoised serialisation times: traffic uses a handful of packet
+     *  sizes, so two slots absorb nearly every send() division. */
+    std::uint32_t serSizeCache_[2] = {0, 0};
+    Tick serTicksCache_[2] = {0, 0};
     std::uint64_t delivered_ = 0;
     std::uint64_t bytesDelivered_ = 0;
     std::uint64_t dropped_ = 0;
@@ -141,7 +153,7 @@ class Wire
     std::uint64_t corrupted_ = 0;
     std::uint64_t linkDownLost_ = 0;
 
-    EventFunctionWrapper deliverEvent_;
+    MemberEvent<Wire, &Wire::deliverHead> deliverEvent_;
 };
 
 } // namespace nmapsim

@@ -10,9 +10,9 @@ CoreScheduler::CoreScheduler(Core &core, Nic &nic, NapiContext &napi,
                              const OsConfig &config)
     : core_(core), nic_(nic), napi_(napi), config_(config),
       eq_(core.eventQueue()), ksoftirqd_(napi),
-      sliceDoneEvent_([this] { sliceDone(); }, "sched.sliceDone"),
-      wakeDoneEvent_([this] { wakeDone(); }, "sched.wakeDone"),
-      promoteEvent_([this] { promoteIdle(); }, "sched.promoteIdle")
+      sliceDoneEvent_(this, "sched.sliceDone"),
+      wakeDoneEvent_(this, "sched.wakeDone"),
+      promoteEvent_(this, "sched.promoteIdle")
 {
     core_.addFreqListener([this](double f) { onFreqChange(f); });
 }
@@ -41,11 +41,13 @@ CoreScheduler::addThread(SimThread *thread)
 void
 CoreScheduler::enqueueThread(SimThread *thread, bool front)
 {
-    if (thread == curThread_ || queued_.count(thread))
+    if (thread == curThread_ ||
+        std::find(runQueue_.begin(), runQueue_.end(), thread) !=
+            runQueue_.end()) {
         return;
-    queued_.insert(thread);
+    }
     if (front)
-        runQueue_.push_front(thread);
+        runQueue_.insert(runQueue_.begin(), thread);
     else
         runQueue_.push_back(thread);
 }
@@ -143,9 +145,10 @@ CoreScheduler::dispatch()
 
     while (!runQueue_.empty()) {
         SimThread *t = runQueue_.front();
-        runQueue_.pop_front();
-        queued_.erase(t);
-        auto it = savedThread_.find(t);
+        runQueue_.erase(runQueue_.begin());
+        auto it = std::find_if(
+            savedThread_.begin(), savedThread_.end(),
+            [t](const auto &e) { return e.first == t; });
         if (it != savedThread_.end()) {
             double cycles = it->second;
             savedThread_.erase(it);
@@ -191,7 +194,13 @@ CoreScheduler::preemptCurrent()
     if (kind == RunKind::kSoftirq) {
         savedSoftirq_ = remaining_;
     } else if (kind == RunKind::kThread) {
-        savedThread_[thread] = remaining_;
+        auto it = std::find_if(
+            savedThread_.begin(), savedThread_.end(),
+            [thread](const auto &e) { return e.first == thread; });
+        if (it != savedThread_.end())
+            it->second = remaining_;
+        else
+            savedThread_.emplace_back(thread, remaining_);
         // A preempted thread resumes at the head of the queue.
         enqueueThread(thread, true);
     } else {

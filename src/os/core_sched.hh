@@ -19,11 +19,9 @@
 #define NMAPSIM_OS_CORE_SCHED_HH_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cpu/core.hh"
@@ -133,13 +131,15 @@ class CoreScheduler
     Tick segStart_ = 0;
     double segFreq_ = 0.0;
 
-    // Saved (preempted) work.
+    // Saved (preempted) work. A handful of threads per core at most,
+    // so a flat vector beats the hash map it replaced.
     std::optional<double> savedSoftirq_;
-    std::unordered_map<SimThread *, double> savedThread_;
+    std::vector<std::pair<SimThread *, double>> savedThread_;
 
-    // Fair run queue.
-    std::deque<SimThread *> runQueue_;
-    std::unordered_set<SimThread *> queued_;
+    // Fair run queue. Membership is checked by scanning the (tiny)
+    // queue itself; no shadow set, and a flat vector because the queue
+    // holds at most a few threads.
+    std::vector<SimThread *> runQueue_;
 
     int pendingIrqs_ = 0;
     bool wakePending_ = false;
@@ -151,9 +151,9 @@ class CoreScheduler
     std::uint64_t slices_ = 0;
     std::uint64_t preemptions_ = 0;
 
-    EventFunctionWrapper sliceDoneEvent_;
-    EventFunctionWrapper wakeDoneEvent_;
-    EventFunctionWrapper promoteEvent_;
+    MemberEvent<CoreScheduler, &CoreScheduler::sliceDone> sliceDoneEvent_;
+    MemberEvent<CoreScheduler, &CoreScheduler::wakeDone> wakeDoneEvent_;
+    MemberEvent<CoreScheduler, &CoreScheduler::promoteIdle> promoteEvent_;
 };
 
 } // namespace nmapsim

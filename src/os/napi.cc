@@ -72,19 +72,29 @@ NapiContext::completePoll(bool in_ksoftirqd)
     pollInFlight_ = false;
 
     // Move the stash out before delivering: deliver_ can re-enter the
-    // scheduler, and a re-entrant beginPoll must not clobber it.
-    std::vector<Packet> batch;
-    batch.swap(stash_);
+    // scheduler, and a re-entrant beginPoll must not clobber it. The
+    // two buffers ping-pong (swap trades stash_'s contents for
+    // delivering_'s retired capacity), so steady-state polling never
+    // allocates. A re-entrant completePoll would clobber delivering_
+    // mid-iteration; it cannot happen (completing a poll takes a
+    // sliceDone event, never a synchronous call), and the flag turns
+    // any future violation into a fail-stop instead of corruption.
+    if (deliveryInFlight_)
+        panic("re-entrant completePoll delivery");
+    deliveryInFlight_ = true;
+    delivering_.clear();
+    delivering_.swap(stash_);
     std::uint32_t batch_tx = stashTx_;
     stashTx_ = 0;
 
-    for (const Packet &pkt : batch) {
+    for (const Packet &pkt : delivering_) {
         if (pkt.kind == Packet::Kind::kRequest && deliver_)
             deliver_(pkt);
     }
+    deliveryInFlight_ = false;
 
     std::uint32_t processed =
-        static_cast<std::uint32_t>(batch.size()) + batch_tx;
+        static_cast<std::uint32_t>(delivering_.size()) + batch_tx;
     std::uint32_t intr = 0;
     std::uint32_t poll = 0;
     if (sessionPollCalls_ == 0)

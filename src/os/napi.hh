@@ -109,6 +109,10 @@ class NapiContext
     Tick softirqStart_ = 0;
 
     std::vector<Packet> stash_;
+    /** Delivery staging; ping-pongs buffers with stash_ so the
+     *  steady-state poll loop never touches the allocator. */
+    std::vector<Packet> delivering_;
+    bool deliveryInFlight_ = false;
     std::uint32_t stashTx_ = 0;
     bool pollInFlight_ = false;
 

@@ -13,12 +13,12 @@
 #define NMAPSIM_WORKLOAD_SERVER_APP_HH_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "net/nic.hh"
 #include "os/server_os.hh"
+#include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "workload/app_profile.hh"
 
@@ -78,7 +78,7 @@ class ServerApp
         friend class ServerApp;
         ServerApp &app_;
         int core_;
-        std::deque<PendingRequest> queue_;
+        Ring<PendingRequest> queue_;
     };
 
     void onPacket(int core, const Packet &pkt);

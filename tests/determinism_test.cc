@@ -1,104 +1,68 @@
 /**
  * @file
  * Dynamic backstop for the determinism contract nmaplint enforces
- * statically: run a small single-host experiment and a small cluster
- * experiment twice in-process and assert the serialised ResultWriter
- * output — the artefact benches pin and figures are built from — is
- * byte-for-byte identical, in both JSON and CSV.
+ * statically, in two layers:
  *
- * This catches what a source linter cannot: hash-order leaks through
- * containers the rules miss, uninitialised reads that happen to
- * differ between runs, static state carried across runs, or a policy
- * sampling an unseeded RNG. It runs under ASan/UBSan and TSan in CI.
+ *  1. Rerun identity: run each pinned config (golden_configs.hh) twice
+ *     in-process and assert the serialised ResultWriter output — the
+ *     artefact benches pin and figures are built from — is
+ *     byte-for-byte identical, in both JSON and CSV. This catches what
+ *     a source linter cannot: hash-order leaks through containers the
+ *     rules miss, uninitialised reads that happen to differ between
+ *     runs, static state carried across runs, or a policy sampling an
+ *     unseeded RNG. It runs under ASan/UBSan and TSan in CI.
+ *
+ *  2. Golden pins: the same output must match the checked-in
+ *     .golden files under tests/golden byte for byte. This extends the
+ *     contract across *engine rewrites* — the calendar event queue and
+ *     pooled containers replaced the heap/deque engine under these
+ *     pins. A legitimate format or config change regenerates them with
+ *     golden_gen (see golden_configs.hh); an engine change never does.
  */
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 
-#include "harness/cluster.hh"
-#include "harness/cluster_io.hh"
-#include "harness/experiment.hh"
-#include "harness/result_io.hh"
-#include "stats/result_writer.hh"
+#include "golden_configs.hh"
 
 namespace nmapsim {
 namespace {
 
-/** Small but policy-rich: NMAP exercises the monitor/decision path,
- *  menu exercises idle prediction. Thresholds are pinned so the run
- *  does not profile (keeps the test fast). */
-ExperimentConfig
-smallSingleHost()
-{
-    ExperimentConfig cfg;
-    cfg.app = AppProfile::memcached();
-    cfg.load = LoadLevel::kMed;
-    cfg.freqPolicy = "NMAP";
-    cfg.idlePolicy = "menu";
-    cfg.params.set("nmap.ni_th", "400");
-    cfg.params.set("nmap.cu_th", "0.7");
-    cfg.numCores = 4;
-    cfg.warmup = milliseconds(10);
-    cfg.duration = milliseconds(40);
-    cfg.seed = 1234;
-    return cfg;
-}
-
-ClusterConfig
-smallCluster()
-{
-    ClusterConfig cfg;
-    cfg.base = smallSingleHost();
-    cfg.base.freqPolicy = "ondemand";
-    cfg.numHosts = 2;
-    cfg.dispatch = "flow-hash";
-    cfg.drain = milliseconds(5);
-    return cfg;
-}
-
-/** Serialised (JSON + CSV) ResultWriter output for one fresh run. */
 std::string
-renderSingleHost(const ExperimentConfig &cfg)
+readFile(const std::string &path)
 {
-    const ExperimentResult result = Experiment(cfg).run();
-    ResultWriter writer;
-    appendResultRecord(writer, cfg, result);
-    std::ostringstream out;
-    writer.writeJson(out);
-    out << '\n';
-    writer.writeCsv(out);
-    return out.str();
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing golden file: " << path
+                    << " (regenerate with golden_gen — see "
+                       "golden_configs.hh)";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
 }
 
 std::string
-renderCluster(const ClusterConfig &cfg)
+goldenPath(const std::string &name)
 {
-    const ClusterResult result = ClusterExperiment(cfg).run();
-    ResultWriter writer;
-    appendClusterResultRecord(writer, cfg, result);
-    std::ostringstream out;
-    writer.writeJson(out);
-    out << '\n';
-    writer.writeCsv(out);
-    return out.str();
+    return std::string(NMAPSIM_GOLDEN_DIR) + "/" + name + ".golden";
 }
 
 TEST(DeterminismTest, SingleHostOutputByteIdenticalAcrossRuns)
 {
-    const ExperimentConfig cfg = smallSingleHost();
-    const std::string first = renderSingleHost(cfg);
-    const std::string second = renderSingleHost(cfg);
+    const ExperimentConfig cfg = golden::smallSingleHost();
+    const std::string first = golden::renderSingleHost(cfg);
+    const std::string second = golden::renderSingleHost(cfg);
     ASSERT_FALSE(first.empty());
     EXPECT_EQ(first, second);
 }
 
 TEST(DeterminismTest, ClusterOutputByteIdenticalAcrossRuns)
 {
-    const ClusterConfig cfg = smallCluster();
-    const std::string first = renderCluster(cfg);
-    const std::string second = renderCluster(cfg);
+    const ClusterConfig cfg = golden::smallCluster();
+    const std::string first = golden::renderCluster(cfg);
+    const std::string second = golden::renderCluster(cfg);
     ASSERT_FALSE(first.empty());
     EXPECT_EQ(first, second);
 }
@@ -107,13 +71,9 @@ TEST(DeterminismTest, ClusterOutputByteIdenticalAcrossRuns)
  *  and client retries draw only from their own forked streams. */
 TEST(DeterminismTest, FaultySingleHostOutputByteIdenticalAcrossRuns)
 {
-    ExperimentConfig cfg = smallSingleHost();
-    cfg.params.set("fault.wire_loss", "0.02");
-    cfg.params.set("fault.wire_corrupt", "0.01");
-    cfg.params.setTick("client.timeout", milliseconds(2));
-    cfg.params.set("client.retries", 3);
-    const std::string first = renderSingleHost(cfg);
-    const std::string second = renderSingleHost(cfg);
+    const ExperimentConfig cfg = golden::faultedSingleHost();
+    const std::string first = golden::renderSingleHost(cfg);
+    const std::string second = golden::renderSingleHost(cfg);
     ASSERT_FALSE(first.empty());
     EXPECT_EQ(first, second);
 }
@@ -122,21 +82,42 @@ TEST(DeterminismTest, FaultySingleHostOutputByteIdenticalAcrossRuns)
  *  ejection/readmission and retries, twice, byte-identical. */
 TEST(DeterminismTest, FaultyClusterOutputByteIdenticalAcrossRuns)
 {
-    ClusterConfig cfg = smallCluster();
-    cfg.dispatch = "least-outstanding";
-    cfg.fabric.healthInterval = milliseconds(1);
-    cfg.fabric.healthTimeout = milliseconds(3);
-    cfg.fabric.ejectDuration = milliseconds(5);
-    cfg.base.params.set("fault.wire_loss", "0.01");
-    cfg.base.params.set("fault.crash_host", 1);
-    cfg.base.params.setTick("fault.crash_at", milliseconds(15));
-    cfg.base.params.setTick("fault.recover_at", milliseconds(30));
-    cfg.base.params.setTick("client.timeout", milliseconds(2));
-    cfg.base.params.set("client.retries", 2);
-    const std::string first = renderCluster(cfg);
-    const std::string second = renderCluster(cfg);
+    const ClusterConfig cfg = golden::faultedCluster();
+    const std::string first = golden::renderCluster(cfg);
+    const std::string second = golden::renderCluster(cfg);
     ASSERT_FALSE(first.empty());
     EXPECT_EQ(first, second);
+}
+
+TEST(GoldenOutputTest, SingleHostMatchesGolden)
+{
+    const std::string expected = readFile(goldenPath("single_host"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderSingleHost(golden::smallSingleHost()),
+              expected);
+}
+
+TEST(GoldenOutputTest, ClusterMatchesGolden)
+{
+    const std::string expected = readFile(goldenPath("cluster"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderCluster(golden::smallCluster()), expected);
+}
+
+TEST(GoldenOutputTest, FaultedSingleHostMatchesGolden)
+{
+    const std::string expected =
+        readFile(goldenPath("faulted_single_host"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderSingleHost(golden::faultedSingleHost()),
+              expected);
+}
+
+TEST(GoldenOutputTest, FaultedClusterMatchesGolden)
+{
+    const std::string expected = readFile(goldenPath("faulted_cluster"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderCluster(golden::faultedCluster()), expected);
 }
 
 } // namespace

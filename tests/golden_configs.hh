@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The pinned configurations and render helpers behind the golden-output
+ * regression tests (determinism_test.cc) and the golden generator
+ * (golden_gen.cc).
+ *
+ * These configs are frozen: their serialised ResultWriter output is
+ * checked in under tests/golden/ and every engine rewrite must
+ * reproduce it byte for byte. Changing a config here (or the record
+ * format) invalidates the goldens — regenerate them with golden_gen
+ * *before* the engine change lands, and review the diff like any other
+ * contract change.
+ */
+
+#ifndef NMAPSIM_TESTS_GOLDEN_CONFIGS_HH_
+#define NMAPSIM_TESTS_GOLDEN_CONFIGS_HH_
+
+#include <sstream>
+#include <string>
+
+#include "harness/cluster.hh"
+#include "harness/cluster_io.hh"
+#include "harness/experiment.hh"
+#include "harness/result_io.hh"
+#include "stats/result_writer.hh"
+
+namespace nmapsim {
+namespace golden {
+
+/** Small but policy-rich: NMAP exercises the monitor/decision path,
+ *  menu exercises idle prediction. Thresholds are pinned so the run
+ *  does not profile (keeps the test fast). */
+inline ExperimentConfig
+smallSingleHost()
+{
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.load = LoadLevel::kMed;
+    cfg.freqPolicy = "NMAP";
+    cfg.idlePolicy = "menu";
+    cfg.params.set("nmap.ni_th", "400");
+    cfg.params.set("nmap.cu_th", "0.7");
+    cfg.numCores = 4;
+    cfg.warmup = milliseconds(10);
+    cfg.duration = milliseconds(40);
+    cfg.seed = 1234;
+    return cfg;
+}
+
+inline ClusterConfig
+smallCluster()
+{
+    ClusterConfig cfg;
+    cfg.base = smallSingleHost();
+    cfg.base.freqPolicy = "ondemand";
+    cfg.numHosts = 2;
+    cfg.dispatch = "flow-hash";
+    cfg.drain = milliseconds(5);
+    return cfg;
+}
+
+/** Seeded loss + corruption + client retries on one host. */
+inline ExperimentConfig
+faultedSingleHost()
+{
+    ExperimentConfig cfg = smallSingleHost();
+    cfg.params.set("fault.wire_loss", "0.02");
+    cfg.params.set("fault.wire_corrupt", "0.01");
+    cfg.params.setTick("client.timeout", milliseconds(2));
+    cfg.params.set("client.retries", 3);
+    return cfg;
+}
+
+/** The hardest path: whole-host crash + recovery, failure-detector
+ *  ejection/readmission and retries. */
+inline ClusterConfig
+faultedCluster()
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.dispatch = "least-outstanding";
+    cfg.fabric.healthInterval = milliseconds(1);
+    cfg.fabric.healthTimeout = milliseconds(3);
+    cfg.fabric.ejectDuration = milliseconds(5);
+    cfg.base.params.set("fault.wire_loss", "0.01");
+    cfg.base.params.set("fault.crash_host", 1);
+    cfg.base.params.setTick("fault.crash_at", milliseconds(15));
+    cfg.base.params.setTick("fault.recover_at", milliseconds(30));
+    cfg.base.params.setTick("client.timeout", milliseconds(2));
+    cfg.base.params.set("client.retries", 2);
+    return cfg;
+}
+
+/** Serialised (JSON + CSV) ResultWriter output for one fresh run. */
+inline std::string
+renderSingleHost(const ExperimentConfig &cfg)
+{
+    const ExperimentResult result = Experiment(cfg).run();
+    ResultWriter writer;
+    appendResultRecord(writer, cfg, result);
+    std::ostringstream out;
+    writer.writeJson(out);
+    out << '\n';
+    writer.writeCsv(out);
+    return out.str();
+}
+
+inline std::string
+renderCluster(const ClusterConfig &cfg)
+{
+    const ClusterResult result = ClusterExperiment(cfg).run();
+    ResultWriter writer;
+    appendClusterResultRecord(writer, cfg, result);
+    std::ostringstream out;
+    writer.writeJson(out);
+    out << '\n';
+    writer.writeCsv(out);
+    return out.str();
+}
+
+} // namespace golden
+} // namespace nmapsim
+
+#endif // NMAPSIM_TESTS_GOLDEN_CONFIGS_HH_

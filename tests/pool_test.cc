@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Lifecycle tests for the allocation-free containers in sim/pool.hh:
+ * SlabPool (acquire/release/reuse, reset-on-reuse, double-free and
+ * foreign-pointer fail-stops, pointer stability across slab growth)
+ * and Ring (FIFO order through wraparound and growth, steady-state
+ * zero allocation via the capacity high-water mark). The randomized
+ * stress sections double as the ASan workout CI runs them under.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/pool.hh"
+#include "sim/rng.hh"
+
+namespace nmapsim {
+namespace {
+
+struct Payload
+{
+    std::uint64_t id = 0;
+    double value = 0.0;
+    bool flag = false;
+};
+
+TEST(SlabPoolTest, AcquireReturnsValueInitialisedObjects)
+{
+    SlabPool<Payload> pool(4);
+    Payload *p = pool.acquire();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->id, 0u);
+    EXPECT_EQ(p->value, 0.0);
+    EXPECT_FALSE(p->flag);
+    EXPECT_EQ(pool.liveObjects(), 1u);
+    pool.release(p);
+    EXPECT_EQ(pool.liveObjects(), 0u);
+}
+
+TEST(SlabPoolTest, ReleaseThenAcquireReusesStorageAndResets)
+{
+    SlabPool<Payload> pool(4);
+    Payload *p = pool.acquire();
+    p->id = 42;
+    p->value = 3.5;
+    p->flag = true;
+    pool.release(p);
+
+    // With one slab and one released object, the freelist must serve
+    // the same storage back — value-reset, not carrying the occupant.
+    Payload *q = pool.acquire();
+    EXPECT_EQ(q, p);
+    EXPECT_EQ(q->id, 0u);
+    EXPECT_EQ(q->value, 0.0);
+    EXPECT_FALSE(q->flag);
+    EXPECT_EQ(pool.reuseCount(), 1u);
+    pool.release(q);
+}
+
+TEST(SlabPoolTest, GrowsBySlabsAndKeepsPointersStable)
+{
+    SlabPool<Payload> pool(8);
+    std::vector<Payload *> live;
+    for (int i = 0; i < 50; ++i) {
+        Payload *p = pool.acquire();
+        p->id = static_cast<std::uint64_t>(i);
+        live.push_back(p);
+    }
+    EXPECT_EQ(pool.liveObjects(), 50u);
+    EXPECT_EQ(pool.slabCount(), 7u); // ceil(50/8)
+    EXPECT_EQ(pool.capacity(), 56u);
+
+    // Slab growth must not move previously issued objects.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(live[i]->id, static_cast<std::uint64_t>(i));
+
+    for (Payload *p : live)
+        pool.release(p);
+    EXPECT_EQ(pool.liveObjects(), 0u);
+
+    // Steady state: churning within capacity never adds a slab.
+    for (int round = 0; round < 200; ++round) {
+        Payload *p = pool.acquire();
+        pool.release(p);
+    }
+    EXPECT_EQ(pool.slabCount(), 7u);
+    EXPECT_GE(pool.reuseCount(), 200u);
+}
+
+TEST(SlabPoolTest, DoubleReleasePanics)
+{
+    SlabPool<Payload> pool(4);
+    Payload *p = pool.acquire();
+    pool.release(p);
+    EXPECT_THROW(pool.release(p), PanicError);
+}
+
+TEST(SlabPoolTest, ForeignPointerReleasePanics)
+{
+    SlabPool<Payload> pool(4);
+    Payload stack_obj;
+    EXPECT_THROW(pool.release(&stack_obj), PanicError);
+
+    // A pointer from a *different* pool is just as foreign.
+    SlabPool<Payload> other(4);
+    Payload *p = other.acquire();
+    EXPECT_THROW(pool.release(p), PanicError);
+    other.release(p);
+}
+
+TEST(SlabPoolTest, RandomChurnConservesAccounting)
+{
+    SlabPool<Payload> pool(16);
+    Rng rng(7);
+    std::vector<Payload *> live;
+    std::uint64_t next_id = 1;
+
+    for (int op = 0; op < 20000; ++op) {
+        if (live.empty() || rng.bernoulli(0.55)) {
+            Payload *p = pool.acquire();
+            // Reset-on-reuse means a fresh object every time, however
+            // scrambled the previous occupant left it.
+            ASSERT_EQ(p->id, 0u);
+            p->id = next_id++;
+            live.push_back(p);
+        } else {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(
+                                      live.size() - 1)));
+            live[i]->id = 0; // scramble before release
+            pool.release(live[i]);
+            live[i] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(pool.liveObjects(), live.size());
+        ASSERT_GE(pool.capacity(), pool.liveObjects());
+    }
+
+    // No aliasing: every live pointer is distinct storage.
+    std::set<Payload *> distinct(live.begin(), live.end());
+    EXPECT_EQ(distinct.size(), live.size());
+    for (Payload *p : live)
+        pool.release(p);
+    EXPECT_EQ(pool.liveObjects(), 0u);
+}
+
+TEST(RingTest, FifoOrderThroughWraparound)
+{
+    Ring<int> ring(4);
+    const std::size_t cap = ring.capacity();
+    // Stay below capacity while sliding the window far past it: the
+    // indices wrap, the order must not.
+    int next_in = 0;
+    int next_out = 0;
+    for (int round = 0; round < 100; ++round) {
+        while (ring.size() < cap - 1)
+            ring.push_back(next_in++);
+        while (ring.size() > 1) {
+            ASSERT_EQ(ring.front(), next_out++);
+            ring.pop_front();
+        }
+    }
+    EXPECT_EQ(ring.capacity(), cap); // never grew
+}
+
+TEST(RingTest, GrowthPreservesOrderAndContents)
+{
+    Ring<int> ring(2);
+    // Misalign head first so growth has to unwrap a split window.
+    ring.push_back(-1);
+    ring.push_back(-2);
+    ring.pop_front();
+    ring.pop_front();
+
+    for (int i = 0; i < 1000; ++i)
+        ring.push_back(i);
+    EXPECT_EQ(ring.size(), 1000u);
+    EXPECT_GE(ring.capacity(), 1024u);
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        ASSERT_EQ(ring.at(i), static_cast<int>(i));
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(ring.front(), i);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingTest, CapacityIsPowerOfTwo)
+{
+    for (std::size_t req : {0u, 1u, 2u, 3u, 5u, 16u, 17u, 100u}) {
+        Ring<int> ring(req);
+        const std::size_t cap = ring.capacity();
+        EXPECT_EQ(cap & (cap - 1), 0u) << "requested " << req;
+        EXPECT_GE(cap, req);
+    }
+}
+
+TEST(RingTest, ClearResetsWithoutShrinking)
+{
+    Ring<int> ring(4);
+    for (int i = 0; i < 100; ++i)
+        ring.push_back(i);
+    const std::size_t cap = ring.capacity();
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), cap);
+    ring.push_back(7);
+    EXPECT_EQ(ring.front(), 7);
+}
+
+/** Differential stress: Ring must behave exactly like std::deque. */
+TEST(RingTest, MatchesDequeUnderRandomOps)
+{
+    Ring<std::uint64_t> ring;
+    std::deque<std::uint64_t> ref;
+    Rng rng(11);
+    std::uint64_t next = 0;
+
+    for (int op = 0; op < 50000; ++op) {
+        if (ref.empty() || rng.bernoulli(0.52)) {
+            ring.push_back(next);
+            ref.push_back(next);
+            ++next;
+        } else {
+            ASSERT_EQ(ring.front(), ref.front());
+            ring.pop_front();
+            ref.pop_front();
+        }
+        ASSERT_EQ(ring.size(), ref.size());
+        ASSERT_EQ(ring.empty(), ref.empty());
+        if (!ref.empty() && op % 97 == 0) {
+            for (std::size_t i = 0; i < ref.size(); ++i)
+                ASSERT_EQ(ring.at(i), ref[i]);
+        }
+    }
+}
+
+} // namespace
+} // namespace nmapsim

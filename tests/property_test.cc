@@ -270,6 +270,57 @@ TEST_P(LossConservation, SentEqualsAnsweredPlusTimedOutPlusInFlight)
 INSTANTIATE_TEST_SUITE_P(LossSeeds, LossConservation,
                          ::testing::Values(7u, 8u, 9u));
 
+class BacklogConservation : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/**
+ * Overload sweep for the pooled engine: driving the rig well past
+ * capacity piles requests into the per-core socket rings and packets
+ * into the NIC rx rings, forcing ring wraparound and growth on the
+ * steady-state path. The conservation identities must survive that
+ * churn, and a rerun must reproduce the run exactly — a ring that
+ * mis-wraps or leaks an old occupant shows up here as a lost or
+ * duplicated packet, not just a perf artefact.
+ */
+TEST_P(BacklogConservation, RingGrowthPreservesAccounting)
+{
+    const unsigned seed = GetParam();
+    Rng rng(seed);
+
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.freqPolicy = rng.bernoulli(0.5) ? "powersave" : "ondemand";
+    cfg.load = LoadLevel::kHigh;
+    // 2-4x the high-load rate: guaranteed sustained backlog.
+    cfg.rpsOverride = cfg.app.level(cfg.load).rps *
+                      rng.uniform(2.0, 4.0);
+    cfg.numCores = static_cast<int>(rng.uniformInt(2, 4));
+    cfg.seed = seed;
+    cfg.warmup = milliseconds(20);
+    cfg.duration = milliseconds(80);
+    ExperimentResult r = Experiment(cfg).run();
+
+    // The backlog actually built up (overload did its job)...
+    EXPECT_LT(r.responsesReceived, r.requestsSent);
+    // ...yet nothing was lost or double-counted on the way through
+    // the rings.
+    EXPECT_GE(r.requestsSent, r.responsesReceived + r.nicDrops);
+    EXPECT_EQ(r.pktsIntrMode + r.pktsPollMode,
+              r.nicRxHarvested + r.nicTxConsumed);
+
+    // And the pooled engine is still deterministic under pressure.
+    ExperimentResult again = Experiment(cfg).run();
+    EXPECT_EQ(r.requestsSent, again.requestsSent);
+    EXPECT_EQ(r.responsesReceived, again.responsesReceived);
+    EXPECT_EQ(r.pktsIntrMode, again.pktsIntrMode);
+    EXPECT_EQ(r.pktsPollMode, again.pktsPollMode);
+    EXPECT_EQ(r.energyJoules, again.energyJoules);
+}
+
+INSTANTIATE_TEST_SUITE_P(OverloadSeeds, BacklogConservation,
+                         ::testing::Values(101u, 102u, 103u));
+
 /** Every registered dispatch policy, so a newly registered policy is
  *  automatically swept. */
 std::vector<std::string>

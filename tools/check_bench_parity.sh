@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Byte-parity gate for the bench suite across engine changes.
+#
+# Runs every bench whose baseline stdout is pinned under
+# tests/golden/bench/ and diffs the output byte-for-byte. The baselines
+# were captured before the calendar-queue/pooling engine rewrite, so a
+# mismatch means the engine changed simulation *behaviour*, not just
+# speed — exactly what the rewrite promised not to do.
+#
+# Usage: tools/check_bench_parity.sh [build-dir] [baseline-dir]
+#
+# Baselines are pinned at a fixed scale/parallelism so the runs are
+# cheap and scheduling-independent; regenerate them (only for an
+# intentional output change, reviewed like a golden change) with:
+#   for f in tests/golden/bench/*.stdout; do b=$(basename "$f" .stdout);
+#     NMAPSIM_BENCH_SCALE=0.05 NMAPSIM_JOBS=4 "build/bench/$b" > "$f";
+#   done
+
+set -u
+
+BUILD_DIR="${1:-build}"
+BASELINE_DIR="${2:-tests/golden/bench}"
+
+export NMAPSIM_BENCH_SCALE="${NMAPSIM_BENCH_SCALE:-0.05}"
+export NMAPSIM_JOBS="${NMAPSIM_JOBS:-4}"
+
+if [ ! -d "$BASELINE_DIR" ]; then
+    echo "check_bench_parity: no baseline dir at $BASELINE_DIR" >&2
+    exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+failures=0
+total=0
+for baseline in "$BASELINE_DIR"/*.stdout; do
+    name="$(basename "$baseline" .stdout)"
+    bin="$BUILD_DIR/bench/$name"
+    total=$((total + 1))
+    if [ ! -x "$bin" ]; then
+        echo "FAIL  $name: bench binary missing at $bin" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    out="$tmpdir/$name.stdout"
+    if ! "$bin" > "$out" 2> "$tmpdir/$name.stderr"; then
+        echo "FAIL  $name: bench exited non-zero" >&2
+        sed 's/^/      /' "$tmpdir/$name.stderr" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if ! cmp -s "$baseline" "$out"; then
+        echo "FAIL  $name: output diverged from baseline" >&2
+        diff -u "$baseline" "$out" | head -40 | sed 's/^/      /' >&2
+        failures=$((failures + 1))
+    else
+        echo "ok    $name"
+    fi
+done
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check_bench_parity: $failures of $total benches diverged" >&2
+    exit 1
+fi
+echo "check_bench_parity: all $total benches byte-identical"
