@@ -99,6 +99,14 @@ ClusterHost::ClusterHost(
 ClusterHost::~ClusterHost() = default;
 
 void
+ClusterHost::setTierRole(const TierRole &role)
+{
+    role_ = role;
+    app_->setForwardDownstream(role.forward);
+    app_->setServiceScale(role.serviceScale);
+}
+
+void
 ClusterHost::connect(ClusterSwitch &sw)
 {
     sw.downlink(id_).setSink(
@@ -135,6 +143,9 @@ ClusterHost::collect(Tick end) const
     r.id = id_;
     r.freqPolicy = config_.freqPolicy;
     r.idlePolicy = config_.idlePolicy;
+    r.tier = role_.tier;
+    r.tierName = role_.tierName;
+    r.forwarded = app_->requestsForwarded();
 
     const LatencyRecorder &lat = feedback_->latencies();
     r.served = feedback_->responsesReceived();

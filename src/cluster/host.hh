@@ -52,6 +52,17 @@ struct ClusterHostResult
     std::string freqPolicy;
     std::string idlePolicy;
 
+    /** Service tier this host belongs to (0 when single-tier). */
+    int tier = 0;
+    std::string tierName;
+    /** Requests this host forwarded east-west (mid-chain tiers). */
+    std::uint64_t forwarded = 0;
+    /** Hop completions and dispatch-to-return hop latency, filled by
+     *  the harness from the switch's hop tap (topology runs only). */
+    std::uint64_t hopsCompleted = 0;
+    Tick hopP50 = 0;
+    Tick hopP99 = 0;
+
     /** Responses this host served (tap-attributed). */
     std::uint64_t served = 0;
     /** Latency of served requests, end-to-end up to the switch egress
@@ -103,6 +114,21 @@ class ClusterHost
     ClusterHost(const ClusterHost &) = delete;
     ClusterHost &operator=(const ClusterHost &) = delete;
 
+    /** This host's place in a service topology. */
+    struct TierRole
+    {
+        int tier = 0;            //!< tier index (0 = client-facing)
+        std::string tierName;    //!< tier label for results
+        bool forward = false;    //!< forward east-west vs reply
+        double serviceScale = 1.0; //!< tier service-cycle multiplier
+    };
+
+    /**
+     * Assign the host's tier role. Call before start(); the default
+     * role (reply, unit scale) is the single-tier behaviour.
+     */
+    void setTierRole(const TierRole &role);
+
     /** Connect to @p sw: downlink port -> NIC, uplink -> switch. */
     void connect(ClusterSwitch &sw);
 
@@ -129,6 +155,7 @@ class ClusterHost
 
     int id_;
     EventQueue &eq_;
+    TierRole role_;
     /** The host's own copy of its resolved configuration; the app and
      *  policy context hold references into it, so it must live as long
      *  as the rig. */

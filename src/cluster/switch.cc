@@ -7,7 +7,8 @@ namespace nmapsim {
 ClusterSwitch::ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
                              const std::string &dispatch,
                              std::vector<double> weights,
-                             const PolicyParams &params)
+                             const PolicyParams &params,
+                             std::vector<SwitchTier> tiers)
     : eq_(eq), config_(config),
       ingressFabric_(eq, config.fabricBandwidthBps,
                      config.fabricLatency),
@@ -46,22 +47,58 @@ ClusterSwitch::ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
     }
     requestsForwarded_.assign(static_cast<std::size_t>(num_hosts), 0);
     responsesReturned_.assign(static_cast<std::size_t>(num_hosts), 0);
+    forwardsReturned_.assign(static_cast<std::size_t>(num_hosts), 0);
     pendingSince_.assign(static_cast<std::size_t>(num_hosts), Ring<Tick>());
     lastResponseAt_.assign(static_cast<std::size_t>(num_hosts), 0);
     ejected_.assign(static_cast<std::size_t>(num_hosts), false);
     readmitAt_.assign(static_cast<std::size_t>(num_hosts), 0);
     ejections_.assign(static_cast<std::size_t>(num_hosts), 0);
 
-    DispatchContext ctx;
-    ctx.numHosts = num_hosts;
-    ctx.weights = std::move(weights);
-    ctx.params = params;
-    ctx.outstanding = [this](int host) { return outstanding(host); };
-    if (config_.healthInterval > 0) {
-        ctx.healthy = [this](int host) { return !isEjected(host); };
-        eq_.schedule(&healthEvent_, eq_.now() + config_.healthInterval);
+    // No declared topology = the classic cluster: one tier over all
+    // hosts running the cluster-level dispatch policy.
+    if (tiers.empty())
+        tiers.push_back(SwitchTier{"all", 0, num_hosts, dispatch});
+    tiers_ = std::move(tiers);
+    hostTier_.assign(static_cast<std::size_t>(num_hosts), -1);
+    int expected_first = 0;
+    for (int t = 0; t < numTiers(); ++t) {
+        SwitchTier &spec = tiers_[static_cast<std::size_t>(t)];
+        if (spec.firstHost != expected_first || spec.hosts < 1)
+            fatal("switch tiers must cover contiguous host ids");
+        if (spec.dispatch.empty())
+            spec.dispatch = dispatch;
+        expected_first += spec.hosts;
+        for (int h = spec.firstHost; h < spec.firstHost + spec.hosts;
+             ++h)
+            hostTier_[static_cast<std::size_t>(h)] = t;
     }
-    dispatch_ = DispatchRegistry::instance().make(dispatch, ctx);
+    if (expected_first != num_hosts)
+        fatal("switch tiers must cover every host exactly once");
+
+    // One policy instance per tier, seeing tier-local host ids; the
+    // context closures translate to global ids for live feedback.
+    for (int t = 0; t < numTiers(); ++t) {
+        const SwitchTier &spec = tiers_[static_cast<std::size_t>(t)];
+        const int base = spec.firstHost;
+        DispatchContext ctx;
+        ctx.numHosts = spec.hosts;
+        ctx.weights.assign(
+            weights.begin() + base,
+            weights.begin() + base + spec.hosts);
+        ctx.params = params;
+        ctx.outstanding = [this, base](int host) {
+            return outstanding(base + host);
+        };
+        if (config_.healthInterval > 0) {
+            ctx.healthy = [this, base](int host) {
+                return !isEjected(base + host);
+            };
+        }
+        dispatchByTier_.push_back(
+            DispatchRegistry::instance().make(spec.dispatch, ctx));
+    }
+    if (config_.healthInterval > 0)
+        eq_.schedule(&healthEvent_, eq_.now() + config_.healthInterval);
 }
 
 ClusterSwitch::~ClusterSwitch()
@@ -74,17 +111,31 @@ ClusterSwitch::fromClient(const Packet &pkt)
 {
     if (pkt.kind != Packet::Kind::kRequest)
         panic("ClusterSwitch: non-request packet from the client side");
+    if (pkt.control)
+        controlBytes_ += pkt.sizeBytes;
+    if (pkt.tier != 0)
+        panic("ClusterSwitch: client request addressed to tier " +
+              std::to_string(pkt.tier));
     ingressFabric_.send(pkt);
 }
 
 void
 ClusterSwitch::forwardRequest(const Packet &pkt)
 {
-    int host = dispatch_->pickHost(pkt);
-    if (host < 0 || host >= numHosts())
-        panic("dispatch policy '" + dispatch_->name() +
-              "' picked host " + std::to_string(host) + " of " +
-              std::to_string(numHosts()));
+    const int t = pkt.tier;
+    if (t >= numTiers())
+        panic("ClusterSwitch: request addressed to tier " +
+              std::to_string(t) + " of " + std::to_string(numTiers()));
+    const SwitchTier &spec = tiers_[static_cast<std::size_t>(t)];
+    DispatchPolicy &policy =
+        *dispatchByTier_[static_cast<std::size_t>(t)];
+    const int local = policy.pickHost(pkt);
+    if (local < 0 || local >= spec.hosts)
+        panic("dispatch policy '" + policy.name() + "' picked host " +
+              std::to_string(local) + " of " +
+              std::to_string(spec.hosts) + " in tier '" + spec.name +
+              "'");
+    int host = spec.firstHost + local;
     if (ejected_[static_cast<std::size_t>(host)]) {
         // Affinity policies keep hashing to the ejected host; steer
         // deterministically to the next healthy id so their flows come
@@ -95,11 +146,13 @@ ClusterSwitch::forwardRequest(const Packet &pkt)
             ++rerouted_;
         }
     }
+    Packet out = pkt;
+    out.hopStart = eq_.now(); // per-hop latency stamp
     Wire &port = *downlinks_[static_cast<std::size_t>(host)];
     const std::uint64_t lost_before = port.packetsDropped() +
                                       port.packetsFaultLost() +
                                       port.packetsLinkDownLost();
-    port.send(pkt);
+    port.send(out);
     // Only requests that actually made the port queue count as
     // forwarded, so outstanding() tracks live work, not drops (queue
     // overflow or injected faults).
@@ -115,19 +168,46 @@ ClusterSwitch::forwardRequest(const Packet &pkt)
 void
 ClusterSwitch::fromHost(int id, const Packet &pkt)
 {
-    if (pkt.kind != Packet::Kind::kResponse)
+    const auto h = static_cast<std::size_t>(id);
+    const int t = hostTier_[h];
+    const bool last_tier = t == numTiers() - 1;
+    const bool forwarded = pkt.kind == Packet::Kind::kRequest;
+    if (forwarded && last_tier)
         panic("ClusterSwitch: non-response packet from host " +
               std::to_string(id));
-    ++responsesReturned_[static_cast<std::size_t>(id)];
-    lastResponseAt_[static_cast<std::size_t>(id)] = eq_.now();
-    Ring<Tick> &pending =
-        pendingSince_[static_cast<std::size_t>(id)];
+    if (!forwarded && !last_tier)
+        panic("ClusterSwitch: mid-chain host " + std::to_string(id) +
+              " in tier '" +
+              tiers_[static_cast<std::size_t>(t)].name +
+              "' replied instead of forwarding");
+    if (pkt.control)
+        controlBytes_ += pkt.sizeBytes;
+    if (forwarded)
+        ++forwardsReturned_[h];
+    else
+        ++responsesReturned_[h];
+    lastResponseAt_[h] = eq_.now();
+    Ring<Tick> &pending = pendingSince_[h];
     if (pending.empty()) {
         // The matching dispatch record was written off at ejection;
-        // the response is still real, so it flows on to the client.
+        // the completion is still real, so it flows onward.
         ++lateResponses_;
     } else {
         pending.pop_front();
+    }
+    if (hopTap_)
+        hopTap_(id, t, eq_.now() - pkt.hopStart, forwarded);
+    if (forwarded) {
+        // East-west: the completed request re-enters the shared
+        // ingress fabric addressed to the next tier, contending with
+        // client traffic for switching capacity like any other flow.
+        Packet fwd = pkt;
+        fwd.tier = static_cast<std::uint8_t>(t + 1);
+        fwd.hops = static_cast<std::uint8_t>(pkt.hops + 1);
+        ++eastWestForwards_;
+        eastWestBytes_ += pkt.sizeBytes;
+        ingressFabric_.send(fwd);
+        return;
     }
     egressHosts_.push_back(id);
     egressFabric_.send(pkt);
@@ -143,6 +223,10 @@ ClusterSwitch::forwardResponse(const Packet &pkt)
               "with no host attribution queued");
     const int host = egressHosts_.front();
     egressHosts_.pop_front();
+    if (pkt.control)
+        controlBytes_ += pkt.sizeBytes;
+    else
+        goodputBytes_ += pkt.sizeBytes;
     if (tap_)
         tap_(host, pkt);
     clientPort_.send(pkt);
@@ -151,12 +235,18 @@ ClusterSwitch::forwardResponse(const Packet &pkt)
 int
 ClusterSwitch::nextHealthyAfter(int host) const
 {
-    for (int step = 1; step < numHosts(); ++step) {
-        const int candidate = (host + step) % numHosts();
+    // Failover stays tier-local: rerouting a cache request to an app
+    // host would violate the forward-vs-reply contract.
+    const SwitchTier &spec = tiers_[static_cast<std::size_t>(
+        hostTier_[static_cast<std::size_t>(host)])];
+    const int local = host - spec.firstHost;
+    for (int step = 1; step < spec.hosts; ++step) {
+        const int candidate =
+            spec.firstHost + (local + step) % spec.hosts;
         if (!ejected_[static_cast<std::size_t>(candidate)])
             return candidate;
     }
-    // Whole cluster ejected: no healthy alternative, deliver to the
+    // Whole tier ejected: no healthy alternative, deliver to the
     // policy's pick and let the client's retry machinery cope.
     return -1;
 }

@@ -19,6 +19,13 @@
  * port, and a per-host tap lets the harness attribute each served
  * response to the host that produced it (per-host latency feeds).
  *
+ * Hosts may be composed into service tiers (SwitchTier): each tier
+ * owns a contiguous host-id range and its own DispatchPolicy instance,
+ * requests carry the destination tier in Packet::tier, and a mid-chain
+ * host's completed request re-enters the ingress fabric east-west,
+ * addressed to the next tier, instead of returning to the client. The
+ * failure detector stays per-host but reroutes strictly within a tier.
+ *
  * Deviations from real ToR switches are documented in DESIGN.md
  * ("Cluster model").
  */
@@ -74,6 +81,19 @@ struct SwitchConfig
     bool operator==(const SwitchConfig &) const = default;
 };
 
+/**
+ * One contiguous run of host ids forming a service tier behind the
+ * switch. An empty tier list means the classic single-tier cluster:
+ * one dispatch policy over every host, no east-west traffic.
+ */
+struct SwitchTier
+{
+    std::string name;     //!< tier label for accounting
+    int firstHost = 0;    //!< global id of the tier's first host
+    int hosts = 0;        //!< host count (contiguous ids)
+    std::string dispatch; //!< DispatchRegistry policy for this tier
+};
+
 /** The modeled switch: fabric, ports, dispatch, accounting. */
 class ClusterSwitch
 {
@@ -82,17 +102,28 @@ class ClusterSwitch
      *  the response leaves the fabric toward the client port. */
     using ResponseTap = std::function<void(int host, const Packet &)>;
 
+    /** Invoked for every hop completion re-entering the switch from a
+     *  host: the host, its tier, the dispatch-to-return hop latency,
+     *  and whether the hop forwarded east-west (vs replied). */
+    using HopTap =
+        std::function<void(int host, int tier, Tick hopLatency,
+                           bool forwarded)>;
+
     /**
      * @param eq       simulation event queue
      * @param config   fabric/port model parameters
      * @param dispatch DispatchRegistry name of the steering policy
      * @param weights  per-host load weights (empty = uniform)
      * @param params   policy tunables ("dispatch.<knob>")
+     * @param tiers    service tiers over the hosts; empty = one tier
+     *                 of all hosts running @p dispatch (the classic
+     *                 single-tier path, preserved bit for bit)
      */
     ClusterSwitch(EventQueue &eq, const SwitchConfig &config,
                   const std::string &dispatch,
                   std::vector<double> weights,
-                  const PolicyParams &params);
+                  const PolicyParams &params,
+                  std::vector<SwitchTier> tiers = {});
 
     ~ClusterSwitch();
 
@@ -119,7 +150,25 @@ class ClusterSwitch
     /** Attach the per-host response tap (may be empty). */
     void setResponseTap(ResponseTap tap) { tap_ = std::move(tap); }
 
-    const DispatchPolicy &dispatch() const { return *dispatch_; }
+    /** Attach the per-hop completion tap (may be empty). */
+    void setHopTap(HopTap tap) { hopTap_ = std::move(tap); }
+
+    /** Tier 0's steering policy (the only one in single-tier mode). */
+    const DispatchPolicy &dispatch() const { return *dispatchByTier_[0]; }
+
+    /** @name Topology */
+    /**@{*/
+    int numTiers() const { return static_cast<int>(tiers_.size()); }
+    bool multiTier() const { return tiers_.size() > 1; }
+    const SwitchTier &tier(int t) const
+    {
+        return tiers_[static_cast<std::size_t>(t)];
+    }
+    int tierOfHost(int host) const
+    {
+        return hostTier_[static_cast<std::size_t>(host)];
+    }
+    /**@}*/
 
     /** @name Accounting */
     /**@{*/
@@ -149,6 +198,35 @@ class ClusterSwitch
             sum += v;
         return sum;
     }
+    /** East-west forwards received back from mid-chain @p host. */
+    std::uint64_t forwardsReturned(int host) const
+    {
+        return forwardsReturned_[static_cast<std::size_t>(host)];
+    }
+    std::uint64_t
+    totalForwardsReturned() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : forwardsReturned_)
+            sum += v;
+        return sum;
+    }
+
+    /**
+     * @name Byte-class accounting
+     * Egress bytes toward the clients are split by class so
+     * availability/goodput math never counts probe or east-west
+     * traffic as served work: goodputBytes() is response payload
+     * only, controlBytes() is probe/control-marked traffic wherever
+     * the switch sees it, eastWestBytes() is host-to-host forwards
+     * re-entering the fabric.
+     */
+    /**@{*/
+    std::uint64_t goodputBytes() const { return goodputBytes_; }
+    std::uint64_t controlBytes() const { return controlBytes_; }
+    std::uint64_t eastWestBytes() const { return eastWestBytes_; }
+    std::uint64_t eastWestForwards() const { return eastWestForwards_; }
+    /**@}*/
     /** In-flight requests dispatched to @p host, not yet answered
      *  (requests written off at ejection no longer count). */
     std::uint64_t outstanding(int host) const
@@ -199,8 +277,14 @@ class ClusterSwitch
     Wire clientPort_;    //!< egress port toward the clients
     std::vector<std::unique_ptr<Wire>> downlinks_; //!< ports to hosts
 
-    std::unique_ptr<DispatchPolicy> dispatch_;
+    /** Tiers in request order; exactly one in single-tier mode. */
+    std::vector<SwitchTier> tiers_;
+    /** Tier index per global host id. */
+    std::vector<int> hostTier_;
+    /** One steering policy per tier, picking tier-local host ids. */
+    std::vector<std::unique_ptr<DispatchPolicy>> dispatchByTier_;
     ResponseTap tap_;
+    HopTap hopTap_;
 
     /** Host attribution for responses inside the egress fabric; the
      *  fabric wire is FIFO, so front() always names the host of the
@@ -209,6 +293,11 @@ class ClusterSwitch
 
     std::vector<std::uint64_t> requestsForwarded_;
     std::vector<std::uint64_t> responsesReturned_;
+    std::vector<std::uint64_t> forwardsReturned_;
+    std::uint64_t goodputBytes_ = 0;
+    std::uint64_t controlBytes_ = 0;
+    std::uint64_t eastWestBytes_ = 0;
+    std::uint64_t eastWestForwards_ = 0;
 
     /** Dispatch times of unanswered requests per host (count-FIFO:
      *  any response pops the oldest entry; the front is the oldest

@@ -1,0 +1,157 @@
+#include "cluster/topology.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+constexpr const char *kTierFields[] = {
+    "name",       "hosts",         "dispatch", "freq_policy",
+    "idle_policy", "service_scale", "slo",
+};
+
+bool
+isKnownTierField(const std::string &field)
+{
+    for (const char *known : kTierFields)
+        if (field == known)
+            return true;
+    return false;
+}
+
+/**
+ * Split "topology.tier<i>.<field>" into (i, field); fatal on any other
+ * shape. `topology.tiers` is handled by the caller before this runs.
+ */
+std::pair<int, std::string>
+splitTierKey(const std::string &key)
+{
+    const std::string prefix = "topology.tier";
+    if (key.rfind(prefix, 0) != 0)
+        fatal("unknown topology key '" + key + "'");
+    const std::string rest = key.substr(prefix.size());
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string::npos || dot == 0)
+        fatal("unknown topology key '" + key + "'");
+    const std::string index = rest.substr(0, dot);
+    for (char c : index) {
+        if (c < '0' || c > '9')
+            fatal("unknown topology key '" + key + "'");
+    }
+    const std::string field = rest.substr(dot + 1);
+    if (!isKnownTierField(field))
+        fatal("unknown topology key '" + key + "'");
+    return {std::atoi(index.c_str()), field};
+}
+
+void
+validate(const TopologyPlan &plan)
+{
+    for (int t = 0; t < plan.numTiers(); ++t) {
+        const TierSpec &tier = plan.tiers[t];
+        const std::string label =
+            "topology.tier" + std::to_string(t);
+        if (tier.name.empty())
+            fatal(label + ".name must not be empty");
+        if (tier.hosts < 1)
+            fatal(label + ".hosts must be >= 1");
+        if (tier.serviceScale <= 0.0)
+            fatal(label + ".service_scale must be positive");
+        if (tier.slo < 0)
+            fatal(label + ".slo must be >= 0");
+        for (int u = 0; u < t; ++u) {
+            if (plan.tiers[u].name == tier.name)
+                fatal("duplicate topology tier name '" + tier.name +
+                      "'");
+        }
+    }
+}
+
+} // namespace
+
+int
+TopologyPlan::totalHosts() const
+{
+    int total = 0;
+    for (const TierSpec &tier : tiers)
+        total += tier.hosts;
+    return total;
+}
+
+int
+TopologyPlan::firstHostOf(int tier) const
+{
+    int first = 0;
+    for (int t = 0; t < tier; ++t)
+        first += tiers[t].hosts;
+    return first;
+}
+
+int
+TopologyPlan::tierOf(int host) const
+{
+    int first = 0;
+    for (int t = 0; t < numTiers(); ++t) {
+        first += tiers[t].hosts;
+        if (host < first)
+            return t;
+    }
+    fatal("host id " + std::to_string(host) + " beyond topology");
+    return -1;
+}
+
+TopologyPlan
+TopologyPlan::fromParams(const PolicyParams &params)
+{
+    TopologyPlan plan;
+    const int numTiers = params.getInt("topology.tiers", 0);
+    bool sawTopologyKey = params.has("topology.tiers");
+    for (const auto &[key, value] : params) {
+        if (key.rfind("topology.", 0) != 0 || key == "topology.tiers")
+            continue;
+        sawTopologyKey = true;
+        splitTierKey(key); // key-shape validation; fatal on typos
+    }
+    if (!sawTopologyKey)
+        return plan;
+
+    if (numTiers < 1)
+        fatal("topology.tiers must be >= 1 when topology keys are set");
+    if (numTiers > 16)
+        fatal("topology.tiers must be <= 16");
+
+    plan.tiers.resize(static_cast<std::size_t>(numTiers));
+    for (int t = 0; t < numTiers; ++t)
+        plan.tiers[t].name = "tier" + std::to_string(t);
+
+    for (const auto &[key, value] : params) {
+        if (key.rfind("topology.", 0) != 0 || key == "topology.tiers")
+            continue;
+        const auto [index, field] = splitTierKey(key);
+        if (index >= numTiers) {
+            fatal("'" + key + "' names tier " + std::to_string(index) +
+                  " but topology.tiers=" + std::to_string(numTiers));
+        }
+        TierSpec &tier = plan.tiers[static_cast<std::size_t>(index)];
+        if (field == "name")
+            tier.name = value;
+        else if (field == "hosts")
+            tier.hosts = params.getInt(key, tier.hosts);
+        else if (field == "dispatch")
+            tier.dispatch = value;
+        else if (field == "freq_policy")
+            tier.freqPolicy = value;
+        else if (field == "idle_policy")
+            tier.idlePolicy = value;
+        else if (field == "service_scale")
+            tier.serviceScale = params.getDouble(key, tier.serviceScale);
+        else if (field == "slo")
+            tier.slo = params.getTick(key, tier.slo);
+    }
+    validate(plan);
+    return plan;
+}
+
+} // namespace nmapsim

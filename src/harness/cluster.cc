@@ -21,6 +21,32 @@ ClusterExperiment::ClusterExperiment(ClusterConfig config)
 {
     ensureBuiltinPolicies();
     ensureBuiltinDispatchPolicies();
+
+    // A declared topology owns the host count: tiers are contiguous
+    // host-id ranges, so `hosts` (the count) is derived and per-host
+    // override vectors must match the derived total.
+    topology_ = TopologyPlan::fromParams(config_.base.params);
+    if (topology_.enabled()) {
+        config_.numHosts = topology_.totalHosts();
+        const PolicyRegistry &registry = PolicyRegistry::instance();
+        for (const TierSpec &tier : topology_.tiers) {
+            const std::string where =
+                " in topology tier '" + tier.name + "'";
+            if (!tier.dispatch.empty() &&
+                !DispatchRegistry::instance().has(tier.dispatch))
+                fatal("unknown dispatch policy '" + tier.dispatch +
+                      "'" + where);
+            if (!tier.freqPolicy.empty() &&
+                !registry.hasFreq(tier.freqPolicy))
+                fatal("unknown frequency policy '" + tier.freqPolicy +
+                      "'" + where);
+            if (!tier.idlePolicy.empty() &&
+                !registry.hasIdle(tier.idlePolicy))
+                fatal("unknown idle policy '" + tier.idlePolicy +
+                      "'" + where);
+        }
+    }
+
     if (config_.numHosts < 1)
         fatal("ClusterExperiment requires at least one host");
     if (!config_.hosts.empty() &&
@@ -58,6 +84,23 @@ ExperimentConfig
 ClusterExperiment::hostConfig(int id) const
 {
     ExperimentConfig cfg = config_.base;
+    if (topology_.enabled()) {
+        // The host-side rig (and its offline profiling Experiment)
+        // must not see cluster-only topology keys.
+        std::vector<std::string> topo_keys;
+        for (const auto &[key, value] : cfg.params)
+            if (key.rfind("topology.", 0) == 0)
+                topo_keys.push_back(key);
+        for (const std::string &key : topo_keys)
+            cfg.params.erase(key);
+        const TierSpec &tier =
+            topology_.tiers[static_cast<std::size_t>(
+                topology_.tierOf(id))];
+        if (!tier.freqPolicy.empty())
+            cfg.freqPolicy = tier.freqPolicy;
+        if (!tier.idlePolicy.empty())
+            cfg.idlePolicy = tier.idlePolicy;
+    }
     if (config_.hosts.empty())
         return cfg;
     const HostSpec &spec =
@@ -71,6 +114,17 @@ ClusterExperiment::hostConfig(int id) const
     return cfg;
 }
 
+Tick
+ClusterExperiment::tierSlo(int tier) const
+{
+    const TierSpec &spec =
+        topology_.tiers[static_cast<std::size_t>(tier)];
+    if (spec.slo > 0)
+        return spec.slo;
+    // Default: an even split of the end-to-end latency budget.
+    return config_.base.app.slo / topology_.numTiers();
+}
+
 ClusterResult
 ClusterExperiment::run()
 {
@@ -82,8 +136,16 @@ ClusterExperiment::run()
         static_cast<std::size_t>(config_.numHosts), 1.0);
     for (std::size_t i = 0; i < config_.hosts.size(); ++i)
         weights[i] = config_.hosts[i].weight;
+    std::vector<SwitchTier> switch_tiers;
+    for (int t = 0; t < topology_.numTiers(); ++t) {
+        const TierSpec &tier =
+            topology_.tiers[static_cast<std::size_t>(t)];
+        switch_tiers.push_back(SwitchTier{tier.name,
+                                          topology_.firstHostOf(t),
+                                          tier.hosts, tier.dispatch});
+    }
     ClusterSwitch sw(eq, config_.fabric, config_.dispatch, weights,
-                     config_.base.params);
+                     config_.base.params, std::move(switch_tiers));
 
     // --- Hosts --------------------------------------------------------
     std::vector<std::unique_ptr<ClusterHost>> hosts;
@@ -97,10 +159,32 @@ ClusterExperiment::run()
             config_.fabric.portBandwidthBps,
             config_.fabric.portPropagation));
         hosts.back()->connect(sw);
+        if (topology_.enabled()) {
+            const int t = topology_.tierOf(id);
+            const TierSpec &tier =
+                topology_.tiers[static_cast<std::size_t>(t)];
+            hosts.back()->setTierRole(
+                {t, tier.name, t < topology_.numTiers() - 1,
+                 tier.serviceScale});
+        }
     }
     sw.setResponseTap([&hosts](int host, const Packet &pkt) {
         hosts[static_cast<std::size_t>(host)]->onServedResponse(pkt);
     });
+
+    // Per-host hop-latency recorders, fed by the switch's hop tap
+    // (dispatch to return, covering queueing + service on the host).
+    std::vector<LatencyRecorder> hop_lat(
+        static_cast<std::size_t>(config_.numHosts));
+    if (topology_.enabled()) {
+        sw.setHopTap([&hop_lat, &eq](int host, int tier, Tick hop,
+                                     bool forwarded) {
+            (void)tier;
+            (void)forwarded;
+            hop_lat[static_cast<std::size_t>(host)].record(eq.now(),
+                                                           hop);
+        });
+    }
 
     // --- Client groups ------------------------------------------------
     Wire client_uplink(eq, config_.fabric.portBandwidthBps,
@@ -224,6 +308,8 @@ ClusterExperiment::run()
         group.client->latencies().clear();
         group.client->attemptLatencies().clear();
     }
+    for (LatencyRecorder &rec : hop_lat)
+        rec.clear();
 
     Tick end = config_.base.warmup + config_.base.duration;
     eq.runUntil(end);
@@ -282,11 +368,62 @@ ClusterExperiment::run()
         ClusterHostResult hr = host->collect(sim_end);
         hr.avgPowerWatts = hr.energyJoules / measured_seconds;
         hr.ejections = sw.ejections(hr.id);
+        if (topology_.enabled()) {
+            const LatencyRecorder &hop =
+                hop_lat[static_cast<std::size_t>(hr.id)];
+            hr.hopsCompleted = hop.count();
+            hr.hopP50 = hop.percentile(50.0);
+            hr.hopP99 = hop.percentile(99.0);
+        }
         result.energyJoules += hr.energyJoules;
         result.hostNicDrops += hr.nicDrops;
         result.hosts.push_back(std::move(hr));
     }
     result.avgPowerWatts = result.energyJoules / measured_seconds;
+
+    // --- Per-tier SLO attribution -------------------------------------
+    if (topology_.enabled()) {
+        result.eastWestForwards = sw.eastWestForwards();
+        result.eastWestBytes = sw.eastWestBytes();
+        result.goodputBytes = sw.goodputBytes();
+        result.controlBytes = sw.controlBytes();
+        for (int t = 0; t < topology_.numTiers(); ++t) {
+            const TierSpec &tier =
+                topology_.tiers[static_cast<std::size_t>(t)];
+            ClusterTierResult tr;
+            tr.tier = t;
+            tr.name = tier.name;
+            tr.firstHost = topology_.firstHostOf(t);
+            tr.hosts = tier.hosts;
+            tr.dispatch = sw.tier(t).dispatch;
+            tr.slo = tierSlo(t);
+            LatencyRecorder tier_hops;
+            for (int id = tr.firstHost; id < tr.firstHost + tr.hosts;
+                 ++id) {
+                const auto h = static_cast<std::size_t>(id);
+                tier_hops.merge(hop_lat[h]);
+                tr.forwards += sw.forwardsReturned(id);
+                tr.energyJoules += result.hosts[h].energyJoules;
+            }
+            tr.completions = tier_hops.count();
+            tr.hopP50 = tier_hops.percentile(50.0);
+            tr.hopP99 = tier_hops.percentile(99.0);
+            tr.hopMax = tier_hops.max();
+            tr.meanHop = tier_hops.mean();
+            tr.fracOverSlo = tier_hops.fractionAbove(tr.slo);
+            result.hopP99Sum += tr.hopP99;
+            result.tiers.push_back(std::move(tr));
+        }
+        // Which tier owns the chain tail: each hop p99 as a share of
+        // the summed per-tier hop p99s.
+        for (ClusterTierResult &tr : result.tiers) {
+            tr.p99Share =
+                result.hopP99Sum == 0
+                    ? 0.0
+                    : static_cast<double>(tr.hopP99) /
+                          static_cast<double>(result.hopP99Sum);
+        }
+    }
 
     result.eventsProcessed = eq.numProcessed();
     result.simulatedTicks = eq.now();

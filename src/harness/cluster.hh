@@ -26,6 +26,7 @@
 
 #include "cluster/host.hh"
 #include "cluster/switch.hh"
+#include "cluster/topology.hh"
 #include "harness/experiment.hh"
 
 namespace nmapsim {
@@ -75,6 +76,45 @@ struct ClusterConfig
     Tick drain = 0;
 
     bool operator==(const ClusterConfig &) const = default;
+};
+
+/**
+ * Per-tier aggregates of a topology run: hop-latency percentiles over
+ * the tier's hosts, the tier's share of the chain tail, and how the
+ * tier is doing against its per-hop SLO budget.
+ */
+struct ClusterTierResult
+{
+    int tier = 0;
+    std::string name;
+    int firstHost = 0;
+    int hosts = 0;
+    /** Resolved dispatch policy steering this tier. */
+    std::string dispatch;
+    /** Per-hop latency budget (explicit or an even share of the app
+     *  SLO). */
+    Tick slo = 0;
+
+    /** Hop completions (forwards + replies) from the tier's hosts. */
+    std::uint64_t completions = 0;
+    /** East-west forwards this tier emitted downstream. */
+    std::uint64_t forwards = 0;
+
+    /** @name Hop latency (dispatch to return, measurement window) */
+    /**@{*/
+    Tick hopP50 = 0;
+    Tick hopP99 = 0;
+    Tick hopMax = 0;
+    double meanHop = 0.0;
+    /**@}*/
+
+    /** Fraction of hops over this tier's SLO budget. */
+    double fracOverSlo = 0.0;
+    /** This tier's hop p99 as a share of the summed per-tier hop p99s
+     *  — which tier owns the chain tail. */
+    double p99Share = 0.0;
+
+    double energyJoules = 0.0;
 };
 
 /** Everything a cluster run produces. */
@@ -127,6 +167,17 @@ struct ClusterResult
     Tick attemptP99 = 0;
     /**@}*/
 
+    /** @name Topology accounting (all zero in single-tier runs) */
+    /**@{*/
+    std::uint64_t eastWestForwards = 0; //!< host->host re-dispatches
+    std::uint64_t eastWestBytes = 0;    //!< east-west fabric bytes
+    std::uint64_t goodputBytes = 0;     //!< response bytes to clients
+    std::uint64_t controlBytes = 0;     //!< probe/control-class bytes
+    /** Sum of per-tier hop p99s (per-hop tail vs the end-to-end p99,
+     *  which includes fabric/port time and queueing correlation). */
+    Tick hopP99Sum = 0;
+    /**@}*/
+
     /** @name Engine counters (bench/perf_core; never serialised —
      *  they describe the simulator, not the simulated system) */
     /**@{*/
@@ -134,6 +185,8 @@ struct ClusterResult
     Tick simulatedTicks = 0;           //!< eq.now() when the run ended
     /**@}*/
 
+    /** Per-tier breakdown; empty unless a topology was declared. */
+    std::vector<ClusterTierResult> tiers;
     std::vector<ClusterHostResult> hosts;
 };
 
@@ -148,12 +201,21 @@ class ClusterExperiment
 
     const ClusterConfig &config() const { return config_; }
 
+    /** The service topology parsed from `topology.*` keys (disabled =
+     *  classic single-tier cluster). When enabled, numHosts is derived
+     *  from the plan's per-tier host counts. */
+    const TopologyPlan &topology() const { return topology_; }
+
     /** The fully resolved configuration host @p id runs (base with the
-     *  host's overrides applied). */
+     *  tier's, then the host's, overrides applied). */
     ExperimentConfig hostConfig(int id) const;
+
+    /** The per-hop SLO budget tier @p tier is judged against. */
+    Tick tierSlo(int tier) const;
 
   private:
     ClusterConfig config_;
+    TopologyPlan topology_;
 };
 
 } // namespace nmapsim

@@ -116,6 +116,12 @@ setClusterConfigValue(ClusterConfig &c, const std::string &key,
         c.fabric.ejectDuration = PolicyParams::parseTick(value, key);
     } else if (key.rfind("cluster.", 0) == 0) {
         fatal("unknown config key '" + key + "'");
+    } else if (key.rfind("topology.", 0) == 0) {
+        // Topologies only exist behind the switch: claiming the key
+        // here flips nmapsim_run into cluster mode. Validation (key
+        // shape, tier ranges) happens in TopologyPlan::fromParams at
+        // experiment construction.
+        c.base.params.set(key, value);
     } else if (splitHostKey(key, host, rest)) {
         HostSpec &spec = hostSpec(c, host, key);
         if (rest == "freq_policy")
@@ -124,12 +130,26 @@ setClusterConfigValue(ClusterConfig &c, const std::string &key,
             spec.idlePolicy = value;
         else if (rest == "weight")
             spec.weight = PolicyParams::parseDouble(value, key);
-        else if (rest.find('.') != std::string::npos)
+        else if (rest.find('.') != std::string::npos) {
+            // Structured (gov/os/nic/burst) and cluster-scoped
+            // (cluster/fault/client/topology) namespaces are not
+            // honoured per host; silently stashing them in params
+            // would drop them, so reject with a labelled error — the
+            // same contract fault.* key validation gives.
+            const std::string ns = rest.substr(0, rest.find('.'));
+            for (const char *banned :
+                 {"gov", "burst", "os", "nic", "cluster", "fault",
+                  "client", "topology"}) {
+                if (ns == banned)
+                    fatal("config key '" + key + "': '" + ns +
+                          ".*' keys cannot be overridden per host");
+            }
             spec.params.set(rest, value);
-        else
+        } else {
             fatal("unknown per-host config key '" + key +
                   "' (use freq_policy, idle_policy, weight or a "
                   "dotted params key)");
+        }
     } else {
         setConfigValue(c.base, key, value);
         return false;
@@ -266,6 +286,41 @@ appendClusterResultRecord(ResultWriter &writer,
         .set("attempt_p99_ns",
              static_cast<std::int64_t>(result.attemptP99));
 
+    // Topology columns only exist for topology runs, so single-tier
+    // records (and their pinned goldens) stay byte-identical.
+    const bool tiered = !result.tiers.empty();
+    if (tiered) {
+        rec.set("tiers",
+                static_cast<std::int64_t>(result.tiers.size()))
+            .set("east_west_forwards", result.eastWestForwards)
+            .set("east_west_bytes", result.eastWestBytes)
+            .set("goodput_bytes", result.goodputBytes)
+            .set("control_bytes", result.controlBytes)
+            .set("hop_p99_sum_ns",
+                 static_cast<std::int64_t>(result.hopP99Sum));
+        for (const ClusterTierResult &tier : result.tiers) {
+            const std::string p =
+                "tier" + std::to_string(tier.tier) + "_";
+            rec.set(p + "name", tier.name)
+                .set(p + "hosts", tier.hosts)
+                .set(p + "dispatch", tier.dispatch)
+                .set(p + "completions", tier.completions)
+                .set(p + "forwards", tier.forwards)
+                .set(p + "hop_p50_ns",
+                     static_cast<std::int64_t>(tier.hopP50))
+                .set(p + "hop_p99_ns",
+                     static_cast<std::int64_t>(tier.hopP99))
+                .set(p + "hop_max_ns",
+                     static_cast<std::int64_t>(tier.hopMax))
+                .set(p + "mean_hop_ns", tier.meanHop)
+                .set(p + "slo_ns",
+                     static_cast<std::int64_t>(tier.slo))
+                .set(p + "frac_over_slo", tier.fracOverSlo)
+                .set(p + "p99_share", tier.p99Share)
+                .set(p + "energy_j", tier.energyJoules);
+        }
+    }
+
     // Per-host summary columns.
     for (const ClusterHostResult &host : result.hosts) {
         const std::string p = "host" + std::to_string(host.id) + "_";
@@ -281,6 +336,16 @@ appendClusterResultRecord(ResultWriter &writer,
             .set(p + "pkts_intr_mode", host.pktsIntrMode)
             .set(p + "pkts_poll_mode", host.pktsPollMode)
             .set(p + "ejections", host.ejections);
+        if (tiered) {
+            rec.set(p + "tier", host.tier)
+                .set(p + "tier_name", host.tierName)
+                .set(p + "forwarded", host.forwarded)
+                .set(p + "hops_completed", host.hopsCompleted)
+                .set(p + "hop_p50_ns",
+                     static_cast<std::int64_t>(host.hopP50))
+                .set(p + "hop_p99_ns",
+                     static_cast<std::int64_t>(host.hopP99));
+        }
     }
     return rec;
 }

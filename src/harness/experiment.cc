@@ -59,6 +59,11 @@ Experiment::Experiment(ExperimentConfig config)
         fatal("fault.crash_host requires a cluster run");
     if (plan.flapHost >= 0)
         fatal("fault.flap_host requires a cluster run");
+
+    // Service topologies only exist behind the cluster switch.
+    for (const auto &[key, value] : config_.params)
+        if (key.rfind("topology.", 0) == 0)
+            fatal("'" + key + "' requires a cluster run");
 }
 
 std::pair<double, double>

@@ -31,6 +31,14 @@ struct Packet
     std::uint32_t sizeBytes = 0; //!< wire size incl. headers
     Tick sendTime = 0;           //!< when the client issued the request
     bool latencyCritical = true; //!< NCAP's packet classification bit
+
+    // Service-topology addressing. Single-tier traffic leaves all of
+    // these at their defaults; the ClusterSwitch owns tier/hopStart
+    // stamping and ServerApp echoes them through service.
+    std::uint8_t tier = 0;     //!< destination tier of a request
+    std::uint8_t hops = 0;     //!< completed host traversals so far
+    Tick hopStart = 0;         //!< when the current hop was dispatched
+    bool control = false;      //!< probe/health traffic, not goodput
 };
 
 } // namespace nmapsim

@@ -20,16 +20,31 @@ ServerApp::ServerApp(ServerOs &os, Nic &nic, const AppProfile &profile,
 }
 
 void
+ServerApp::setServiceScale(double scale)
+{
+    if (scale <= 0.0)
+        fatal("ServerApp service scale must be positive");
+    serviceScale_ = scale;
+}
+
+void
 ServerApp::onPacket(int core, const Packet &pkt)
 {
     ++received_;
     AppThread &thread = *threads_[static_cast<std::size_t>(core)];
+    double cycles = profile_.sampleServiceCycles(rng_);
+    // Guarded so a unit scale leaves the cycle stream bit-identical.
+    if (serviceScale_ != 1.0)
+        cycles *= serviceScale_;
     thread.queue_.push_back(PendingRequest{
         pkt.requestId,
-        profile_.sampleServiceCycles(rng_),
+        cycles,
         pkt.flowHash,
         pkt.sendTime,
         pkt.latencyCritical,
+        pkt.tier,
+        pkt.hops,
+        pkt.hopStart,
     });
     os_.sched(core).threadRunnable(&thread);
 }
@@ -46,11 +61,22 @@ ServerApp::finishFront(int core)
 
     Packet resp;
     resp.requestId = req.requestId;
-    resp.kind = Packet::Kind::kResponse;
     resp.flowHash = req.flowHash;
-    resp.sizeBytes = profile_.responseBytes;
     resp.sendTime = req.sendTime; // echoed for client-side latency
     resp.latencyCritical = req.latencyCritical;
+    resp.tier = req.tier;
+    resp.hops = req.hops;
+    resp.hopStart = req.hopStart;
+    if (forward_) {
+        // Forward-vs-reply contract: a forwarding tier re-emits the
+        // request toward the next tier; the switch advances pkt.tier.
+        resp.kind = Packet::Kind::kRequest;
+        resp.sizeBytes = profile_.requestBytes;
+        ++forwarded_;
+    } else {
+        resp.kind = Packet::Kind::kResponse;
+        resp.sizeBytes = profile_.responseBytes;
+    }
     nic_.transmit(core, resp);
 }
 

@@ -44,6 +44,23 @@ class ServerApp
 
     std::uint64_t requestsCompleted() const { return completed_; }
     std::uint64_t requestsReceived() const { return received_; }
+    std::uint64_t requestsForwarded() const { return forwarded_; }
+
+    /**
+     * Forwarding role: when set, a completed request is re-emitted as
+     * a request packet for the next service tier instead of a
+     * response. The switch owns tier advancement; the app only echoes
+     * the addressing fields. Configure before traffic starts.
+     */
+    void setForwardDownstream(bool forward) { forward_ = forward; }
+    bool forwardDownstream() const { return forward_; }
+
+    /**
+     * Multiplier on sampled service cycles (tier heterogeneity, e.g. a
+     * thin LB tier vs a heavy app tier). Must be positive; 1.0 leaves
+     * the sampled stream untouched bit for bit.
+     */
+    void setServiceScale(double scale);
 
     /** Requests waiting (or in service) on @p core's thread. */
     std::size_t queueDepth(int core) const;
@@ -59,6 +76,9 @@ class ServerApp
         std::uint32_t flowHash;
         Tick sendTime;
         bool latencyCritical;
+        std::uint8_t tier;
+        std::uint8_t hops;
+        Tick hopStart;
     };
 
     class AppThread : public SimThread
@@ -92,6 +112,9 @@ class ServerApp
 
     std::uint64_t received_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t forwarded_ = 0;
+    bool forward_ = false;
+    double serviceScale_ = 1.0;
 };
 
 } // namespace nmapsim

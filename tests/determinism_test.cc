@@ -89,6 +89,27 @@ TEST(DeterminismTest, FaultyClusterOutputByteIdenticalAcrossRuns)
     EXPECT_EQ(first, second);
 }
 
+/** 3-tier LB -> app -> cache chain: east-west forwarding, per-tier
+ *  dispatch and hop attribution replay byte-identically. */
+TEST(DeterminismTest, TieredClusterOutputByteIdenticalAcrossRuns)
+{
+    const ClusterConfig cfg = golden::tieredCluster();
+    const std::string first = golden::renderCluster(cfg);
+    const std::string second = golden::renderCluster(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+/** 4-stage NFV service-function chain, twice, byte-identical. */
+TEST(DeterminismTest, NfvChainOutputByteIdenticalAcrossRuns)
+{
+    const ClusterConfig cfg = golden::nfvChain();
+    const std::string first = golden::renderCluster(cfg);
+    const std::string second = golden::renderCluster(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
 TEST(GoldenOutputTest, SingleHostMatchesGolden)
 {
     const std::string expected = readFile(goldenPath("single_host"));
@@ -118,6 +139,20 @@ TEST(GoldenOutputTest, FaultedClusterMatchesGolden)
     const std::string expected = readFile(goldenPath("faulted_cluster"));
     ASSERT_FALSE(expected.empty());
     EXPECT_EQ(golden::renderCluster(golden::faultedCluster()), expected);
+}
+
+TEST(GoldenOutputTest, TieredClusterMatchesGolden)
+{
+    const std::string expected = readFile(goldenPath("tiered_cluster"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderCluster(golden::tieredCluster()), expected);
+}
+
+TEST(GoldenOutputTest, NfvChainMatchesGolden)
+{
+    const std::string expected = readFile(goldenPath("nfv_chain"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderCluster(golden::nfvChain()), expected);
 }
 
 } // namespace

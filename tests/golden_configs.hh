@@ -90,6 +90,49 @@ faultedCluster()
     return cfg;
 }
 
+/** 3-tier LB -> app -> cache chain: a thin load-balancer tier fans
+ *  into two app hosts, which forward to one cache host. Exercises
+ *  east-west forwarding, per-tier dispatch and hop attribution. */
+inline ClusterConfig
+tieredCluster()
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.dispatch = "round-robin";
+    cfg.numHosts = 4; // derived from the topology; pinned for records
+    cfg.base.params.set("topology.tiers", 3);
+    cfg.base.params.set("topology.tier0.name", "lb");
+    cfg.base.params.set("topology.tier0.hosts", 1);
+    cfg.base.params.set("topology.tier0.service_scale", "0.25");
+    cfg.base.params.set("topology.tier1.name", "app");
+    cfg.base.params.set("topology.tier1.hosts", 2);
+    cfg.base.params.set("topology.tier1.dispatch",
+                        "least-outstanding");
+    cfg.base.params.set("topology.tier2.name", "cache");
+    cfg.base.params.set("topology.tier2.hosts", 1);
+    cfg.base.params.set("topology.tier2.service_scale", "0.5");
+    return cfg;
+}
+
+/** 4-stage NFV-style service-function chain, one host per stage,
+ *  with per-stage service weights (classification is cheap, DPI is
+ *  the bottleneck). */
+inline ClusterConfig
+nfvChain()
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.dispatch = "flow-hash";
+    cfg.numHosts = 4; // derived from the topology; pinned for records
+    cfg.base.params.set("topology.tiers", 4);
+    cfg.base.params.set("topology.tier0.name", "classify");
+    cfg.base.params.set("topology.tier0.service_scale", "0.25");
+    cfg.base.params.set("topology.tier1.name", "firewall");
+    cfg.base.params.set("topology.tier1.service_scale", "0.5");
+    cfg.base.params.set("topology.tier2.name", "dpi");
+    cfg.base.params.set("topology.tier3.name", "nat");
+    cfg.base.params.set("topology.tier3.service_scale", "0.5");
+    return cfg;
+}
+
 /** Serialised (JSON + CSV) ResultWriter output for one fresh run. */
 inline std::string
 renderSingleHost(const ExperimentConfig &cfg)

@@ -1,0 +1,23 @@
+// Fixture: trips register-hygiene (REGISTER_DISPATCH_POLICY with a
+// non-literal name; only that rule).
+
+namespace nmapsim {
+namespace {
+
+struct Ctx
+{
+};
+
+int
+makeChainPolicy(const Ctx &)
+{
+    return 0;
+}
+
+const char *kPolicyName = "fixture-dispatch";
+
+REGISTER_DISPATCH_POLICY(kPolicyName, &makeChainPolicy,
+                         "steering fixture");
+
+} // namespace
+} // namespace nmapsim

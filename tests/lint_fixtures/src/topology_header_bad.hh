@@ -1,0 +1,10 @@
+// Fixture: trips header-hygiene (no include guard; only that rule).
+
+namespace nmapsim {
+
+struct FixtureTierSpec
+{
+    int hosts = 1;
+};
+
+} // namespace nmapsim

@@ -79,7 +79,9 @@ constexpr FixtureCase kFixtures[] = {
     {"src/unordered_iter.cc", "unordered-iter"},
     {"src/raw_output.cc", "raw-output"},
     {"src/no_namespace.hh", "header-hygiene"},
+    {"src/topology_header_bad.hh", "header-hygiene"},
     {"src/register_bad.cc", "register-hygiene"},
+    {"src/register_dispatch_bad.cc", "register-hygiene"},
     {"src/bad_waiver.cc", "bad-waiver"},
 };
 

@@ -398,5 +398,122 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
+using DepthDispatchSeed = std::tuple<int, std::string, unsigned>;
+
+class ChainConservation
+    : public ::testing::TestWithParam<DepthDispatchSeed>
+{
+};
+
+/**
+ * Chain-wide packet conservation: in an N-tier topology every request
+ * traverses every tier exactly once, so with unbounded queues and a
+ * drain window the hop counters are exact multiples of the client
+ * totals — injected == replied, forwards == injected x (N-1), switch
+ * dispatches == injected x N — whatever the chain depth, dispatch
+ * policy or seed. The byte-class split must partition exactly too.
+ */
+TEST_P(ChainConservation, EveryHopAccountsExactly)
+{
+    auto [depth, dispatch, seed] = GetParam();
+
+    ClusterConfig cfg;
+    cfg.base.app = AppProfile::memcached();
+    cfg.base.load = LoadLevel::kMed;
+    cfg.base.freqPolicy = "ondemand";
+    cfg.base.seed = seed;
+    cfg.base.warmup = milliseconds(5);
+    cfg.base.duration = milliseconds(20);
+    cfg.dispatch = dispatch;
+    cfg.drain = milliseconds(20);
+    cfg.base.params.set("topology.tiers", depth);
+    cfg.base.params.set("topology.tier1.hosts", 2); // fan the middle
+    ClusterResult r = ClusterExperiment(cfg).run();
+
+    const auto sent = r.requestsSent;
+    const auto hops = static_cast<std::uint64_t>(depth);
+    EXPECT_GT(sent, 0u);
+    EXPECT_EQ(r.responsesReceived, sent);
+    EXPECT_EQ(r.eastWestForwards, sent * (hops - 1));
+    EXPECT_EQ(r.requestsForwarded, sent * hops);
+    EXPECT_EQ(r.responsesReturned, sent);
+    EXPECT_EQ(r.switchPortDrops, 0u);
+    EXPECT_EQ(r.hostNicDrops, 0u);
+    EXPECT_EQ(r.strayResponses, 0u);
+
+    // Byte-class accounting partitions exactly: goodput is response
+    // payload only, east-west is the forwards, nothing was control.
+    EXPECT_EQ(r.goodputBytes,
+              sent * cfg.base.app.responseBytes);
+    EXPECT_EQ(r.eastWestBytes,
+              r.eastWestForwards * cfg.base.app.requestBytes);
+    EXPECT_EQ(r.controlBytes, 0u);
+
+    ASSERT_EQ(r.tiers.size(), static_cast<std::size_t>(depth));
+    for (const ClusterTierResult &tier : r.tiers) {
+        const bool last = tier.tier == depth - 1;
+        // Whole-run forward counters are exact; hop-latency
+        // completions cover the measurement window only.
+        EXPECT_EQ(tier.forwards, last ? 0u : sent);
+        EXPECT_GT(tier.completions, 0u);
+        EXPECT_LE(tier.completions, sent);
+        EXPECT_GT(tier.hopP99, 0);
+        EXPECT_GE(tier.hopP99, tier.hopP50);
+        EXPECT_GE(tier.p99Share, 0.0);
+        EXPECT_LE(tier.p99Share, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChainSweep, ChainConservation,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values("round-robin",
+                                         "least-outstanding"),
+                       ::testing::Values(23u)),
+    [](const ::testing::TestParamInfo<DepthDispatchSeed> &param_info) {
+        std::string name =
+            "d" + std::to_string(std::get<0>(param_info.param)) + "_" +
+            std::get<1>(param_info.param) + "_s" +
+            std::to_string(std::get<2>(param_info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/**
+ * With seeded loss on the access links of a 3-tier chain and client
+ * retries, the fire-and-forget identity stays exact bookkeeping
+ * across all hops: every injected request is replied, timed out, or
+ * still in flight — a forward the loss ate mid-chain surfaces as a
+ * client timeout, never as a vanished packet.
+ */
+TEST(ChainLossConservation, MidChainLossAccountsExactly)
+{
+    ClusterConfig cfg;
+    cfg.base.app = AppProfile::memcached();
+    cfg.base.load = LoadLevel::kMed;
+    cfg.base.freqPolicy = "ondemand";
+    cfg.base.seed = 29;
+    cfg.base.warmup = milliseconds(5);
+    cfg.base.duration = milliseconds(40);
+    cfg.dispatch = "round-robin";
+    cfg.drain = milliseconds(20);
+    cfg.base.params.set("topology.tiers", 3);
+    cfg.base.params.set("topology.tier1.hosts", 2);
+    cfg.base.params.set("fault.wire_loss", "0.03");
+    cfg.base.params.setTick("client.timeout", milliseconds(4));
+    cfg.base.params.set("client.retries", 3);
+    ClusterResult r = ClusterExperiment(cfg).run();
+
+    EXPECT_GT(r.faultPacketsLost, 0u);
+    EXPECT_GT(r.retransmits, 0u);
+    EXPECT_EQ(r.requestsSent, r.responsesReceived +
+                                  r.requestsTimedOut +
+                                  r.requestsInFlight);
+    EXPECT_LE(r.availability, 1.0);
+    EXPECT_GT(r.availability, 0.5);
+}
+
 } // namespace
 } // namespace nmapsim

@@ -29,6 +29,33 @@ if [ ! -d "$BASELINE_DIR" ]; then
     exit 2
 fi
 
+# The pre-existing baselines captured before the engine rewrite. A
+# baseline silently deleted or renamed would drop out of the *.stdout
+# glob and the gate would pass vacuously; require every one of these
+# to still be pinned. New benches append their own baselines freely —
+# this list only grows, never shrinks.
+REQUIRED_BASELINES="
+ablation_adaptive ablation_chipwide ablation_idle_governors
+ablation_retransition ablation_thresholds ablation_timer_itr
+ext_chaos ext_cluster ext_colocation ext_usec_slo
+fig02_napi_modes fig03_latency_trace fig04_latency_cdf
+fig07_cc6_trace fig08_sleep_policies fig09_nmap_trace
+fig10_nmap_latency_trace fig11_nmap_cdf fig12_p99_comparison
+fig13_energy_comparison fig14_sota_p99 fig15_sota_energy
+fig16_varying_load table1_retransition table2_wakeup
+"
+missing=0
+for name in $REQUIRED_BASELINES; do
+    if [ ! -f "$BASELINE_DIR/$name.stdout" ]; then
+        echo "FAIL  $name: pinned baseline missing from $BASELINE_DIR" >&2
+        missing=$((missing + 1))
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check_bench_parity: $missing pre-existing baselines missing" >&2
+    exit 1
+fi
+
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 

@@ -143,15 +143,18 @@ runCluster(const ClusterConfig &ccfg, const std::string &json_path,
            const std::string &csv_path)
 {
     const ExperimentConfig &cfg = ccfg.base;
+    ClusterExperiment exp(ccfg);
+    // The experiment derives the host count from a topology.* block;
+    // print the derived value, not the pre-derivation config field.
     std::printf("hosts=%d dispatch=%s app=%s policy=%s idle=%s "
                 "load=%s cores=%d duration=%.0fms seed=%llu\n",
-                ccfg.numHosts, ccfg.dispatch.c_str(),
+                exp.config().numHosts, ccfg.dispatch.c_str(),
                 cfg.app.name.c_str(), cfg.freqPolicy.c_str(),
                 cfg.idlePolicy.c_str(), loadLevelName(cfg.load),
                 cfg.numCores, toMilliseconds(cfg.duration),
                 static_cast<unsigned long long>(cfg.seed));
 
-    ClusterResult r = ClusterExperiment(ccfg).run();
+    ClusterResult r = exp.run();
 
     Table table({"metric", "value"});
     table.addRow(
@@ -202,15 +205,44 @@ runCluster(const ClusterConfig &ccfg, const std::string &json_path,
     }
     table.print(std::cout);
 
-    Table hosts({"host", "freq policy", "idle policy", "served",
-                 "p99 (us)", "energy (J)", "power (W)", "busy"});
-    for (const ClusterHostResult &h : r.hosts)
-        hosts.addRow({std::to_string(h.id), h.freqPolicy,
-                      h.idlePolicy, std::to_string(h.served),
-                      Table::num(toMicroseconds(h.p99), 1),
-                      Table::num(h.energyJoules, 2),
-                      Table::num(h.avgPowerWatts, 2),
-                      Table::num(h.busyFraction, 3)});
+    if (!r.tiers.empty()) {
+        Table tiers({"tier", "hosts", "dispatch", "hops",
+                     "hop p50 (us)", "hop p99 (us)", "over SLO (%)",
+                     "p99 share", "energy (J)"});
+        for (const ClusterTierResult &t : r.tiers)
+            tiers.addRow({t.name, std::to_string(t.hosts),
+                          t.dispatch, std::to_string(t.completions),
+                          Table::num(toMicroseconds(t.hopP50), 1),
+                          Table::num(toMicroseconds(t.hopP99), 1),
+                          Table::num(t.fracOverSlo * 100.0, 3),
+                          Table::num(t.p99Share, 3),
+                          Table::num(t.energyJoules, 2)});
+        tiers.print(std::cout);
+    }
+
+    const bool tiered = !r.tiers.empty();
+    std::vector<std::string> host_cols{
+        "host", "freq policy", "idle policy", "served", "p99 (us)",
+        "energy (J)", "power (W)", "busy"};
+    if (tiered) {
+        host_cols.insert(host_cols.begin() + 1, "tier");
+        host_cols.insert(host_cols.begin() + 5, "forwarded");
+    }
+    Table hosts(host_cols);
+    for (const ClusterHostResult &h : r.hosts) {
+        std::vector<std::string> row{
+            std::to_string(h.id), h.freqPolicy, h.idlePolicy,
+            std::to_string(h.served),
+            Table::num(toMicroseconds(h.p99), 1),
+            Table::num(h.energyJoules, 2),
+            Table::num(h.avgPowerWatts, 2),
+            Table::num(h.busyFraction, 3)};
+        if (tiered) {
+            row.insert(row.begin() + 1, h.tierName);
+            row.insert(row.begin() + 5, std::to_string(h.forwarded));
+        }
+        hosts.addRow(row);
+    }
     hosts.print(std::cout);
 
     if (!json_path.empty() || !csv_path.empty()) {
