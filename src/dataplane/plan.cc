@@ -1,0 +1,86 @@
+#include "dataplane/plan.hh"
+
+#include "sim/logging.hh"
+
+namespace nmapsim {
+namespace {
+
+constexpr const char *kKnownKeys[] = {
+    "dataplane.mode",
+    "dataplane.poll_cores",
+    "dataplane.poll_batch",
+    "dataplane.policy",
+    "dataplane.sleep_armed_irq",
+    "dataplane.rx_packet_cycles",
+    "dataplane.tx_completion_cycles",
+};
+
+bool
+isKnownDataplaneKey(const std::string &key)
+{
+    for (const char *known : kKnownKeys)
+        if (key == known)
+            return true;
+    return false;
+}
+
+} // namespace
+
+DataplanePlan
+DataplanePlan::fromParams(const PolicyParams &params)
+{
+    for (const auto &[key, value] : params) {
+        if (key.rfind("dataplane.", 0) == 0 &&
+            !isKnownDataplaneKey(key))
+            fatal("unknown dataplane key '" + key + "'");
+    }
+
+    DataplanePlan plan;
+    const std::string mode = params.raw("dataplane.mode");
+    if (mode.empty() || mode == "napi")
+        plan.mode = Mode::kNapi;
+    else if (mode == "bypass")
+        plan.mode = Mode::kBypass;
+    else
+        fatal("dataplane.mode must be 'napi' or 'bypass', got '" +
+              mode + "'");
+
+    plan.pollCores = params.getInt("dataplane.poll_cores", 1);
+    plan.pollBatch = params.getInt("dataplane.poll_batch", 32);
+    if (params.has("dataplane.policy"))
+        plan.policy = params.raw("dataplane.policy");
+    plan.sleepArmedIrq =
+        params.getBool("dataplane.sleep_armed_irq", false);
+    plan.rxPacketCycles =
+        params.getDouble("dataplane.rx_packet_cycles", 1400);
+    plan.txCompletionCycles =
+        params.getDouble("dataplane.tx_completion_cycles", 100);
+
+    if (plan.pollCores < 1)
+        fatal("dataplane.poll_cores must be >= 1");
+    if (plan.pollBatch < 1)
+        fatal("dataplane.poll_batch must be >= 1");
+    if (plan.policy.empty())
+        fatal("dataplane.policy must name a registered policy");
+    if (plan.rxPacketCycles <= 0)
+        fatal("dataplane.rx_packet_cycles must be > 0");
+    if (plan.txCompletionCycles <= 0)
+        fatal("dataplane.tx_completion_cycles must be > 0");
+
+    // The non-mode keys only steer the bypass engine; rejecting them
+    // under NAPI catches configs that meant to flip the mode.
+    if (!plan.bypass()) {
+        for (const char *key :
+             {"dataplane.poll_cores", "dataplane.poll_batch",
+              "dataplane.policy", "dataplane.sleep_armed_irq",
+              "dataplane.rx_packet_cycles",
+              "dataplane.tx_completion_cycles"}) {
+            if (params.has(key))
+                fatal(std::string("'") + key +
+                      "' requires dataplane.mode=bypass");
+        }
+    }
+    return plan;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,16 @@
+#include "dataplane/policy.hh"
+
+namespace nmapsim {
+
+// Defined in policies.cc; referencing it forces that TU's static
+// registrars to run even when the subsystem is consumed from a static
+// archive (same idiom as ensureBuiltinPolicies()).
+void linkDataplanePolicies();
+
+void
+ensureBuiltinDataplanePolicies()
+{
+    linkDataplanePolicies();
+}
+
+} // namespace nmapsim

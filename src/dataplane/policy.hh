@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Self-registering dataplane-policy registry: string-keyed factories
+ * for the sleep controller a bypass poll core consults after every
+ * poll iteration.
+ *
+ * The harness resolves `dataplane.policy` by name here and never
+ * mentions a concrete policy class. Policy modules register
+ * themselves:
+ *
+ *     // in src/dataplane/<policy>.cc
+ *     namespace {
+ *     std::unique_ptr<DataplanePolicy>
+ *     makeMyPolicy(const DataplaneContext &ctx)
+ *     {
+ *         return std::make_unique<MyPolicy>(
+ *             ctx.params.getTick("mine.period", microseconds(5)));
+ *     }
+ *     REGISTER_DATAPLANE_POLICY("my-policy", &makeMyPolicy,
+ *                               "one-line help");
+ *     } // namespace
+ *
+ * and the name is immediately usable from configs, every bench and the
+ * nmapsim_run CLI — no harness edits. One policy instance is created
+ * per poll thread, so stateful controllers (Metronome's adaptive sleep)
+ * need no cross-thread care.
+ */
+
+#ifndef NMAPSIM_DATAPLANE_POLICY_HH_
+#define NMAPSIM_DATAPLANE_POLICY_HH_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/policy_params.hh"
+#include "sim/logging.hh"
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** What one completed poll iteration looked like. */
+struct DataplanePollStats
+{
+    Tick now = 0;                   //!< when the poll completed
+    std::uint32_t harvestedRx = 0;  //!< Rx packets this poll took
+    std::uint32_t harvestedTx = 0;  //!< Tx completions this poll reaped
+    std::size_t ringOccupancy = 0;  //!< Rx backlog left on owned queues
+    int pollBatch = 0;              //!< per-queue Rx budget of the poll
+};
+
+/** Per-poll-thread sleep controller for the bypass dataplane. */
+class DataplanePolicy
+{
+  public:
+    virtual ~DataplanePolicy() = default;
+
+    /**
+     * Decide what the poll core does next: return 0 to poll again
+     * immediately (busy spin), or a positive duration to sleep before
+     * the next poll (an armed interrupt may cut the sleep short).
+     */
+    virtual Tick sleepAfterPoll(const DataplanePollStats &stats) = 0;
+};
+
+/** Everything a dataplane-policy factory may depend on. */
+struct DataplaneContext
+{
+    const PolicyParams &params;
+};
+
+/** String-keyed factories for dataplane sleep policies. */
+class DataplanePolicyRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<DataplanePolicy>(
+        const DataplaneContext &)>;
+
+    static DataplanePolicyRegistry &
+    instance()
+    {
+        static DataplanePolicyRegistry registry;
+        return registry;
+    }
+
+    void
+    registerPolicy(const std::string &name, Factory factory,
+                   std::string help = "")
+    {
+        if (!policies_
+                 .emplace(name, Entry{std::move(factory),
+                                      std::move(help)})
+                 .second)
+            fatal("duplicate dataplane policy registration: '" + name +
+                  "'");
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return policies_.count(name) != 0;
+    }
+
+    /** Instantiate a policy; fatal() on unknown names. */
+    std::unique_ptr<DataplanePolicy>
+    make(const std::string &name, const DataplaneContext &ctx) const
+    {
+        auto it = policies_.find(name);
+        if (it == policies_.end())
+            fatal("unknown dataplane policy '" + name + "' (known: " +
+                  joined() + ")");
+        return it->second.factory(ctx);
+    }
+
+    /** Registered policy names, sorted. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(policies_.size());
+        for (const auto &[name, entry] : policies_)
+            out.push_back(name);
+        return out;
+    }
+
+    std::string
+    help(const std::string &name) const
+    {
+        auto it = policies_.find(name);
+        return it == policies_.end() ? std::string()
+                                     : it->second.help;
+    }
+
+  private:
+    struct Entry
+    {
+        Factory factory;
+        std::string help;
+    };
+
+    DataplanePolicyRegistry() = default;
+
+    std::string
+    joined() const
+    {
+        std::string out;
+        for (const auto &[name, entry] : policies_) {
+            if (!out.empty())
+                out += ", ";
+            out += name;
+        }
+        return out;
+    }
+
+    std::map<std::string, Entry> policies_;
+};
+
+/** Registers a dataplane policy at static-initialisation time. */
+struct DataplanePolicyRegistrar
+{
+    DataplanePolicyRegistrar(const std::string &name,
+                             DataplanePolicyRegistry::Factory factory,
+                             std::string help = "")
+    {
+        DataplanePolicyRegistry::instance().registerPolicy(
+            name, std::move(factory), std::move(help));
+    }
+};
+
+/**
+ * Registration shorthand, mirroring REGISTER_FREQ_POLICY
+ * (harness/policy_registry.hh). Both the name and the help string must
+ * be nonempty string literals; nmaplint (rule register-hygiene)
+ * enforces both.
+ */
+#define NMAPSIM_REGISTRAR_CONCAT_(a, b) a##b
+#define NMAPSIM_REGISTRAR_CONCAT(a, b) NMAPSIM_REGISTRAR_CONCAT_(a, b)
+
+#define REGISTER_DATAPLANE_POLICY(name, factory, help)                 \
+    static const ::nmapsim::DataplanePolicyRegistrar                   \
+        NMAPSIM_REGISTRAR_CONCAT(nmapsimDataplanePolicyRegistrar_,     \
+                                 __COUNTER__)(name, factory, help)
+
+/**
+ * Force the built-in dataplane-policy TUs out of their static archive
+ * (see ensureBuiltinPolicies() for the idiom). Idempotent.
+ */
+void ensureBuiltinDataplanePolicies();
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_DATAPLANE_POLICY_HH_

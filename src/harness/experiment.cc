@@ -5,6 +5,9 @@
 #include "cpu/core.hh"
 #include "cpu/cpu_profile.hh"
 #include "cpu/package_power.hh"
+#include "dataplane/bypass.hh"
+#include "dataplane/plan.hh"
+#include "dataplane/policy.hh"
 #include "fault/injector.hh"
 #include "fault/plan.hh"
 #include "governors/switchable_idle.hh"
@@ -64,6 +67,19 @@ Experiment::Experiment(ExperimentConfig config)
     for (const auto &[key, value] : config_.params)
         if (key.rfind("topology.", 0) == 0)
             fatal("'" + key + "' requires a cluster run");
+
+    // Same early surfacing for dataplane config errors.
+    const DataplanePlan dplan = DataplanePlan::fromParams(config_.params);
+    if (dplan.bypass()) {
+        ensureBuiltinDataplanePolicies();
+        if (!DataplanePolicyRegistry::instance().has(dplan.policy))
+            fatal("unknown dataplane policy '" + dplan.policy + "'");
+        if (dplan.pollCores >= config_.numCores)
+            fatal("dataplane.poll_cores must leave at least one worker "
+                  "core (poll_cores=" +
+                  std::to_string(dplan.pollCores) +
+                  ", cores=" + std::to_string(config_.numCores) + ")");
+    }
 }
 
 std::pair<double, double>
@@ -87,9 +103,15 @@ Experiment::profileThresholds(const ExperimentConfig &config)
     // Thresholds describe a *healthy* system: profile without any
     // injected faults or client retries (also keeps cluster-derived
     // configs from tripping the cluster-only fault key checks).
+    // ... and without the bypass dataplane: NMAP's NI/CU thresholds
+    // describe the NAPI mode-transition signal, which only exists on
+    // the interrupt path.
     std::vector<std::string> stripped;
     for (const auto &[key, value] : pcfg.params)
-        if (key.rfind("fault.", 0) == 0 || key.rfind("client.", 0) == 0)
+        if (key.rfind("fault.", 0) == 0 ||
+            key.rfind("client.", 0) == 0 ||
+            key.rfind("dataplane.", 0) == 0 ||
+            key.rfind("metronome.", 0) == 0)
             stripped.push_back(key);
     for (const std::string &key : stripped)
         pcfg.params.erase(key);
@@ -230,8 +252,22 @@ Experiment::run()
             injector->addDegradableNic(nic);
     }
 
+    // --- Dataplane ------------------------------------------------------
+    // The default NAPI plan constructs nothing: no engine, no events,
+    // no Rng fork — byte-identical to the pre-dataplane simulator. The
+    // engine may be built after the injector because it forks no
+    // random stream.
+    const DataplanePlan dataplane_plan =
+        DataplanePlan::fromParams(config_.params);
+    std::unique_ptr<BypassEngine> bypass;
+    if (dataplane_plan.bypass())
+        bypass = std::make_unique<BypassEngine>(os, nic, dataplane_plan,
+                                                config_.params);
+
     // --- Run -----------------------------------------------------------
     os.start();
+    if (bypass)
+        bypass->start();
     policy.governor->start();
     gen.setConnectionSkew(config_.connectionSkew);
     gen.setLoad(spec);
@@ -240,6 +276,8 @@ Experiment::run()
     eq.runUntil(config_.warmup);
     Tick measure_start = eq.now();
     package.startMeasurement(measure_start);
+    if (bypass)
+        bypass->startMeasurement(measure_start);
     client.latencies().clear();
     client.attemptLatencies().clear();
 
@@ -295,6 +333,21 @@ Experiment::run()
         result.busyFraction += static_cast<double>(core->busyTime()) /
                                static_cast<double>(end) /
                                static_cast<double>(config_.numCores);
+    }
+
+    if (bypass) {
+        // Bypass harvests are polling-mode work by definition; the NAPI
+        // contexts stayed dormant, so pktsIntrMode is zero and the
+        // NAPI conservation identity (intr + poll == rx harvested + tx
+        // consumed) carries over unchanged.
+        BypassEngine::Stats dp = bypass->stats();
+        result.pktsPollMode += dp.pktsHarvested;
+        result.bypassPollLoops = dp.pollLoops;
+        result.bypassEmptyPolls = dp.emptyPolls;
+        result.bypassSleeps = dp.sleeps;
+        result.bypassSleepResidency = dp.sleepResidency;
+        result.bypassWastedPollEnergy =
+            bypass->wastedPollEnergyJoules(end);
     }
 
     result.eventsProcessed = eq.numProcessed();

@@ -148,6 +148,17 @@ struct ExperimentResult
     Tick attemptP99 = 0;
     /**@}*/
 
+    /** @name Bypass dataplane metrics (all zero under the default
+     *  dataplane.mode=napi; serialised only for bypass runs) */
+    /**@{*/
+    std::uint64_t bypassPollLoops = 0;  //!< PMD poll iterations run
+    std::uint64_t bypassEmptyPolls = 0; //!< polls that harvested nothing
+    std::uint64_t bypassSleeps = 0;     //!< policy-initiated poll sleeps
+    Tick bypassSleepResidency = 0;      //!< total poll-core sleep time
+    /** Poll-core energy spent on empty polls (busy-poll tax), joules. */
+    double bypassWastedPollEnergy = 0.0;
+    /**@}*/
+
     /** @name Engine counters (bench/perf_core; never serialised —
      *  they describe the simulator, not the simulated system) */
     /**@{*/

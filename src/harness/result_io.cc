@@ -1,5 +1,7 @@
 #include "harness/result_io.hh"
 
+#include "dataplane/plan.hh"
+
 namespace nmapsim {
 
 ResultWriter::Record &
@@ -56,6 +58,19 @@ appendResultRecord(ResultWriter &writer, const ExperimentConfig &config,
         .set("availability", result.availability)
         .set("attempt_p99_ns",
              static_cast<std::int64_t>(result.attemptP99));
+
+    // Dataplane metrics only exist for bypass runs; gating the columns
+    // keeps every pre-dataplane record (goldens, bench baselines)
+    // byte-identical.
+    if (DataplanePlan::fromParams(config.params).bypass()) {
+        rec.set("bypass_poll_loops", result.bypassPollLoops)
+            .set("bypass_empty_polls", result.bypassEmptyPolls)
+            .set("bypass_sleeps", result.bypassSleeps)
+            .set("bypass_sleep_residency_ns",
+                 static_cast<std::int64_t>(result.bypassSleepResidency))
+            .set("bypass_wasted_poll_energy_j",
+                 result.bypassWastedPollEnergy);
+    }
     return rec;
 }
 

@@ -66,6 +66,10 @@ class Nic
      */
     void setRxRingSize(std::size_t slots);
 
+    /** Current per-queue Rx ring bound (may shrink under ring faults;
+     *  the bypass harvest path caps its burst size here). */
+    std::size_t rxRingSize() const { return config_.rxRingSize; }
+
     /** Attach the CPU-side interrupt handler (one for all queues). */
     void setIrqHandler(IrqHandler handler) { irq_ = std::move(handler); }
 

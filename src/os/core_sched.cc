@@ -71,8 +71,12 @@ CoreScheduler::handleIrq()
     ++hardirqs_;
     // The driver's interrupt handler auto-masks the queue interrupt and
     // schedules NAPI; model both at interrupt-assertion time. The
-    // handler's execution cost is the hardirq slice charged below.
-    napi_.napiSchedule();
+    // handler's execution cost is the hardirq slice charged below. A
+    // bypass dataplane substitutes its own top half via the delegate.
+    if (irqDelegate_)
+        irqDelegate_();
+    else
+        napi_.napiSchedule();
     ++pendingIrqs_;
 
     if (cur_ != RunKind::kNone) {

@@ -71,6 +71,15 @@ class CoreScheduler
     /** Hooks fired on ksoftirqd wake/sleep (NMAP-simpl's signal). */
     void setKsoftirqdHooks(Hook wake, Hook sleep);
 
+    /**
+     * Replace the hardirq's NAPI half: when set, a NIC interrupt on
+     * this core invokes @p delegate instead of napi_schedule (the
+     * bypass dataplane routes the IRQ to its poll thread). The hardirq
+     * slice itself is still charged. Null (the default) keeps the
+     * NAPI path untouched.
+     */
+    void setIrqDelegate(Hook delegate) { irqDelegate_ = std::move(delegate); }
+
     /** Register an application thread. */
     void addThread(SimThread *thread);
 
@@ -121,6 +130,7 @@ class CoreScheduler
     CpuIdleGovernor *idleGov_ = nullptr;
     Hook ksoftWakeHook_;
     Hook ksoftSleepHook_;
+    Hook irqDelegate_;
 
     KsoftirqdThread ksoftirqd_;
 

@@ -50,6 +50,16 @@ class ServerOs
     /** Application receive path; set before traffic starts. */
     void setDeliver(Deliver deliver) { deliver_ = std::move(deliver); }
 
+    /** Hand a request to the application on @p core directly (the
+     *  bypass dataplane's receive path; NAPI goes through the per-core
+     *  NapiContext instead). */
+    void
+    deliverToApp(int core, const Packet &pkt)
+    {
+        if (deliver_)
+            deliver_(core, pkt);
+    }
+
     /** Shared cpuidle governor for every core (may be null). */
     void setIdleGovernor(CpuIdleGovernor *gov);
 

@@ -89,6 +89,19 @@ TEST(DeterminismTest, FaultyClusterOutputByteIdenticalAcrossRuns)
     EXPECT_EQ(first, second);
 }
 
+/** Bypass dataplane + ring-degrade fault: the PMD poll loops, armed
+ *  sleeps and mid-run ring shrink replay byte-identically — sleep
+ *  durations come from the deterministic Metronome controller, never
+ *  from an unseeded source. */
+TEST(DeterminismTest, FaultedBypassOutputByteIdenticalAcrossRuns)
+{
+    const ExperimentConfig cfg = golden::faultedBypassHost();
+    const std::string first = golden::renderSingleHost(cfg);
+    const std::string second = golden::renderSingleHost(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
 /** 3-tier LB -> app -> cache chain: east-west forwarding, per-tier
  *  dispatch and hop attribution replay byte-identically. */
 TEST(DeterminismTest, TieredClusterOutputByteIdenticalAcrossRuns)
@@ -139,6 +152,15 @@ TEST(GoldenOutputTest, FaultedClusterMatchesGolden)
     const std::string expected = readFile(goldenPath("faulted_cluster"));
     ASSERT_FALSE(expected.empty());
     EXPECT_EQ(golden::renderCluster(golden::faultedCluster()), expected);
+}
+
+TEST(GoldenOutputTest, FaultedBypassMatchesGolden)
+{
+    const std::string expected =
+        readFile(goldenPath("faulted_bypass"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderSingleHost(golden::faultedBypassHost()),
+              expected);
 }
 
 TEST(GoldenOutputTest, TieredClusterMatchesGolden)

@@ -90,6 +90,26 @@ faultedCluster()
     return cfg;
 }
 
+/** Kernel-bypass dataplane under fire: Metronome intermittent sleep
+ *  with armed wakeups, plus a mid-run rx-ring degrade/restore cycle.
+ *  Pins the poll-loop/sleep/harvest machinery and the bypass result
+ *  columns byte for byte. */
+inline ExperimentConfig
+faultedBypassHost()
+{
+    ExperimentConfig cfg = smallSingleHost();
+    cfg.freqPolicy = "ondemand";
+    cfg.params.erase("nmap.ni_th");
+    cfg.params.erase("nmap.cu_th");
+    cfg.params.set("dataplane.mode", "bypass");
+    cfg.params.set("dataplane.policy", "metronome");
+    cfg.params.set("dataplane.sleep_armed_irq", "true");
+    cfg.params.setTick("fault.ring_degrade_at", milliseconds(20));
+    cfg.params.set("fault.ring_size", 8);
+    cfg.params.setTick("fault.ring_restore_at", milliseconds(35));
+    return cfg;
+}
+
 /** 3-tier LB -> app -> cache chain: a thin load-balancer tier fans
  *  into two app hosts, which forward to one cache host. Exercises
  *  east-west forwarding, per-tier dispatch and hop attribution. */

@@ -53,11 +53,13 @@ main(int argc, char **argv)
                     golden::renderSingleHost(golden::faultedSingleHost()));
     rc |= writeFile(dir + "/faulted_cluster.golden",
                     golden::renderCluster(golden::faultedCluster()));
+    rc |= writeFile(dir + "/faulted_bypass.golden",
+                    golden::renderSingleHost(golden::faultedBypassHost()));
     rc |= writeFile(dir + "/tiered_cluster.golden",
                     golden::renderCluster(golden::tieredCluster()));
     rc |= writeFile(dir + "/nfv_chain.golden",
                     golden::renderCluster(golden::nfvChain()));
     if (rc == 0)
-        std::printf("golden_gen: wrote 6 goldens to %s\n", dir.c_str());
+        std::printf("golden_gen: wrote 7 goldens to %s\n", dir.c_str());
     return rc;
 }

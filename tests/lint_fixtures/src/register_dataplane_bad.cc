@@ -1,0 +1,23 @@
+// Fixture: trips register-hygiene (REGISTER_DATAPLANE_POLICY with a
+// non-literal name; only that rule).
+
+namespace nmapsim {
+namespace {
+
+struct Ctx
+{
+};
+
+int
+makeNapPolicy(const Ctx &)
+{
+    return 0;
+}
+
+const char *kPolicyName = "fixture-dataplane";
+
+REGISTER_DATAPLANE_POLICY(kPolicyName, &makeNapPolicy,
+                          "sleep-policy fixture");
+
+} // namespace
+} // namespace nmapsim

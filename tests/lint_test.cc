@@ -82,6 +82,7 @@ constexpr FixtureCase kFixtures[] = {
     {"src/topology_header_bad.hh", "header-hygiene"},
     {"src/register_bad.cc", "register-hygiene"},
     {"src/register_dispatch_bad.cc", "register-hygiene"},
+    {"src/register_dataplane_bad.cc", "register-hygiene"},
     {"src/bad_waiver.cc", "bad-waiver"},
 };
 

@@ -28,6 +28,7 @@ constexpr const char *kRegistrars[] = {
     "FreqPolicyRegistrar",
     "IdlePolicyRegistrar",
     "DispatchRegistrar",
+    "DataplanePolicyRegistrar",
     "LintRuleRegistrar",
 };
 

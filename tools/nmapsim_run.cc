@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "cluster/dispatch.hh"
+#include "dataplane/plan.hh"
+#include "dataplane/policy.hh"
 #include "harness/cluster_io.hh"
 #include "harness/config_io.hh"
 #include "harness/policy_registry.hh"
@@ -58,6 +60,9 @@ usage()
         "  --seed=N           RNG seed\n"
         "  --hosts=N          cluster mode: N hosts behind the switch\n"
         "  --dispatch=NAME    cluster request steering policy\n"
+        "  --dataplane=MODE   napi (default) | bypass; bypass runs\n"
+        "                     dedicated poll cores (dataplane.* keys\n"
+        "                     tune it, e.g. dataplane.policy=metronome)\n"
         "  --set KEY=VALUE    set any config key (repeatable); policy\n"
         "                     tunables pass through, e.g. nmap.ni_th=13;\n"
         "                     cluster keys (cluster.*, host<i>.*) switch\n"
@@ -90,6 +95,12 @@ listPolicies()
     std::printf("dispatch policies (cluster mode):\n");
     for (const std::string &name : dreg.names()) {
         std::string help = dreg.help(name);
+        std::printf("  %-16s %s\n", name.c_str(), help.c_str());
+    }
+    DataplanePolicyRegistry &preg = DataplanePolicyRegistry::instance();
+    std::printf("dataplane policies (--dataplane=bypass):\n");
+    for (const std::string &name : preg.names()) {
+        std::string help = preg.help(name);
         std::printf("  %-16s %s\n", name.c_str(), help.c_str());
     }
 }
@@ -267,6 +278,7 @@ main(int argc, char **argv)
 {
     ensureBuiltinPolicies();
     ensureBuiltinDispatchPolicies();
+    ensureBuiltinDataplanePolicies();
 
     ClusterConfig ccfg;
     ExperimentConfig &cfg = ccfg.base;
@@ -321,6 +333,8 @@ main(int argc, char **argv)
                 apply("hosts", need(f));
             } else if (f.name == "--dispatch") {
                 apply("dispatch", need(f));
+            } else if (f.name == "--dataplane") {
+                apply("dataplane.mode", need(f));
             } else if (f.name == "--set") {
                 const std::string &kv = need(f);
                 std::size_t eq = kv.find('=');
@@ -465,6 +479,22 @@ main(int argc, char **argv)
                 {"NI_TH used", Table::num(r.niThresholdUsed, 1)});
             table.addRow(
                 {"CU_TH used", Table::num(r.cuThresholdUsed, 2)});
+        }
+        // Bypass rows only for bypass runs: default-mode stdout stays
+        // byte-identical to earlier releases.
+        if (DataplanePlan::fromParams(cfg.params).bypass()) {
+            table.addRow({"bypass poll loops",
+                          std::to_string(r.bypassPollLoops)});
+            table.addRow({"bypass empty polls",
+                          std::to_string(r.bypassEmptyPolls)});
+            table.addRow({"bypass poll sleeps",
+                          std::to_string(r.bypassSleeps)});
+            table.addRow(
+                {"bypass sleep residency (ms)",
+                 Table::num(toMilliseconds(r.bypassSleepResidency),
+                            2)});
+            table.addRow({"wasted poll energy (J)",
+                          Table::num(r.bypassWastedPollEnergy, 3)});
         }
         if (faultsConfigured(cfg)) {
             table.addRow({"availability",
