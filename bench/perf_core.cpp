@@ -22,7 +22,7 @@
  * 40%) to tolerate the rest on shared CI runners.
  */
 
-#include <chrono> // lint: nondet-ok(measures the simulator's own speed, never simulated state)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

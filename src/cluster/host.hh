@@ -29,7 +29,9 @@
 #include <string>
 #include <vector>
 
+// lint: layering-ok(hosts embed a full single-node experiment engine; inverting this needs the engine-extraction roadmap item)
 #include "harness/experiment.hh"
+// lint: layering-ok(per-host policy instantiation reuses the registry types; same engine-extraction caveat as above)
 #include "harness/policy_registry.hh"
 #include "net/nic.hh"
 #include "net/wire.hh"

@@ -7,18 +7,38 @@
 namespace nmapsim {
 namespace {
 
-constexpr const char *kTierFields[] = {
-    "name",       "hosts",         "dispatch", "freq_policy",
-    "idle_policy", "service_scale", "slo",
+// Full `topology.tier<i>.<field>` spellings: the unknown-key error
+// lists them, and nmaplint's config-doc-sync rule harvests these
+// template literals to cross-check the README key tables.
+constexpr const char *kTierKeyForms[] = {
+    "topology.tier<i>.name",        "topology.tier<i>.hosts",
+    "topology.tier<i>.dispatch",    "topology.tier<i>.freq_policy",
+    "topology.tier<i>.idle_policy", "topology.tier<i>.service_scale",
+    "topology.tier<i>.slo",
 };
+constexpr std::size_t kTierFieldOffset =
+    sizeof("topology.tier<i>.") - 1;
 
 bool
 isKnownTierField(const std::string &field)
 {
-    for (const char *known : kTierFields)
-        if (field == known)
+    for (const char *known : kTierKeyForms)
+        if (field == known + kTierFieldOffset)
             return true;
     return false;
+}
+
+[[noreturn]] void
+badTierKey(const std::string &key)
+{
+    std::string known;
+    for (const char *form : kTierKeyForms) {
+        if (!known.empty())
+            known += ", ";
+        known += form;
+    }
+    fatal("unknown topology key '" + key +
+          "' (expected topology.tiers or one of: " + known + ")");
 }
 
 /**
@@ -30,19 +50,19 @@ splitTierKey(const std::string &key)
 {
     const std::string prefix = "topology.tier";
     if (key.rfind(prefix, 0) != 0)
-        fatal("unknown topology key '" + key + "'");
+        badTierKey(key);
     const std::string rest = key.substr(prefix.size());
     const std::size_t dot = rest.find('.');
     if (dot == std::string::npos || dot == 0)
-        fatal("unknown topology key '" + key + "'");
+        badTierKey(key);
     const std::string index = rest.substr(0, dot);
     for (char c : index) {
         if (c < '0' || c > '9')
-            fatal("unknown topology key '" + key + "'");
+            badTierKey(key);
     }
     const std::string field = rest.substr(dot + 1);
     if (!isKnownTierField(field))
-        fatal("unknown topology key '" + key + "'");
+        badTierKey(key);
     return {std::atoi(index.c_str()), field};
 }
 

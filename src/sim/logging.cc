@@ -4,6 +4,7 @@
 
 namespace nmapsim {
 
+// lint: shared-state-ok(process-wide verbosity, set once in main before any engine runs; never written mid-simulation)
 LogLevel Log::level_ = LogLevel::kWarn;
 
 LogLevel

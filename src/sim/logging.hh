@@ -35,6 +35,7 @@ class Log
     /** Emit a message if @p level is at or above the global level. */
     static void write(LogLevel level, const std::string &msg);
 
+    // lint: shared-state-ok(process-wide verbosity, set once in main before any engine runs; never written mid-simulation)
   private:
     static LogLevel level_;
 };

@@ -1,0 +1,17 @@
+// Fixture: parses one key the fixture README documents and one it
+// does not — project rule `config-doc-sync`, code->doc direction.
+#include <string>
+
+namespace nmapsim {
+
+bool
+setConfigValue(const std::string &key, const std::string &value)
+{
+    if (key == "documented_key")
+        return !value.empty();
+    if (key == "undocumented_key")
+        return true;
+    return false;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,14 @@
+// Fixture: a mutable namespace-scope global and a non-const
+// function-local static — project rule `shared-mutable-state`.
+namespace nmapsim {
+
+int g_packetsSeen = 0;
+
+int
+nextSequence()
+{
+    static int counter = 0;
+    return ++counter;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,16 @@
+// Fixture: include cycle with cycle_b.hh (project rule `layering`).
+#ifndef NMAPSIM_TESTS_LINT_FIXTURES_PROJECT_SRC_SIM_CYCLE_A_HH_
+#define NMAPSIM_TESTS_LINT_FIXTURES_PROJECT_SRC_SIM_CYCLE_A_HH_
+
+#include "sim/cycle_b.hh"
+
+namespace nmapsim {
+
+struct CycleA
+{
+    int value = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_TESTS_LINT_FIXTURES_PROJECT_SRC_SIM_CYCLE_A_HH_

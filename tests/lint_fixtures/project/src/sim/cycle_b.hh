@@ -1,0 +1,16 @@
+// Fixture: include cycle with cycle_a.hh (project rule `layering`).
+#ifndef NMAPSIM_TESTS_LINT_FIXTURES_PROJECT_SRC_SIM_CYCLE_B_HH_
+#define NMAPSIM_TESTS_LINT_FIXTURES_PROJECT_SRC_SIM_CYCLE_B_HH_
+
+#include "sim/cycle_a.hh"
+
+namespace nmapsim {
+
+struct CycleB
+{
+    int value = 0;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_TESTS_LINT_FIXTURES_PROJECT_SRC_SIM_CYCLE_B_HH_

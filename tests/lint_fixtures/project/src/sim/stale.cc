@@ -1,0 +1,12 @@
+// Fixture: a well-formed, reasoned waiver whose rule fires nowhere
+// near it — project rule `stale-waiver`.
+namespace nmapsim {
+
+// lint: nondet-ok(left behind after the clock read moved elsewhere)
+int
+staleAnswer()
+{
+    return 42;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,13 @@
+// Fixture: module `sim` (the bottom layer) reaching up into
+// `harness` (the top layer) — project rule `layering`.
+#include "harness/above.hh"
+
+namespace nmapsim {
+
+int
+bottomUsesTop()
+{
+    return 1;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,16 @@
+// Fixture: the violating token lands on the *continuation* line of a
+// wrapped statement; the waiver trails the statement's first line and
+// must still suppress -> clean.
+#include <cstdlib>
+
+namespace nmapsim {
+
+double
+jitterBias(double x)
+{
+    const double bias = // lint: nondet-ok(fixture: waiver trails the statement head)
+        static_cast<double>(std::rand()) / RAND_MAX;
+    return x + bias;
+}
+
+} // namespace nmapsim

@@ -1,0 +1,18 @@
+// Fixture: a statement-head waiver covers only its own statement; the
+// identical violation in the next statement still fires -> exit 1
+// with exactly one nondet-source finding.
+#include <cstdlib>
+
+namespace nmapsim {
+
+double
+doubleBias(double x)
+{
+    const double a = // lint: nondet-ok(fixture: covers only this statement)
+        static_cast<double>(std::rand()) / RAND_MAX;
+    const double b =
+        static_cast<double>(std::rand()) / RAND_MAX;
+    return x + a + b;
+}
+
+} // namespace nmapsim

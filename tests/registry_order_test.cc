@@ -16,6 +16,7 @@
 
 #include "cluster/dispatch.hh"
 #include "cpu/cpu_profile.hh"
+#include "dataplane/policy.hh"
 #include "harness/experiment.hh"
 #include "harness/policy_registry.hh"
 #include "sim/logging.hh"
@@ -44,6 +45,12 @@ TEST(RegistryOrderTest, DispatchListingIsSorted)
 {
     ensureBuiltinDispatchPolicies();
     expectSortedAndUnique(DispatchRegistry::instance().names());
+}
+
+TEST(RegistryOrderTest, DataplaneListingIsSorted)
+{
+    ensureBuiltinDataplanePolicies();
+    expectSortedAndUnique(DataplanePolicyRegistry::instance().names());
 }
 
 /** The "known: a, b, c" tail of unknown-name errors lists names in
@@ -92,6 +99,21 @@ TEST(RegistryOrderTest, UnknownIdlePolicyErrorListsSortedNames)
     } catch (const FatalError &e) {
         expectKnownNamesSorted(e.what(),
                                PolicyRegistry::instance().idleNames());
+    }
+}
+
+TEST(RegistryOrderTest, UnknownDataplaneErrorListsSortedNames)
+{
+    ensureBuiltinDataplanePolicies();
+    PolicyParams params;
+    DataplaneContext ctx{params};
+    try {
+        (void)DataplanePolicyRegistry::instance().make(
+            "no-such-dataplane", ctx);
+        FAIL() << "expected fatal()";
+    } catch (const FatalError &e) {
+        expectKnownNamesSorted(
+            e.what(), DataplanePolicyRegistry::instance().names());
     }
 }
 

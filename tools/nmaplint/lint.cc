@@ -1,16 +1,19 @@
 /**
  * @file
  * nmaplint core implementation: code-view stripping, token matching,
- * the rule registry, waiver handling and the per-file driver.
+ * the rule registry, waiver handling and the two-phase driver (the
+ * parallel per-file pass, then the serial project pass).
  */
 
 #include "lint.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace nmaplint {
 
@@ -249,12 +252,60 @@ waiverAt(const FileContext &file, int line, const std::string &token)
     return w.parsed && w.token == token && !w.reason.empty();
 }
 
+/**
+ * First line of the multi-line statement containing 1-based @p line:
+ * walk upward while the previous line is a continuation — nonempty
+ * code that is not comment-only, not a preprocessor line, and does
+ * not end a statement or open/close a scope (`;`, `{`, `}`, `:`).
+ * A single-line statement returns @p line itself.
+ */
+int
+statementStart(const FileContext &file, int line)
+{
+    int start = line;
+    while (start > 1) {
+        const std::string prev = trim(file.code()[start - 2]);
+        if (prev.empty() || prev == "//")
+            break;
+        if (prev[0] == '#')
+            break;
+        const char last = prev.back();
+        if (last == ';' || last == '{' || last == '}' || last == ':')
+            break;
+        --start;
+    }
+    return start;
+}
+
+/**
+ * 1-based line of the waiver comment suppressing token @p token for a
+ * finding on @p line, or 0 when none applies. Acceptance sites, in
+ * order: the finding's own line, an immediately preceding comment-only
+ * line, and — for findings inside a multi-line statement — the
+ * statement's first line (so a waiver can trail the opening line of a
+ * wrapped call whose offending argument lands lines later).
+ */
+int
+waiverLineFor(const FileContext &file, int line,
+              const std::string &token)
+{
+    if (waiverAt(file, line, token))
+        return line;
+    if (commentOnly(file, line - 1) && waiverAt(file, line - 1, token))
+        return line - 1;
+    const int start = statementStart(file, line);
+    if (start < line && waiverAt(file, start, token))
+        return start;
+    return 0;
+}
+
 } // namespace
 
 FileContext::FileContext(std::string relPath, const std::string &text)
     : path_(std::move(relPath))
 {
     raw_ = splitLines(text);
+    rawText_ = text;
     codeText_ = stripToCode(text);
     code_ = splitLines(codeText_);
     lineStart_.reserve(code_.size());
@@ -287,6 +338,15 @@ FileContext::isHeader() const
                              suf) == 0;
     };
     return ends(".hh") || ends(".h") || ends(".hpp");
+}
+
+std::string
+FileContext::rawSlice(std::size_t begin, std::size_t end) const
+{
+    if (begin >= rawText_.size() || end <= begin)
+        return std::string();
+    end = std::min(end, rawText_.size());
+    return rawText_.substr(begin, end - begin);
 }
 
 bool
@@ -381,6 +441,20 @@ splitTopLevelArgs(std::string_view inside)
     return args;
 }
 
+std::vector<WaiverInfo>
+waiversIn(const FileContext &file)
+{
+    std::vector<WaiverInfo> out;
+    for (std::size_t i = 0; i < file.raw().size(); ++i) {
+        Waiver w;
+        if (!findWaiver(file, i, w))
+            continue;
+        out.push_back(WaiverInfo{static_cast<int>(i + 1), w.parsed,
+                                 w.token, w.reason});
+    }
+    return out;
+}
+
 LintRuleRegistry &
 LintRuleRegistry::instance()
 {
@@ -389,15 +463,40 @@ LintRuleRegistry::instance()
 }
 
 void
+LintRuleRegistry::registerToken(const std::string &id,
+                                const std::string &waiverToken)
+{
+    if (!tokenToRule_.emplace(waiverToken, id).second)
+        throw std::logic_error("duplicate waiver token: " + waiverToken);
+}
+
+void
 LintRuleRegistry::registerRule(const std::string &id, Factory factory,
                                const std::string &waiverToken,
                                const std::string &help)
 {
-    if (!rules_.emplace(id, Entry{std::move(factory), waiverToken, help})
-             .second)
+    Entry entry;
+    entry.factory = std::move(factory);
+    entry.waiverToken = waiverToken;
+    entry.help = help;
+    if (!rules_.emplace(id, std::move(entry)).second)
         throw std::logic_error("duplicate lint rule: " + id);
-    if (!tokenToRule_.emplace(waiverToken, id).second)
-        throw std::logic_error("duplicate waiver token: " + waiverToken);
+    registerToken(id, waiverToken);
+}
+
+void
+LintRuleRegistry::registerProjectRule(const std::string &id,
+                                      ProjectFactory factory,
+                                      const std::string &waiverToken,
+                                      const std::string &help)
+{
+    Entry entry;
+    entry.projectFactory = std::move(factory);
+    entry.waiverToken = waiverToken;
+    entry.help = help;
+    if (!rules_.emplace(id, std::move(entry)).second)
+        throw std::logic_error("duplicate lint rule: " + id);
+    registerToken(id, waiverToken);
 }
 
 std::vector<LintRuleRegistry::RuleInfo>
@@ -406,7 +505,8 @@ LintRuleRegistry::rules() const
     std::vector<RuleInfo> out;
     out.reserve(rules_.size());
     for (const auto &[id, entry] : rules_)
-        out.push_back(RuleInfo{id, entry.waiverToken, entry.help});
+        out.push_back(RuleInfo{id, entry.waiverToken, entry.help,
+                               static_cast<bool>(entry.projectFactory)});
     return out;
 }
 
@@ -429,13 +529,33 @@ LintRuleRegistry::instantiate() const
 {
     std::vector<std::pair<std::string, std::unique_ptr<LintRule>>> out;
     out.reserve(rules_.size());
-    for (const auto &[id, entry] : rules_)
-        out.emplace_back(id, entry.factory());
+    for (const auto &[id, entry] : rules_) {
+        if (entry.factory)
+            out.emplace_back(id, entry.factory());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::unique_ptr<ProjectRule>>>
+LintRuleRegistry::instantiateProject() const
+{
+    std::vector<std::pair<std::string, std::unique_ptr<ProjectRule>>>
+        out;
+    for (const auto &[id, entry] : rules_) {
+        if (entry.projectFactory && id != "stale-waiver")
+            out.emplace_back(id, entry.projectFactory());
+    }
+    // stale-waiver audits the waiver consumption every other rule's
+    // suppression produces, so it must observe a complete record.
+    auto it = rules_.find("stale-waiver");
+    if (it != rules_.end() && it->second.projectFactory)
+        out.emplace_back(it->first, it->second.projectFactory());
     return out;
 }
 
 void
-lintFile(const FileContext &file, std::vector<Finding> &out)
+lintFile(const FileContext &file, std::vector<Finding> &out,
+         std::vector<int> *usedWaiverLines)
 {
     const LintRuleRegistry &registry = LintRuleRegistry::instance();
 
@@ -446,19 +566,18 @@ lintFile(const FileContext &file, std::vector<Finding> &out)
             rule->check(file, id, sink);
     }
 
-    // Apply waivers: same line, or an immediately preceding
-    // comment-only line (for findings whose line would overflow).
+    // Apply waivers; record which waiver comments earned their keep
+    // (input to the stale-waiver project rule).
     for (Finding &f : candidates) {
         const std::string token = registry.waiverToken(f.rule);
-        if (token.empty()) {
+        const int waiverLine =
+            token.empty() ? 0 : waiverLineFor(file, f.line, token);
+        if (waiverLine == 0) {
             out.push_back(std::move(f));
             continue;
         }
-        if (waiverAt(file, f.line, token) ||
-            (commentOnly(file, f.line - 1) &&
-             waiverAt(file, f.line - 1, token)))
-            continue;
-        out.push_back(std::move(f));
+        if (usedWaiverLines != nullptr)
+            usedWaiverLines->push_back(waiverLine);
     }
 
     // Validate every waiver comment in the file: unknown tokens,
@@ -486,8 +605,46 @@ lintFile(const FileContext &file, std::vector<Finding> &out)
     }
 }
 
+namespace {
+
+/** Per-file phase output for one input path, slotted by input index
+ *  so the merge below is independent of worker scheduling (the
+ *  SweepRunner idiom from src/harness/sweep.cc). */
+struct FileResult
+{
+    std::unique_ptr<FileContext> file; //!< null on read failure
+    std::vector<Finding> findings;
+    std::vector<int> usedWaiverLines;
+};
+
+FileResult
+lintOnePath(const std::string &path, const std::string &rootPrefix)
+{
+    std::string rel = path;
+    if (rel.compare(0, rootPrefix.size(), rootPrefix) == 0)
+        rel = rel.substr(rootPrefix.size());
+    while (rel.compare(0, 2, "./") == 0)
+        rel = rel.substr(2);
+
+    FileResult result;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        result.findings.push_back(
+            Finding{rel, 0, "io-error", "cannot read file"});
+        return result;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    result.file = std::make_unique<FileContext>(rel, ss.str());
+    lintFile(*result.file, result.findings, &result.usedWaiverLines);
+    return result;
+}
+
+} // namespace
+
 std::vector<Finding>
-lintPaths(const std::vector<std::string> &files, const std::string &root)
+lintPaths(const std::vector<std::string> &files, const std::string &root,
+          const LintOptions &options)
 {
     ensureBuiltinRules();
 
@@ -495,25 +652,74 @@ lintPaths(const std::vector<std::string> &files, const std::string &root)
     if (!prefix.empty() && prefix.back() != '/')
         prefix += '/';
 
-    std::vector<Finding> findings;
-    for (const std::string &path : files) {
-        std::string rel = path;
-        if (rel.compare(0, prefix.size(), prefix) == 0)
-            rel = rel.substr(prefix.size());
-        while (rel.compare(0, 2, "./") == 0)
-            rel = rel.substr(2);
-
-        std::ifstream in(path, std::ios::binary);
-        if (!in) {
-            findings.push_back(
-                Finding{rel, 0, "io-error", "cannot read file"});
-            continue;
-        }
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        FileContext file(rel, ss.str());
-        lintFile(file, findings);
+    // Phase 1: per-file rules, embarrassingly parallel. Results are
+    // slotted by input index, so the merged finding list — and with it
+    // every output format — is byte-identical for any job count.
+    std::vector<FileResult> results(files.size());
+    const int jobs = std::max(
+        1, std::min(options.jobs, static_cast<int>(files.size())));
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < files.size(); ++i)
+            results[i] = lintOnePath(files[i], prefix);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (std::size_t i = next.fetch_add(1); i < files.size();
+                 i = next.fetch_add(1))
+                results[i] = lintOnePath(files[i], prefix);
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(jobs));
+        for (int t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
     }
+
+    std::vector<Finding> findings;
+    for (FileResult &r : results)
+        findings.insert(findings.end(),
+                        std::make_move_iterator(r.findings.begin()),
+                        std::make_move_iterator(r.findings.end()));
+
+    // Phase 2: project rules over the whole loaded tree, serial (the
+    // include graph and waiver-usage record are shared state).
+    if (options.project) {
+        ProjectContext project(root);
+        for (FileResult &r : results) {
+            if (!r.file)
+                continue;
+            const std::string &rel = r.file->path();
+            for (int line : r.usedWaiverLines)
+                project.markWaiverUsed(rel, line);
+            project.addFile(std::move(r.file));
+        }
+        project.finalize();
+
+        const LintRuleRegistry &registry = LintRuleRegistry::instance();
+        // stale-waiver is ordered last by instantiateProject(); the
+        // waiver consumption of every earlier project rule is folded
+        // into the context before it runs.
+        for (const auto &[id, rule] : registry.instantiateProject()) {
+            std::vector<Finding> candidates;
+            ProjectSink sink(candidates);
+            rule->check(project, id, sink);
+            const std::string token = registry.waiverToken(id);
+            for (Finding &f : candidates) {
+                const FileContext *ctx = project.file(f.file);
+                const int waiverLine =
+                    (ctx != nullptr && !token.empty() && f.line > 0)
+                        ? waiverLineFor(*ctx, f.line, token)
+                        : 0;
+                if (waiverLine == 0) {
+                    findings.push_back(std::move(f));
+                    continue;
+                }
+                project.markWaiverUsed(f.file, waiverLine);
+            }
+        }
+    }
+
     std::sort(findings.begin(), findings.end());
     return findings;
 }
@@ -527,6 +733,10 @@ void linkUnorderedIterRule();
 void linkRawOutputRule();
 void linkHeaderHygieneRule();
 void linkRegisterHygieneRule();
+void linkLayeringRule();
+void linkSharedStateRule();
+void linkConfigDocRule();
+void linkStaleWaiverRule();
 
 void
 ensureBuiltinRules()
@@ -537,6 +747,10 @@ ensureBuiltinRules()
     linkRawOutputRule();
     linkHeaderHygieneRule();
     linkRegisterHygieneRule();
+    linkLayeringRule();
+    linkSharedStateRule();
+    linkConfigDocRule();
+    linkStaleWaiverRule();
 }
 
 std::string

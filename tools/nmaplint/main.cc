@@ -2,23 +2,37 @@
  * @file
  * nmaplint CLI.
  *
- *     nmaplint [--root DIR] [PATH...]      lint files / directories
+ *     nmaplint [--root DIR] [options] [PATH...]
  *     nmaplint --list-rules                rules, waiver tokens, help
- *     nmaplint --waive RULE REASON...      print the waiver comment
+ *     nmaplint --waive RULE REASON...     print the waiver comment
+ *
+ * Options:
+ *     --format text|json|sarif  output format (default text)
+ *     --jobs N                  per-file phase worker threads; output
+ *                               is byte-identical for any N
+ *     --changed                 lint only git-modified files (fast
+ *                               pre-commit loop; per-file phase only)
+ *     --project                 force the project phase for explicit
+ *                               PATH arguments
  *
  * With no PATH arguments the default source set under --root (src/,
- * bench/, tools/, tests/, examples/) is scanned, excluding build
- * trees and tests/lint_fixtures (whose files violate rules on
- * purpose). Findings print as `file:line: rule-id: message` —
- * GitHub-annotation friendly — sorted by (file, line, rule), and the
- * exit code is 1 when any finding survives waivers, 2 on usage
- * errors, 0 when clean.
+ * bench/, tools/, tests/, examples/) is scanned — both phases:
+ * per-file rules, then the project rules over the include graph —
+ * excluding build trees and tests/lint_fixtures (whose files violate
+ * rules on purpose). Explicit PATHs and --changed lint just those
+ * files with per-file rules, since project properties are only
+ * meaningful over the whole tree; --project opts a path scan back in
+ * (the fixture tests use this on miniature trees). Findings print as
+ * `file:line: rule-id: message` sorted by (file, line, rule); exit
+ * code 1 when any finding survives waivers, 2 on usage errors, 0
+ * when clean.
  */
 
 #include "lint.hh"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -69,20 +83,82 @@ collectDir(const fs::path &dir, std::vector<std::string> &out)
     }
 }
 
+/**
+ * Lintable files touched per `git status --porcelain` under @p root:
+ * staged, unstaged and untracked, renames resolved to their new
+ * path. Deleted and non-lintable paths are dropped, as is anything
+ * under the fixture/build exclusions.
+ */
+std::vector<std::string>
+changedFiles(const std::string &root)
+{
+    std::vector<std::string> out;
+    const std::string cmd =
+        "git -C '" + root + "' status --porcelain 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return out;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
+        text.append(buf, n);
+    pclose(pipe);
+
+    std::string::size_type start = 0;
+    while (start < text.size()) {
+        std::string::size_type nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string line = text.substr(start, nl - start);
+        start = nl + 1;
+        // Porcelain v1: two status chars, a space, then the path;
+        // renames read `R  old -> new`.
+        if (line.size() < 4)
+            continue;
+        std::string path = line.substr(3);
+        const std::string::size_type arrow = path.find(" -> ");
+        if (arrow != std::string::npos)
+            path = path.substr(arrow + 4);
+        if (path.size() >= 2 && path.front() == '"' &&
+            path.back() == '"')
+            path = path.substr(1, path.size() - 2);
+        const fs::path full = fs::path(root) / path;
+        if (!lintableFile(full) || !fs::is_regular_file(full))
+            continue;
+        bool excluded = false;
+        for (const fs::path &part : fs::path(path)) {
+            if (excludedDir(part)) {
+                excluded = true;
+                break;
+            }
+        }
+        if (!excluded)
+            out.push_back(full.lexically_normal().string());
+    }
+    return out;
+}
+
 int
 usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--root DIR] [PATH...]\n"
+        "usage: %s [--root DIR] [--format text|json|sarif] [--jobs N]\n"
+        "       %*s [--changed] [--project] [PATH...]\n"
         "       %s --list-rules\n"
         "       %s --waive RULE REASON...\n"
         "\n"
         "Lints nmapsim sources for determinism and model-integrity\n"
-        "hazards. With no PATH, scans src/ bench/ tools/ tests/\n"
-        "examples/ under --root (default: cwd). Exit code: 0 clean,\n"
+        "hazards: per-file rules first, then project rules (layering\n"
+        "DAG, shared mutable state, config/doc sync, stale waivers)\n"
+        "over the whole tree. With no PATH, scans src/ bench/ tools/\n"
+        "tests/ examples/ under --root (default: cwd) with both\n"
+        "phases; explicit PATHs and --changed run the per-file phase\n"
+        "only unless --project is given. Exit code: 0 clean,\n"
         "1 findings, 2 usage error.\n",
-        argv0, argv0, argv0);
+        argv0, static_cast<int>(std::string(argv0).size()), "", argv0,
+        argv0);
     return 2;
 }
 
@@ -92,9 +168,10 @@ listRules()
     nmaplint::ensureBuiltinRules();
     for (const auto &rule :
          nmaplint::LintRuleRegistry::instance().rules()) {
-        std::printf("%-18s waive: // lint: %s(<reason>)\n    %s\n",
-                    rule.id.c_str(), rule.waiverToken.c_str(),
-                    rule.help.c_str());
+        std::printf("%-20s %s waive: // lint: %s(<reason>)\n    %s\n",
+                    rule.id.c_str(),
+                    rule.project ? "[project]" : "[file]   ",
+                    rule.waiverToken.c_str(), rule.help.c_str());
     }
     return 0;
 }
@@ -128,7 +205,11 @@ int
 main(int argc, char **argv)
 {
     std::string root = fs::current_path().string();
+    std::string format = "text";
     std::vector<std::string> paths;
+    int jobs = 1;
+    bool changed = false;
+    bool forceProject = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -151,6 +232,32 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage(argv[0]);
             root = argv[i];
+        } else if (arg == "--format") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            format = argv[i];
+            if (format != "text" && format != "json" &&
+                format != "sarif") {
+                std::fprintf(stderr,
+                             "nmaplint: unknown format '%s'\n",
+                             format.c_str());
+                return 2;
+            }
+        } else if (arg == "--jobs") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            jobs = std::atoi(argv[i]);
+            if (jobs < 1) {
+                std::fprintf(stderr,
+                             "nmaplint: --jobs wants a positive "
+                             "thread count, got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--changed") {
+            changed = true;
+        } else if (arg == "--project") {
+            forceProject = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "nmaplint: unknown option '%s'\n",
                          arg.c_str());
@@ -163,9 +270,18 @@ main(int argc, char **argv)
     root = fs::path(root).lexically_normal().string();
 
     std::vector<std::string> files;
-    if (paths.empty()) {
+    nmaplint::LintOptions options;
+    options.jobs = jobs;
+    if (changed) {
+        files = changedFiles(root);
+        options.project = forceProject;
+    } else if (paths.empty()) {
         for (const char *dir : kDefaultDirs)
             collectDir(fs::path(root) / dir, files);
+        // The whole tree is in view: project properties (include
+        // graph, config/doc sync, waiver liveness) are meaningful,
+        // so the full scan always runs both phases.
+        options.project = true;
     } else {
         for (const std::string &p : paths) {
             if (fs::is_directory(p))
@@ -173,16 +289,23 @@ main(int argc, char **argv)
             else
                 files.push_back(p);
         }
+        options.project = forceProject;
     }
     // Deterministic scan order regardless of directory enumeration.
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
     const std::vector<nmaplint::Finding> findings =
-        nmaplint::lintPaths(files, root);
-    for (const nmaplint::Finding &f : findings)
-        std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line,
-                    f.rule.c_str(), f.message.c_str());
+        nmaplint::lintPaths(files, root, options);
+
+    std::string rendered;
+    if (format == "json")
+        rendered = nmaplint::renderJson(findings);
+    else if (format == "sarif")
+        rendered = nmaplint::renderSarif(findings);
+    else
+        rendered = nmaplint::renderText(findings);
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
 
     if (findings.empty()) {
         std::fprintf(stderr, "nmaplint: %zu files clean\n",

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * ProjectContext: the whole-tree view behind the project-rule phase.
+ *
+ * Built by lintPaths() after the per-file pass: every loaded
+ * FileContext is handed over, waiver consumption is recorded, and
+ * finalize() derives the quoted-`#include` graph. Include paths are
+ * extracted from the *raw* line at the code-view quote offsets — the
+ * two views are byte-aligned, so the blanked literal contents can be
+ * recovered exactly — and resolved the way the build does:
+ * `src/<path>` first (the include root in CMakeLists.txt), then
+ * relative to the including file, then relative to the repo root.
+ * Unresolved edges keep their written text with a null target; the
+ * layering rule still classifies them by first path segment.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace nmaplint {
+
+namespace {
+
+/** Directory part of a '/'-joined relative path, "" when none. */
+std::string
+dirOf(const std::string &relPath)
+{
+    const std::size_t slash = relPath.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : relPath.substr(0, slash);
+}
+
+/** Collapse "a/b/../c" and "./" segments without touching the fs. */
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string::size_type start = 0;
+    while (start <= path.size()) {
+        std::string::size_type slash = path.find('/', start);
+        if (slash == std::string::npos)
+            slash = path.size();
+        const std::string part = path.substr(start, slash - start);
+        if (part == "..") {
+            if (!parts.empty())
+                parts.pop_back();
+        } else if (!part.empty() && part != ".") {
+            parts.push_back(part);
+        }
+        start = slash + 1;
+    }
+    std::string out;
+    for (const std::string &part : parts) {
+        if (!out.empty())
+            out += '/';
+        out += part;
+    }
+    return out;
+}
+
+} // namespace
+
+ProjectContext::ProjectContext(std::string root)
+    : root_(std::move(root))
+{
+}
+
+void
+ProjectContext::addFile(std::unique_ptr<FileContext> file)
+{
+    owned_.push_back(std::move(file));
+}
+
+void
+ProjectContext::markWaiverUsed(const std::string &file, int line)
+{
+    usedWaivers_.emplace(file, line);
+}
+
+void
+ProjectContext::finalize()
+{
+    sorted_.clear();
+    byPath_.clear();
+    includes_.clear();
+    sorted_.reserve(owned_.size());
+    for (const auto &file : owned_) {
+        sorted_.push_back(file.get());
+        byPath_.emplace(file->path(), file.get());
+    }
+    std::sort(sorted_.begin(), sorted_.end(),
+              [](const FileContext *a, const FileContext *b) {
+                  return a->path() < b->path();
+              });
+
+    for (const FileContext *file : sorted_) {
+        std::vector<IncludeEdge> &edges = includes_[file];
+        const std::vector<std::string> &code = file->code();
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            const std::string &line = code[i];
+            std::size_t hash = line.find_first_not_of(" \t");
+            if (hash == std::string::npos || line[hash] != '#')
+                continue;
+            std::size_t kw = line.find_first_not_of(" \t", hash + 1);
+            if (kw == std::string::npos ||
+                line.compare(kw, 7, "include") != 0)
+                continue;
+            // Quoted includes only: <system> headers are outside the
+            // project graph by construction.
+            const std::size_t open = line.find('"', kw + 7);
+            if (open == std::string::npos)
+                continue;
+            const std::size_t close = line.find('"', open + 1);
+            if (close == std::string::npos)
+                continue;
+            IncludeEdge edge;
+            edge.line = static_cast<int>(i + 1);
+            // Raw and code lines are byte-aligned; the path text is
+            // blanked in the code view but intact in the raw view.
+            edge.text = file->raw()[i].substr(open + 1, close - open - 1);
+
+            const std::string fromSrc = "src/" + edge.text;
+            const std::string fromDir = normalizePath(
+                dirOf(file->path()) + "/" + edge.text);
+            for (const std::string &candidate :
+                 {fromSrc, fromDir, normalizePath(edge.text)}) {
+                auto it = byPath_.find(candidate);
+                if (it != byPath_.end()) {
+                    edge.target = it->second;
+                    break;
+                }
+            }
+            edges.push_back(edge);
+        }
+    }
+}
+
+const FileContext *
+ProjectContext::file(const std::string &relPath) const
+{
+    auto it = byPath_.find(relPath);
+    return it == byPath_.end() ? nullptr : it->second;
+}
+
+const std::vector<IncludeEdge> &
+ProjectContext::includesOf(const FileContext &file) const
+{
+    static const std::vector<IncludeEdge> kEmpty;
+    auto it = includes_.find(&file);
+    return it == includes_.end() ? kEmpty : it->second;
+}
+
+bool
+ProjectContext::waiverUsed(const std::string &file, int line) const
+{
+    return usedWaivers_.count({file, line}) > 0;
+}
+
+bool
+ProjectContext::readDoc(const std::string &relPath,
+                        std::string &out) const
+{
+    auto it = docs_.find(relPath);
+    if (it == docs_.end()) {
+        std::pair<bool, std::string> entry{false, std::string()};
+        std::string full = root_;
+        if (!full.empty() && full.back() != '/')
+            full += '/';
+        full += relPath;
+        std::ifstream in(full, std::ios::binary);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            entry.first = true;
+            entry.second = ss.str();
+        }
+        it = docs_.emplace(relPath, std::move(entry)).first;
+    }
+    out = it->second.second;
+    return it->second.first;
+}
+
+} // namespace nmaplint
