@@ -118,6 +118,13 @@ ClusterHost::setTierRole(const TierRole &role)
 }
 
 void
+ClusterHost::setResilience(const ResiliencePlan &plan)
+{
+    resilient_ = plan.wantsAdmission() || plan.wantsDeadline();
+    app_->setResilience(plan);
+}
+
+void
 ClusterHost::connect(ClusterSwitch &sw)
 {
     sw.downlink(id_).setSink(
@@ -182,6 +189,13 @@ ClusterHost::collect(Tick end) const
         r.busyFraction += static_cast<double>(core->busyTime()) /
                           static_cast<double>(end) /
                           static_cast<double>(config_.numCores);
+    }
+
+    if (resilient_) {
+        r.resilient = true;
+        r.shedAdmission = app_->shedAdmission();
+        r.shedSojourn = app_->shedSojourn();
+        r.shedDeadline = app_->shedDeadline();
     }
 
     if (bypass_) {

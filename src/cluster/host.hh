@@ -35,6 +35,7 @@
 #include "harness/policy_registry.hh"
 #include "net/nic.hh"
 #include "net/wire.hh"
+#include "resilience/plan.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sim/time.hh"
@@ -92,6 +93,18 @@ struct ClusterHostResult
     /** Times the switch's failure detector ejected this host. */
     std::uint64_t ejections = 0;
 
+    /** @name Resilience metrics (only meaningful — and only
+     *  serialised — when resilient is true) */
+    /**@{*/
+    bool resilient = false; //!< host ran with a resilience plan
+    std::uint64_t shedAdmission = 0; //!< arrivals the gate refused
+    std::uint64_t shedSojourn = 0;   //!< serve-time sojourn sheds
+    std::uint64_t shedDeadline = 0;  //!< past-deadline sheds (host side)
+    /** Switch-side breaker transitions for this host, filled by the
+     *  harness from the switch. */
+    std::uint64_t breakerTransitions = 0;
+    /**@}*/
+
     /** @name Bypass dataplane metrics (see ExperimentResult; only
      *  meaningful — and only serialised — when bypass is true) */
     /**@{*/
@@ -143,6 +156,13 @@ class ClusterHost
      */
     void setTierRole(const TierRole &role);
 
+    /**
+     * Arm the host-side resilience mechanisms (admission gate,
+     * deadline sheds) from a validated plan. Call before start(); a
+     * disabled plan is a no-op and keeps the host byte-identical.
+     */
+    void setResilience(const ResiliencePlan &plan);
+
     /** Connect to @p sw: downlink port -> NIC, uplink -> switch. */
     void connect(ClusterSwitch &sw);
 
@@ -170,6 +190,7 @@ class ClusterHost
     int id_;
     EventQueue &eq_;
     TierRole role_;
+    bool resilient_ = false; //!< host-side resilience plan armed
     /** The host's own copy of its resolved configuration; the app and
      *  policy context hold references into it, so it must live as long
      *  as the rig. */

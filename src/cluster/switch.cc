@@ -107,16 +107,58 @@ ClusterSwitch::~ClusterSwitch()
 }
 
 void
+ClusterSwitch::enableResilience(const ResiliencePlan &plan)
+{
+    deadlineShedsEnabled_ = plan.wantsDeadline();
+    if (plan.wantsBreakers()) {
+        BreakerConfig breaker;
+        breaker.window = plan.breakerWindow;
+        breaker.threshold = plan.breakerThreshold;
+        breaker.minVolume = plan.breakerMinVolume;
+        breaker.openFor = plan.breakerOpen;
+        breaker.trials = plan.breakerTrials;
+        breakers_.assign(static_cast<std::size_t>(numHosts()),
+                         CircuitBreaker(breaker));
+    }
+}
+
+void
 ClusterSwitch::fromClient(const Packet &pkt)
 {
     if (pkt.kind != Packet::Kind::kRequest)
         panic("ClusterSwitch: non-request packet from the client side");
     if (pkt.control)
         controlBytes_ += pkt.sizeBytes;
-    if (pkt.tier != 0)
+    // Mid-chain entry (topology.tier<i>.clients) makes any declared
+    // tier a legal client-side destination.
+    if (pkt.tier >= numTiers())
         panic("ClusterSwitch: client request addressed to tier " +
-              std::to_string(pkt.tier));
+              std::to_string(pkt.tier) + " of " +
+              std::to_string(numTiers()));
     ingressFabric_.send(pkt);
+}
+
+void
+ClusterSwitch::rejectToClient(const Packet &pkt)
+{
+    // Shed notice: response-shaped control traffic flagged rejected,
+    // sent straight out the client port — it never visits a host, so
+    // it takes no egress-fabric attribution slot.
+    Packet resp;
+    resp.requestId = pkt.requestId;
+    resp.kind = Packet::Kind::kResponse;
+    resp.flowHash = pkt.flowHash;
+    resp.sizeBytes = 64;
+    resp.sendTime = pkt.sendTime;
+    resp.latencyCritical = pkt.latencyCritical;
+    resp.tier = pkt.tier;
+    resp.hops = pkt.hops;
+    resp.hopStart = pkt.hopStart;
+    resp.deadline = pkt.deadline;
+    resp.control = true;
+    resp.rejected = true;
+    controlBytes_ += resp.sizeBytes;
+    clientPort_.send(resp);
 }
 
 void
@@ -127,6 +169,14 @@ ClusterSwitch::forwardRequest(const Packet &pkt)
         panic("ClusterSwitch: request addressed to tier " +
               std::to_string(t) + " of " + std::to_string(numTiers()));
     const SwitchTier &spec = tiers_[static_cast<std::size_t>(t)];
+    if (deadlineShedsEnabled_ && pkt.deadline > 0 &&
+        eq_.now() > pkt.deadline) {
+        // Past-deadline work is dead on arrival at every hop: shed it
+        // here instead of burning a host's cycles on it.
+        ++shedDeadline_;
+        rejectToClient(pkt);
+        return;
+    }
     DispatchPolicy &policy =
         *dispatchByTier_[static_cast<std::size_t>(t)];
     const int local = policy.pickHost(pkt);
@@ -145,6 +195,32 @@ ClusterSwitch::forwardRequest(const Packet &pkt)
             host = alt;
             ++rerouted_;
         }
+    }
+    if (!breakers_.empty() &&
+        !breakers_[static_cast<std::size_t>(host)].allow(eq_.now())) {
+        // Open breaker: steer to a tier-mate whose breaker admits
+        // traffic; with the whole tier dark, short-circuit to the
+        // client instead of feeding a known-bad backend.
+        const int local_pick = host - spec.firstHost;
+        int alt = -1;
+        for (int step = 1; step < spec.hosts; ++step) {
+            const int candidate =
+                spec.firstHost + (local_pick + step) % spec.hosts;
+            if (!ejected_[static_cast<std::size_t>(candidate)] &&
+                breakers_[static_cast<std::size_t>(candidate)]
+                    .wouldAllow(eq_.now())) {
+                alt = candidate;
+                break;
+            }
+        }
+        if (alt < 0) {
+            ++breakerShortCircuits_;
+            rejectToClient(pkt);
+            return;
+        }
+        breakers_[static_cast<std::size_t>(alt)].allow(eq_.now());
+        host = alt;
+        ++rerouted_;
     }
     Packet out = pkt;
     out.hopStart = eq_.now(); // per-hop latency stamp
@@ -175,7 +251,9 @@ ClusterSwitch::fromHost(int id, const Packet &pkt)
     if (forwarded && last_tier)
         panic("ClusterSwitch: non-response packet from host " +
               std::to_string(id));
-    if (!forwarded && !last_tier)
+    // A shed notice is a legal reply from any tier; only real results
+    // from mid-chain hosts break the forward-vs-reply contract.
+    if (!forwarded && !last_tier && !pkt.rejected)
         panic("ClusterSwitch: mid-chain host " + std::to_string(id) +
               " in tier '" +
               tiers_[static_cast<std::size_t>(t)].name +
@@ -195,7 +273,22 @@ ClusterSwitch::fromHost(int id, const Packet &pkt)
     } else {
         pending.pop_front();
     }
-    if (hopTap_)
+    if (!breakers_.empty()) {
+        // A response that took longer than the fabric's health timeout
+        // is as bad as a shed notice to its caller — the client gave up
+        // long ago — so it counts as a failure in the breaker window
+        // even though the host technically answered. Without this, a
+        // drowning-but-alive host never trips its breaker (the outcome
+        // stream shows only successes) and the switch keeps steering a
+        // dead sibling's share onto it.
+        const bool slow = config_.healthTimeout > 0 &&
+                          eq_.now() - pkt.hopStart >
+                              config_.healthTimeout;
+        breakers_[h].onOutcome(eq_.now(), pkt.rejected || slow);
+    }
+    // Sheds answer instantly; keeping them out of the hop-latency
+    // feed stops them from masking a slow tier's real hop tail.
+    if (hopTap_ && !pkt.rejected)
         hopTap_(id, t, eq_.now() - pkt.hopStart, forwarded);
     if (forwarded) {
         // East-west: the completed request re-enters the shared
@@ -227,7 +320,9 @@ ClusterSwitch::forwardResponse(const Packet &pkt)
         controlBytes_ += pkt.sizeBytes;
     else
         goodputBytes_ += pkt.sizeBytes;
-    if (tap_)
+    // Shed notices bypass the tap: per-host latency attribution is
+    // for served responses only.
+    if (tap_ && !pkt.rejected)
         tap_(host, pkt);
     clientPort_.send(pkt);
 }
@@ -281,6 +376,11 @@ ClusterSwitch::healthCheck()
             // surface it as timeouts; keeping it would freeze
             // queue-feedback policies on a stale backlog forever.
             pendingSince_[h].clear();
+            // Silence is a failure signal the outcome stream never
+            // sees; force the breaker open so readmission probes the
+            // host instead of flooding it.
+            if (!breakers_.empty())
+                breakers_[h].forceOpen(now);
         }
     }
     eq_.schedule(&healthEvent_, now + config_.healthInterval);

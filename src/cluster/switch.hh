@@ -42,6 +42,8 @@
 #include "cluster/dispatch.hh"
 #include "net/packet.hh"
 #include "net/wire.hh"
+#include "resilience/breaker.hh"
+#include "resilience/plan.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
 #include "sim/time.hh"
@@ -153,6 +155,17 @@ class ClusterSwitch
     /** Attach the per-hop completion tap (may be empty). */
     void setHopTap(HopTap tap) { hopTap_ = std::move(tap); }
 
+    /**
+     * Arm overload control from a validated plan: one circuit breaker
+     * per (tier, host) driven by the outcome stream (a shed response
+     * counts as a failure) plus the silence detector's ejections, and
+     * deadline shedding for requests already past their budget when
+     * they reach the fabric. Shed requests are answered straight to
+     * the client port with a `rejected` control response. Nothing is
+     * allocated when the plan wants neither. Call before traffic.
+     */
+    void enableResilience(const ResiliencePlan &plan);
+
     /** Tier 0's steering policy (the only one in single-tier mode). */
     const DispatchPolicy &dispatch() const { return *dispatchByTier_[0]; }
 
@@ -261,11 +274,40 @@ class ClusterSwitch
     /** Responses from hosts whose pending work was written off. */
     std::uint64_t lateResponses() const { return lateResponses_; }
     /**@}*/
+
+    /** @name Resilience accounting (zero when resilience is off) */
+    /**@{*/
+    /** Breaker state transitions for @p host's breaker. */
+    std::uint64_t
+    breakerTransitions(int host) const
+    {
+        return breakers_.empty()
+                   ? 0
+                   : breakers_[static_cast<std::size_t>(host)]
+                         .transitions();
+    }
+    std::uint64_t
+    totalBreakerTransitions() const
+    {
+        std::uint64_t sum = 0;
+        for (const CircuitBreaker &breaker : breakers_)
+            sum += breaker.transitions();
+        return sum;
+    }
+    /** Requests shed because a whole tier's breakers were open. */
+    std::uint64_t breakerShortCircuits() const
+    {
+        return breakerShortCircuits_;
+    }
+    /** Requests shed at the fabric because their deadline had passed. */
+    std::uint64_t deadlineSheds() const { return shedDeadline_; }
+    /**@}*/
     /**@}*/
 
   private:
     void forwardRequest(const Packet &pkt);
     void forwardResponse(const Packet &pkt);
+    void rejectToClient(const Packet &pkt);
     void healthCheck();
     int nextHealthyAfter(int host) const;
 
@@ -310,6 +352,12 @@ class ClusterSwitch
     std::vector<std::uint64_t> ejections_;
     std::uint64_t rerouted_ = 0;
     std::uint64_t lateResponses_ = 0;
+
+    /** Per-host circuit breakers; empty when breakers are off. */
+    std::vector<CircuitBreaker> breakers_;
+    bool deadlineShedsEnabled_ = false;
+    std::uint64_t breakerShortCircuits_ = 0;
+    std::uint64_t shedDeadline_ = 0;
 
     EventFunctionWrapper healthEvent_;
 };

@@ -14,7 +14,7 @@ constexpr const char *kTierKeyForms[] = {
     "topology.tier<i>.name",        "topology.tier<i>.hosts",
     "topology.tier<i>.dispatch",    "topology.tier<i>.freq_policy",
     "topology.tier<i>.idle_policy", "topology.tier<i>.service_scale",
-    "topology.tier<i>.slo",
+    "topology.tier<i>.slo",         "topology.tier<i>.clients",
 };
 constexpr std::size_t kTierFieldOffset =
     sizeof("topology.tier<i>.") - 1;
@@ -81,6 +81,8 @@ validate(const TopologyPlan &plan)
             fatal(label + ".service_scale must be positive");
         if (tier.slo < 0)
             fatal(label + ".slo must be >= 0");
+        if (tier.clients < 0)
+            fatal(label + ".clients must be >= 0");
         for (int u = 0; u < t; ++u) {
             if (plan.tiers[u].name == tier.name)
                 fatal("duplicate topology tier name '" + tier.name +
@@ -169,6 +171,8 @@ TopologyPlan::fromParams(const PolicyParams &params)
             tier.serviceScale = params.getDouble(key, tier.serviceScale);
         else if (field == "slo")
             tier.slo = params.getTick(key, tier.slo);
+        else if (field == "clients")
+            tier.clients = params.getInt(key, tier.clients);
     }
     validate(plan);
     return plan;

@@ -42,6 +42,11 @@ struct TierSpec {
     /** Multiplier on sampled per-request service cycles (> 0). */
     double serviceScale = 1.0;
     /**
+     * Extra client groups whose requests enter the chain at this tier
+     * instead of tier 0 (mid-chain load). 0 = no direct clients.
+     */
+    int clients = 0;
+    /**
      * Per-hop latency budget for SLO attribution; 0 = take an even
      * share of the end-to-end app SLO (slo / numTiers).
      */

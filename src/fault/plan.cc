@@ -1,6 +1,8 @@
 #include "fault/plan.hh"
 
+#include <charconv>
 #include <string>
+#include <system_error>
 
 #include "sim/logging.hh"
 
@@ -51,9 +53,10 @@ validate(const FaultPlan &plan)
               "fault.ring_degrade_at");
     }
 
-    if (plan.crashHost < -1)
-        fatal("fault.crash_host must be -1 (none) or a host id");
-    if (plan.crashHost >= 0 && plan.recoverAt != 0 &&
+    for (int host : plan.crashHosts)
+        if (host < 0)
+            fatal("fault.crash_host entries must be host ids (>= 0)");
+    if (!plan.crashHosts.empty() && plan.recoverAt != 0 &&
         plan.recoverAt <= plan.crashAt) {
         fatal("fault.recover_at must come after fault.crash_at");
     }
@@ -91,10 +94,32 @@ FaultPlan::fromParams(const PolicyParams &params)
         fatal("fault.ring_size must be >= 0");
     plan.ringSize = static_cast<std::size_t>(ringSlots);
     plan.ringRestoreAt = params.getTick("fault.ring_restore_at", 0);
-    plan.crashHost = params.getInt("fault.crash_host", -1);
+    // fault.crash_host: a single host id, a comma-separated list of
+    // ids (all crash and recover together), or -1 for none.
+    if (params.has("fault.crash_host") &&
+        params.raw("fault.crash_host") != "-1") {
+        std::string rest = params.raw("fault.crash_host");
+        while (!rest.empty()) {
+            const std::size_t comma = rest.find(',');
+            const std::string tok = rest.substr(0, comma);
+            rest = comma == std::string::npos
+                       ? std::string()
+                       : rest.substr(comma + 1);
+            int host = -1;
+            const char *b = tok.data();
+            const char *e = b + tok.size();
+            const auto res = std::from_chars(b, e, host);
+            if (tok.empty() || res.ec != std::errc() || res.ptr != e)
+                fatal("fault.crash_host: bad host id '" + tok + "'");
+            if (host < 0)
+                fatal("fault.crash_host entries must be host ids "
+                      "(>= 0), or a single -1 for none");
+            plan.crashHosts.push_back(host);
+        }
+    }
     plan.crashAt = params.getTick("fault.crash_at", 0);
     plan.recoverAt = params.getTick("fault.recover_at", 0);
-    if (plan.crashHost >= 0 && plan.crashAt == 0)
+    if (!plan.crashHosts.empty() && plan.crashAt == 0)
         fatal("fault.crash_host requires fault.crash_at");
     validate(plan);
     return plan;

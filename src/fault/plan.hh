@@ -18,6 +18,7 @@
 #define NMAPSIM_FAULT_PLAN_HH_
 
 #include <cstddef>
+#include <vector>
 
 #include "harness/policy_params.hh"
 #include "sim/time.hh"
@@ -49,11 +50,15 @@ struct FaultPlan {
     /** When to restore the original ring size; 0 = never. */
     Tick ringRestoreAt = 0;
 
-    /** Cluster host to fail-stop; -1 = no crash. */
-    int crashHost = -1;
-    /** When the crash cuts the host's access links. */
+    /**
+     * Cluster hosts to fail-stop together (`fault.crash_host` takes a
+     * single id or a comma-separated list); empty = no crash. All
+     * listed hosts go dark at crashAt and return at recoverAt.
+     */
+    std::vector<int> crashHosts;
+    /** When the crash cuts the hosts' access links. */
     Tick crashAt = 0;
-    /** When the host's links come back; 0 = stays down. */
+    /** When the hosts' links come back; 0 = stays down. */
     Tick recoverAt = 0;
 
     /** True when any fault is scheduled; false = zero-fault bypass. */
@@ -62,7 +67,7 @@ struct FaultPlan {
     bool wantsLoss() const { return wireLoss > 0.0 || wireCorrupt > 0.0; }
     bool wantsFlap() const { return flapDown > 0 && flapCycles > 0; }
     bool wantsRingDegrade() const { return ringSize > 0; }
-    bool wantsCrash() const { return crashHost >= 0; }
+    bool wantsCrash() const { return !crashHosts.empty(); }
 
     /**
      * Build a plan from the `fault.*` keys in @p params. Unknown

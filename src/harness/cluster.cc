@@ -8,6 +8,8 @@
 #include "fault/injector.hh"
 #include "fault/plan.hh"
 #include "harness/policy_registry.hh"
+#include "resilience/admission.hh"
+#include "resilience/plan.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -73,11 +75,27 @@ ClusterExperiment::ClusterExperiment(ClusterConfig config)
     // Surface fault/retry config errors at construction, like every
     // other config error.
     const FaultPlan plan = FaultPlan::fromParams(config_.base.params);
-    ClientRetryPolicy::fromParams(config_.base.params);
+    const ClientRetryPolicy retry =
+        ClientRetryPolicy::fromParams(config_.base.params);
     if (plan.flapHost >= config_.numHosts)
         fatal("fault.flap_host out of range");
-    if (plan.crashHost >= config_.numHosts)
-        fatal("fault.crash_host out of range");
+    for (int crash_host : plan.crashHosts)
+        if (crash_host >= config_.numHosts)
+            fatal("fault.crash_host out of range");
+
+    // Same for the resilience plan: resolve the admission policy name
+    // now (make() fatals with the known-name list) and reject a retry
+    // budget with nothing to budget.
+    const ResiliencePlan resilience =
+        ResiliencePlan::fromParams(config_.base.params);
+    if (resilience.wantsAdmission()) {
+        ensureBuiltinAdmissionPolicies();
+        (void)AdmissionPolicyRegistry::instance().make(
+            resilience.admission, AdmissionContext{resilience});
+    }
+    if (resilience.wantsRetryBudget() && !retry.enabled())
+        fatal("resilience.retry_budget requires client retry "
+              "(client.timeout)");
 }
 
 ExperimentConfig
@@ -147,6 +165,15 @@ ClusterExperiment::run()
     ClusterSwitch sw(eq, config_.fabric, config_.dispatch, weights,
                      config_.base.params, std::move(switch_tiers));
 
+    // Resilience plan (overload control). A disabled plan arms nothing
+    // anywhere and keeps the run byte-identical; the subsystem forks no
+    // random stream, so enabling it perturbs no other component's
+    // stream either.
+    const ResiliencePlan resilience =
+        ResiliencePlan::fromParams(config_.base.params);
+    if (resilience.enabled())
+        sw.enableResilience(resilience);
+
     // --- Hosts --------------------------------------------------------
     std::vector<std::unique_ptr<ClusterHost>> hosts;
     for (int id = 0; id < config_.numHosts; ++id) {
@@ -167,6 +194,8 @@ ClusterExperiment::run()
                 {t, tier.name, t < topology_.numTiers() - 1,
                  tier.serviceScale});
         }
+        if (resilience.enabled())
+            hosts.back()->setResilience(resilience);
     }
     sw.setResponseTap([&hosts](int host, const Packet &pkt) {
         hosts[static_cast<std::size_t>(host)]->onServedResponse(pkt);
@@ -199,15 +228,30 @@ ClusterExperiment::run()
         std::unique_ptr<LoadGenerator> gen;
     };
     std::vector<Group> groups;
-    for (int g = 0; g < config_.clientGroups; ++g) {
+    auto addGroup = [&](int entry_tier) {
         Group group;
         group.client = std::make_unique<Client>(
             eq, client_uplink, config_.base.app,
             config_.base.numConnections,
-            static_cast<std::uint32_t>(g) * kFlowSpaceStride);
+            static_cast<std::uint32_t>(groups.size()) *
+                kFlowSpaceStride);
+        if (entry_tier > 0)
+            group.client->setEntryTier(entry_tier);
         group.gen = std::make_unique<LoadGenerator>(
             eq, *group.client, config_.base.burst, rng.fork());
         groups.push_back(std::move(group));
+    };
+    for (int g = 0; g < config_.clientGroups; ++g)
+        addGroup(0);
+    // Mid-chain load: tiers may declare their own client groups
+    // (topology.tier<i>.clients). Built after the front-door groups in
+    // tier order, so flow spaces and Rng forks are stable and a
+    // topology without tier clients stays byte-identical.
+    for (int t = 0; t < topology_.numTiers(); ++t) {
+        const TierSpec &tier =
+            topology_.tiers[static_cast<std::size_t>(t)];
+        for (int c = 0; c < tier.clients; ++c)
+            addGroup(t);
     }
 
     std::uint64_t stray = 0;
@@ -227,8 +271,9 @@ ClusterExperiment::run()
         spec.trainMean = config_.base.trainMeanOverride;
     if (config_.base.dutyOverride > 0.0)
         spec.duty = config_.base.dutyOverride;
-    // The configured rate is the cluster's offered load.
-    spec.rps /= static_cast<double>(config_.clientGroups);
+    // The configured rate is the cluster's offered load, split evenly
+    // over every client group (front-door and mid-chain alike).
+    spec.rps /= static_cast<double>(groups.size());
 
     // --- Fault injection ----------------------------------------------
     // Built after every pre-existing component so the injector's Rng
@@ -242,6 +287,14 @@ ClusterExperiment::run()
     if (retry.enabled())
         for (Group &group : groups)
             group.client->setRetryPolicy(retry);
+    if (resilience.wantsRetryBudget())
+        for (Group &group : groups)
+            group.client->setRetryBudget(resilience.retryBudget,
+                                         resilience.retryMin,
+                                         resilience.retryCap);
+    if (resilience.wantsDeadline())
+        for (Group &group : groups)
+            group.client->setDeadlineBudget(resilience.deadline);
 
     std::unique_ptr<FaultInjector> injector;
     if (fault_plan.enabled()) {
@@ -269,14 +322,13 @@ ClusterExperiment::run()
         if (fault_plan.wantsRingDegrade())
             for (std::unique_ptr<ClusterHost> &host : hosts)
                 injector->addDegradableNic(host->nic());
-        if (fault_plan.wantsCrash()) {
+        for (int crash_host : fault_plan.crashHosts) {
             // Fail-stop from the network's point of view: both access
             // links go dark; the host itself keeps simulating (its
             // power draw during the outage is part of the result).
-            Wire *down_link = &sw.downlink(fault_plan.crashHost);
+            Wire *down_link = &sw.downlink(crash_host);
             Wire *up_link =
-                &hosts[static_cast<std::size_t>(fault_plan.crashHost)]
-                     ->uplink();
+                &hosts[static_cast<std::size_t>(crash_host)]->uplink();
             injector->trackWire(*down_link);
             injector->trackWire(*up_link);
             injector->scheduleCrash(
@@ -333,6 +385,9 @@ ClusterExperiment::run()
         result.requestsInFlight += group.client->requestsInFlight();
         result.duplicateResponses +=
             group.client->duplicateResponses();
+        result.requestsShed += group.client->requestsShed();
+        result.retryBudgetExhausted +=
+            group.client->retryBudgetExhausted();
     }
     result.slo = config_.base.app.slo;
     result.p50 = merged.percentile(50.0);
@@ -348,6 +403,9 @@ ClusterExperiment::run()
     result.ejections = sw.totalEjections();
     result.requestsRerouted = sw.requestsRerouted();
     result.lateResponses = sw.lateResponses();
+    result.switchDeadlineSheds = sw.deadlineSheds();
+    result.breakerShortCircuits = sw.breakerShortCircuits();
+    result.breakerTransitions = sw.totalBreakerTransitions();
     result.attemptP99 = merged_attempts.percentile(99.0);
     if (injector) {
         result.faultPacketsLost = injector->packetsFaultLost();
@@ -368,6 +426,13 @@ ClusterExperiment::run()
         ClusterHostResult hr = host->collect(sim_end);
         hr.avgPowerWatts = hr.energyJoules / measured_seconds;
         hr.ejections = sw.ejections(hr.id);
+        if (resilience.enabled()) {
+            hr.resilient = true;
+            hr.breakerTransitions = sw.breakerTransitions(hr.id);
+            result.shedAdmission += hr.shedAdmission;
+            result.shedSojourn += hr.shedSojourn;
+            result.shedDeadline += hr.shedDeadline;
+        }
         if (topology_.enabled()) {
             const LatencyRecorder &hop =
                 hop_lat[static_cast<std::size_t>(hr.id)];

@@ -167,6 +167,25 @@ struct ClusterResult
     Tick attemptP99 = 0;
     /**@}*/
 
+    /** @name Resilience accounting (all zero — and not serialised —
+     *  without a `resilience.*` plan) */
+    /**@{*/
+    /** Requests rejected back to clients (all shed sites summed on
+     *  the client side; terminal — never retried). */
+    std::uint64_t requestsShed = 0;
+    /** Retransmissions the client retry budget refused to fund. */
+    std::uint64_t retryBudgetExhausted = 0;
+    std::uint64_t shedAdmission = 0; //!< host admission-gate refusals
+    std::uint64_t shedSojourn = 0;   //!< host sojourn (CoDel) sheds
+    std::uint64_t shedDeadline = 0;  //!< host past-deadline sheds
+    /** Switch-side past-deadline sheds (before dispatch). */
+    std::uint64_t switchDeadlineSheds = 0;
+    /** Requests refused because a tier's breakers were all open. */
+    std::uint64_t breakerShortCircuits = 0;
+    /** Total circuit-breaker state transitions across hosts. */
+    std::uint64_t breakerTransitions = 0;
+    /**@}*/
+
     /** @name Topology accounting (all zero in single-tier runs) */
     /**@{*/
     std::uint64_t eastWestForwards = 0; //!< host->host re-dispatches

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "harness/config_io.hh"
+#include "resilience/plan.hh"
 #include "sim/logging.hh"
 
 namespace nmapsim {
@@ -139,7 +140,7 @@ setClusterConfigValue(ClusterConfig &c, const std::string &key,
             const std::string ns = rest.substr(0, rest.find('.'));
             for (const char *banned :
                  {"gov", "burst", "os", "nic", "cluster", "fault",
-                  "client", "topology"}) {
+                  "client", "topology", "resilience"}) {
                 if (ns == banned)
                     fatal("config key '" + key + "': '" + ns +
                           ".*' keys cannot be overridden per host");
@@ -286,6 +287,22 @@ appendClusterResultRecord(ResultWriter &writer,
         .set("attempt_p99_ns",
              static_cast<std::int64_t>(result.attemptP99));
 
+    // Resilience counters only exist when a resilience.* plan is
+    // configured, so pre-resilience records (goldens, bench baselines)
+    // stay byte-identical.
+    const bool resilient =
+        ResiliencePlan::fromParams(config.base.params).enabled();
+    if (resilient) {
+        rec.set("requests_shed", result.requestsShed)
+            .set("retry_budget_exhausted", result.retryBudgetExhausted)
+            .set("shed_admission", result.shedAdmission)
+            .set("shed_sojourn", result.shedSojourn)
+            .set("shed_deadline", result.shedDeadline)
+            .set("switch_deadline_sheds", result.switchDeadlineSheds)
+            .set("breaker_short_circuits", result.breakerShortCircuits)
+            .set("breaker_transitions", result.breakerTransitions);
+    }
+
     // Topology columns only exist for topology runs, so single-tier
     // records (and their pinned goldens) stay byte-identical.
     const bool tiered = !result.tiers.empty();
@@ -345,6 +362,15 @@ appendClusterResultRecord(ResultWriter &writer,
                      static_cast<std::int64_t>(host.hopP50))
                 .set(p + "hop_p99_ns",
                      static_cast<std::int64_t>(host.hopP99));
+        }
+        // Resilience columns follow the same gate as the cluster-level
+        // ones.
+        if (resilient) {
+            rec.set(p + "shed_admission", host.shedAdmission)
+                .set(p + "shed_sojourn", host.shedSojourn)
+                .set(p + "shed_deadline", host.shedDeadline)
+                .set(p + "breaker_transitions",
+                     host.breakerTransitions);
         }
         // Dataplane columns appear only for bypass hosts, so NAPI
         // cluster records (and mixed clusters' NAPI hosts) keep their

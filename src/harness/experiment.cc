@@ -15,6 +15,8 @@
 #include "net/wire.hh"
 #include "nmap/profiler.hh"
 #include "os/server_os.hh"
+#include "resilience/admission.hh"
+#include "resilience/plan.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -57,8 +59,7 @@ Experiment::Experiment(ExperimentConfig config)
     // Surface fault/retry config errors here, like every other config
     // error; host-indexed faults only make sense behind a switch.
     const FaultPlan plan = FaultPlan::fromParams(config_.params);
-    ClientRetryPolicy::fromParams(config_.params);
-    if (plan.crashHost >= 0)
+    if (plan.wantsCrash())
         fatal("fault.crash_host requires a cluster run");
     if (plan.flapHost >= 0)
         fatal("fault.flap_host requires a cluster run");
@@ -67,6 +68,24 @@ Experiment::Experiment(ExperimentConfig config)
     for (const auto &[key, value] : config_.params)
         if (key.rfind("topology.", 0) == 0)
             fatal("'" + key + "' requires a cluster run");
+
+    // Same early surfacing for resilience config errors. Circuit
+    // breakers and mid-chain deadlines live in the switch, so breaker
+    // keys only make sense behind one.
+    const ResiliencePlan resilience =
+        ResiliencePlan::fromParams(config_.params);
+    if (resilience.wantsBreakers())
+        fatal("resilience.breaker_window requires a cluster run");
+    if (resilience.wantsAdmission()) {
+        ensureBuiltinAdmissionPolicies();
+        (void)AdmissionPolicyRegistry::instance().make(
+            resilience.admission, AdmissionContext{resilience});
+    }
+    const ClientRetryPolicy retry =
+        ClientRetryPolicy::fromParams(config_.params);
+    if (resilience.wantsRetryBudget() && !retry.enabled())
+        fatal("resilience.retry_budget requires client retry "
+              "(client.timeout)");
 
     // Same early surfacing for dataplane config errors.
     const DataplanePlan dplan = DataplanePlan::fromParams(config_.params);
@@ -111,7 +130,8 @@ Experiment::profileThresholds(const ExperimentConfig &config)
         if (key.rfind("fault.", 0) == 0 ||
             key.rfind("client.", 0) == 0 ||
             key.rfind("dataplane.", 0) == 0 ||
-            key.rfind("metronome.", 0) == 0)
+            key.rfind("metronome.", 0) == 0 ||
+            key.rfind("resilience.", 0) == 0)
             stripped.push_back(key);
     for (const std::string &key : stripped)
         pcfg.params.erase(key);
@@ -157,6 +177,14 @@ Experiment::run()
     ServerApp app(os, nic, config_.app, rng.fork());
     Client client(eq, client_to_server, config_.app,
                   config_.numConnections);
+    // Overload control: a disabled plan arms nothing and keeps the run
+    // byte-identical (the subsystem forks no random stream).
+    const ResiliencePlan resilience =
+        ResiliencePlan::fromParams(config_.params);
+    if (resilience.wantsAdmission() || resilience.wantsDeadline())
+        app.setResilience(resilience);
+    if (resilience.wantsDeadline())
+        client.setDeadlineBudget(resilience.deadline);
     server_to_client.setSink(
         [&client](const Packet &pkt) { client.onResponse(pkt); });
     LoadGenerator gen(eq, client, config_.burst, rng.fork());
@@ -238,6 +266,10 @@ Experiment::run()
         ClientRetryPolicy::fromParams(config_.params);
     if (retry.enabled())
         client.setRetryPolicy(retry);
+    if (resilience.wantsRetryBudget())
+        client.setRetryBudget(resilience.retryBudget,
+                              resilience.retryMin,
+                              resilience.retryCap);
 
     std::unique_ptr<FaultInjector> injector;
     if (fault_plan.enabled()) {
@@ -307,6 +339,11 @@ Experiment::run()
     result.retransmits = client.retransmits();
     result.requestsInFlight = client.requestsInFlight();
     result.duplicateResponses = client.duplicateResponses();
+    result.requestsShed = client.requestsShed();
+    result.retryBudgetExhausted = client.retryBudgetExhausted();
+    result.shedAdmission = app.shedAdmission();
+    result.shedSojourn = app.shedSojourn();
+    result.shedDeadline = app.shedDeadline();
     if (injector) {
         result.faultPacketsLost = injector->packetsFaultLost();
         result.faultPacketsCorrupted = injector->packetsCorrupted();

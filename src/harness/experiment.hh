@@ -148,6 +148,18 @@ struct ExperimentResult
     Tick attemptP99 = 0;
     /**@}*/
 
+    /** @name Resilience accounting (all zero — and not serialised —
+     *  without a `resilience.*` plan) */
+    /**@{*/
+    /** Requests rejected back to the client (terminal, not retried). */
+    std::uint64_t requestsShed = 0;
+    /** Retransmissions the client retry budget refused to fund. */
+    std::uint64_t retryBudgetExhausted = 0;
+    std::uint64_t shedAdmission = 0; //!< admission-gate refusals
+    std::uint64_t shedSojourn = 0;   //!< sojourn (CoDel) sheds
+    std::uint64_t shedDeadline = 0;  //!< past-deadline sheds
+    /**@}*/
+
     /** @name Bypass dataplane metrics (all zero under the default
      *  dataplane.mode=napi; serialised only for bypass runs) */
     /**@{*/

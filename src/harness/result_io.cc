@@ -1,6 +1,7 @@
 #include "harness/result_io.hh"
 
 #include "dataplane/plan.hh"
+#include "resilience/plan.hh"
 
 namespace nmapsim {
 
@@ -70,6 +71,17 @@ appendResultRecord(ResultWriter &writer, const ExperimentConfig &config,
                  static_cast<std::int64_t>(result.bypassSleepResidency))
             .set("bypass_wasted_poll_energy_j",
                  result.bypassWastedPollEnergy);
+    }
+
+    // Resilience counters only exist when a resilience.* plan is
+    // configured; gating them the same way keeps every pre-resilience
+    // record byte-identical.
+    if (ResiliencePlan::fromParams(config.params).enabled()) {
+        rec.set("requests_shed", result.requestsShed)
+            .set("retry_budget_exhausted", result.retryBudgetExhausted)
+            .set("shed_admission", result.shedAdmission)
+            .set("shed_sojourn", result.shedSojourn)
+            .set("shed_deadline", result.shedDeadline);
     }
     return rec;
 }

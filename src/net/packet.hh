@@ -39,6 +39,11 @@ struct Packet
     std::uint8_t hops = 0;     //!< completed host traversals so far
     Tick hopStart = 0;         //!< when the current hop was dispatched
     bool control = false;      //!< probe/health traffic, not goodput
+
+    // Overload-control fields (resilience.*). Non-resilient traffic
+    // leaves both at their defaults.
+    Tick deadline = 0;    //!< absolute completion deadline; 0 = none
+    bool rejected = false; //!< response is a shed notice, not a result
 };
 
 } // namespace nmapsim

@@ -1,0 +1,16 @@
+#include "resilience/admission.hh"
+
+namespace nmapsim {
+
+// Defined in admission_policies.cc; referencing it forces that TU's
+// static registrars to run even when the subsystem is consumed from a
+// static archive (same idiom as ensureBuiltinPolicies()).
+void linkAdmissionPolicies();
+
+void
+ensureBuiltinAdmissionPolicies()
+{
+    linkAdmissionPolicies();
+}
+
+} // namespace nmapsim

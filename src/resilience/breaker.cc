@@ -1,0 +1,103 @@
+#include "resilience/breaker.hh"
+
+namespace nmapsim {
+
+void
+CircuitBreaker::tripOpen(Tick now)
+{
+    if (state_ != State::kOpen)
+        ++transitions_;
+    state_ = State::kOpen;
+    reopenAt_ = now + config_.openFor;
+    window_.clear();
+    windowFailures_ = 0;
+}
+
+void
+CircuitBreaker::forceOpen(Tick now)
+{
+    tripOpen(now);
+}
+
+void
+CircuitBreaker::onOutcome(Tick now, bool failure)
+{
+    if (state_ == State::kHalfOpen) {
+        if (failure) {
+            tripOpen(now);
+            return;
+        }
+        ++probeSuccesses_;
+        if (probeSuccesses_ >= config_.trials) {
+            state_ = State::kClosed;
+            ++transitions_;
+        }
+        return;
+    }
+    if (state_ == State::kOpen)
+        return; // straggler outcome from before the trip
+    window_.emplace_back(now, failure);
+    if (failure)
+        ++windowFailures_;
+    while (!window_.empty() &&
+           window_.front().first + config_.window < now) {
+        if (window_.front().second)
+            --windowFailures_;
+        window_.pop_front();
+    }
+    if (static_cast<int>(window_.size()) < config_.minVolume)
+        return;
+    const double rate = static_cast<double>(windowFailures_) /
+                        static_cast<double>(window_.size());
+    if (rate >= config_.threshold)
+        tripOpen(now);
+}
+
+bool
+CircuitBreaker::allow(Tick now)
+{
+    switch (state_) {
+    case State::kClosed:
+        return true;
+    case State::kOpen:
+        if (now < reopenAt_)
+            return false;
+        state_ = State::kHalfOpen;
+        ++transitions_;
+        probes_ = 1;
+        probeSuccesses_ = 0;
+        // Probe lease: if the probes never resolve, re-issue after
+        // another openFor instead of wedging half-open forever.
+        reopenAt_ = now + config_.openFor;
+        return true;
+    case State::kHalfOpen:
+        if (probes_ < config_.trials) {
+            ++probes_;
+            return true;
+        }
+        if (now >= reopenAt_) {
+            probes_ = 1;
+            probeSuccesses_ = 0;
+            reopenAt_ = now + config_.openFor;
+            return true;
+        }
+        return false;
+    }
+    return true; // unreachable
+}
+
+bool
+CircuitBreaker::wouldAllow(Tick now) const
+{
+    switch (state_) {
+    case State::kClosed:
+        return true;
+    case State::kOpen:
+        return now >= reopenAt_;
+    case State::kHalfOpen:
+        return probes_ < config_.trials || now >= reopenAt_;
+    }
+    return true; // unreachable
+}
+
+} // namespace nmapsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-backend circuit breaker: closed -> open -> half-open, driven by
+ * an error-rate window plus external force-open (the cluster switch's
+ * silence detector).
+ *
+ * Closed counts outcomes in a sliding time window and trips when the
+ * window holds at least `minVolume` outcomes of which a `threshold`
+ * fraction failed. What counts as a failure is the caller's call: the
+ * cluster switch feeds it shed notices *and* responses slower than the
+ * fabric health timeout, so a drowning-but-alive backend trips its
+ * breaker just like an erroring one. Open blocks all traffic for
+ * `openFor`, then the
+ * first allow() transitions to half-open, which lets `trials` probe
+ * requests through: all must succeed to close; one failure re-opens.
+ * Probes that never resolve (silent backend) are re-issued after
+ * another `openFor`, so a breaker cannot wedge half-open.
+ *
+ * The breaker is pure bookkeeping over the deterministic outcome
+ * stream — no randomness — so breaker-enabled runs replay
+ * byte-identically.
+ */
+
+#ifndef NMAPSIM_RESILIENCE_BREAKER_HH_
+#define NMAPSIM_RESILIENCE_BREAKER_HH_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/time.hh"
+
+namespace nmapsim {
+
+/** Tunables for one CircuitBreaker (see `resilience.breaker_*`). */
+struct BreakerConfig
+{
+    /** Sliding window over which failure rate is measured. */
+    Tick window = 0;
+    /** Failure fraction that trips the breaker, (0, 1]. */
+    double threshold = 0.5;
+    /** Minimum outcomes in the window before tripping is allowed. */
+    int minVolume = 10;
+    /** How long open blocks before half-open probing. */
+    Tick openFor = 0;
+    /** Successful probes required to close from half-open. */
+    int trials = 3;
+};
+
+/** Error-rate circuit breaker for one (tier, host) backend. */
+class CircuitBreaker
+{
+  public:
+    enum class State { kClosed, kOpen, kHalfOpen };
+
+    CircuitBreaker() = default;
+    explicit CircuitBreaker(const BreakerConfig &config)
+        : config_(config)
+    {
+    }
+
+    /** Record a finished request against the backend. */
+    void onOutcome(Tick now, bool failure);
+
+    /**
+     * May a request go to the backend right now? Mutating: performs
+     * the open -> half-open transition and consumes probe slots.
+     */
+    bool allow(Tick now);
+
+    /** allow() without side effects, for candidate scans. */
+    bool wouldAllow(Tick now) const;
+
+    /** External trip (silence detector ejection): block immediately. */
+    void forceOpen(Tick now);
+
+    State state() const { return state_; }
+
+    /** Total state transitions since construction. */
+    std::uint64_t transitions() const { return transitions_; }
+
+  private:
+    void tripOpen(Tick now);
+
+    BreakerConfig config_;
+    State state_ = State::kClosed;
+    Tick reopenAt_ = 0;
+    int probes_ = 0;
+    int probeSuccesses_ = 0;
+    std::uint64_t transitions_ = 0;
+    std::uint64_t windowFailures_ = 0;
+    std::deque<std::pair<Tick, bool>> window_;
+};
+
+} // namespace nmapsim
+
+#endif // NMAPSIM_RESILIENCE_BREAKER_HH_

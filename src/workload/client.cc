@@ -1,5 +1,7 @@
 #include "workload/client.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace nmapsim {
@@ -58,6 +60,35 @@ Client::setRetryPolicy(const ClientRetryPolicy &policy)
 }
 
 void
+Client::setRetryBudget(double ratio, int initial, double cap)
+{
+    if (sent_ != 0)
+        fatal("Client retry budget must be set before traffic starts");
+    budgetEnabled_ = true;
+    budgetRatio_ = ratio;
+    budgetCap_ = cap;
+    budgetTokens_ =
+        std::min(static_cast<double>(initial), cap);
+}
+
+void
+Client::setDeadlineBudget(Tick budget)
+{
+    if (sent_ != 0)
+        fatal("Client deadline budget must be set before traffic "
+              "starts");
+    deadlineBudget_ = budget;
+}
+
+void
+Client::setEntryTier(int tier)
+{
+    if (sent_ != 0)
+        fatal("Client entry tier must be set before traffic starts");
+    entryTier_ = tier;
+}
+
+void
 Client::sendRequest(int conn)
 {
     Packet pkt;
@@ -67,6 +98,9 @@ Client::sendRequest(int conn)
     pkt.sizeBytes = profile_.requestBytes;
     pkt.sendTime = eq_.now();
     pkt.latencyCritical = true;
+    pkt.tier = static_cast<std::uint8_t>(entryTier_);
+    if (deadlineBudget_ > 0)
+        pkt.deadline = eq_.now() + deadlineBudget_;
     ++sent_;
     if (retry_.enabled()) {
         Outstanding entry;
@@ -92,6 +126,9 @@ Client::transmit(std::uint64_t id, Outstanding &entry)
     pkt.sizeBytes = profile_.requestBytes;
     pkt.sendTime = eq_.now();
     pkt.latencyCritical = true;
+    pkt.tier = static_cast<std::uint8_t>(entryTier_);
+    if (deadlineBudget_ > 0)
+        pkt.deadline = eq_.now() + deadlineBudget_;
     entry.lastSend = eq_.now();
     toServer_.send(pkt);
 }
@@ -101,6 +138,25 @@ Client::onResponse(const Packet &pkt)
 {
     if (pkt.kind != Packet::Kind::kResponse)
         panic("Client received a non-response packet");
+    if (pkt.rejected) {
+        // A shed notice is terminal: the request is accounted as shed,
+        // never retransmitted, and never enters the latency
+        // distribution (it carries no service result).
+        if (!retry_.enabled()) {
+            ++shed_;
+            return;
+        }
+        auto it = outstanding_.find(pkt.requestId);
+        if (it == outstanding_.end()) {
+            ++duplicates_;
+            return;
+        }
+        ++shed_;
+        deadlines_.erase({it->second.deadline, pkt.requestId});
+        outstanding_.erase(it);
+        armTimeoutEvent();
+        return;
+    }
     if (!retry_.enabled()) {
         ++received_;
         Tick latency = eq_.now() - pkt.sendTime;
@@ -122,6 +178,9 @@ Client::onResponse(const Packet &pkt)
     latencies_.record(eq_.now(), completion);
     window_.record(eq_.now(), completion);
     attemptLatencies_.record(eq_.now(), eq_.now() - pkt.sendTime);
+    if (budgetEnabled_)
+        budgetTokens_ =
+            std::min(budgetTokens_ + budgetRatio_, budgetCap_);
     deadlines_.erase({entry.deadline, pkt.requestId});
     outstanding_.erase(it);
     armTimeoutEvent();
@@ -139,12 +198,23 @@ Client::onTimeoutDeadline()
             continue;
         Outstanding &entry = it->second;
         if (entry.attempts > retry_.maxRetries) {
-            // Retry budget spent: surface the loss instead of letting
+            // Retry ladder spent: surface the loss instead of letting
             // the request silently vanish (coordinated omission).
             ++timedOut_;
             outstanding_.erase(it);
             continue;
         }
+        if (budgetEnabled_ && budgetTokens_ < 1.0) {
+            // The retry budget is dry: give up instead of joining the
+            // storm. Counted as timed out (the user saw no answer)
+            // plus the dedicated exhaustion counter.
+            ++budgetExhausted_;
+            ++timedOut_;
+            outstanding_.erase(it);
+            continue;
+        }
+        if (budgetEnabled_)
+            budgetTokens_ -= 1.0;
         ++entry.attempts;
         ++retransmits_;
         transmit(id, entry);
@@ -183,10 +253,11 @@ Client::requestsInFlight() const
 {
     if (retry_.enabled())
         return outstanding_.size();
-    // Without tracking, unanswered = sent minus answered; the
-    // feedback-client case (answers observed, nothing sent) clamps to
-    // zero.
-    return received_ >= sent_ ? 0 : sent_ - received_;
+    // Without tracking, unanswered = sent minus answered (including
+    // shed notices); the feedback-client case (answers observed,
+    // nothing sent) clamps to zero.
+    return received_ + shed_ >= sent_ ? 0
+                                      : sent_ - received_ - shed_;
 }
 
 Tick

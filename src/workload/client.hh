@@ -90,6 +90,32 @@ class Client
      */
     void setRetryPolicy(const ClientRetryPolicy &policy);
 
+    /**
+     * Cap retransmissions to a budget earned from successes
+     * (resilience.retry_budget): the client starts with @p initial
+     * tokens, banks @p ratio more per completed request up to @p cap,
+     * and every retransmission spends one token. An exhausted budget
+     * converts would-be retransmissions into timeouts — the
+     * Finagle-style damper that keeps retry storms from amplifying an
+     * overloaded tier. Must be set before traffic starts.
+     */
+    void setRetryBudget(double ratio, int initial, double cap);
+
+    /**
+     * Stamp every transmission with an absolute deadline of
+     * send time + @p budget (resilience.deadline), so downstream hops
+     * can shed work that can no longer complete in time. Must be set
+     * before traffic starts.
+     */
+    void setDeadlineBudget(Tick budget);
+
+    /**
+     * Address requests to tier @p tier instead of tier 0
+     * (topology.tier<i>.clients mid-chain entry). Must be set before
+     * traffic starts.
+     */
+    void setEntryTier(int tier);
+
     /** First flow hash of this client's flow space. */
     std::uint32_t flowBase() const { return flowBase_; }
 
@@ -135,11 +161,22 @@ class Client
     std::uint64_t duplicateResponses() const { return duplicates_; }
     /**@}*/
 
+    /** @name Resilience accounting (zero when resilience is off) */
+    /**@{*/
+    /** Requests answered with a shed notice (pkt.rejected). */
+    std::uint64_t requestsShed() const { return shed_; }
+    /** Retransmissions suppressed by an empty retry budget. */
+    std::uint64_t retryBudgetExhausted() const
+    {
+        return budgetExhausted_;
+    }
+    /**@}*/
+
     /**
-     * Requests sent but neither answered nor timed out. Nonzero at
-     * the end of a run means the conservation identity
-     * sent == received + timedOut + inFlight has unfinished business
-     * (lost without retry, or still on the wire).
+     * Requests sent but neither answered, shed, nor timed out.
+     * Nonzero at the end of a run means the conservation identity
+     * sent == received + timedOut + shed + inFlight has unfinished
+     * business (lost without retry, or still on the wire).
      */
     std::uint64_t requestsInFlight() const;
 
@@ -179,6 +216,14 @@ class Client
     std::uint64_t received_ = 0;
 
     ClientRetryPolicy retry_;
+    bool budgetEnabled_ = false;
+    double budgetRatio_ = 0.0;
+    double budgetCap_ = 0.0;
+    double budgetTokens_ = 0.0;
+    Tick deadlineBudget_ = 0;
+    int entryTier_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t budgetExhausted_ = 0;
     std::map<std::uint64_t, Outstanding> outstanding_;
     /** (deadline, requestId) pairs mirroring outstanding_. */
     std::set<std::pair<Tick, std::uint64_t>> deadlines_;

@@ -18,6 +18,8 @@
 
 #include "net/nic.hh"
 #include "os/server_os.hh"
+#include "resilience/admission.hh"
+#include "resilience/plan.hh"
 #include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "workload/app_profile.hh"
@@ -62,6 +64,26 @@ class ServerApp
      */
     void setServiceScale(double scale);
 
+    /**
+     * Arm overload control from a validated plan: an AdmissionPolicy
+     * instance per thread gating arrivals and serves, plus
+     * deadline-expiry shedding at both points. Shed requests are
+     * answered with a `rejected` response so the client can account
+     * for them; nothing is constructed when the plan carries neither
+     * admission nor a deadline. Configure before traffic starts.
+     */
+    void setResilience(const ResiliencePlan &plan);
+
+    /** @name Shed accounting (zero when resilience is off) */
+    /**@{*/
+    /** Arrivals refused by the admission policy. */
+    std::uint64_t shedAdmission() const { return shedAdmission_; }
+    /** Queued requests shed at serve time (sojourn law). */
+    std::uint64_t shedSojourn() const { return shedSojourn_; }
+    /** Requests shed because their deadline had already passed. */
+    std::uint64_t shedDeadline() const { return shedDeadline_; }
+    /**@}*/
+
     /** Requests waiting (or in service) on @p core's thread. */
     std::size_t queueDepth(int core) const;
 
@@ -79,6 +101,8 @@ class ServerApp
         std::uint8_t tier;
         std::uint8_t hops;
         Tick hopStart;
+        Tick deadline;
+        Tick enqueuedAt;
     };
 
     class AppThread : public SimThread
@@ -103,6 +127,8 @@ class ServerApp
 
     void onPacket(int core, const Packet &pkt);
     void finishFront(int core);
+    void reject(int core, const PendingRequest &req);
+    Tick now();
 
     ServerOs &os_;
     Nic &nic_;
@@ -115,6 +141,13 @@ class ServerApp
     std::uint64_t forwarded_ = 0;
     bool forward_ = false;
     double serviceScale_ = 1.0;
+
+    bool resilient_ = false;
+    bool deadlineSheds_ = false;
+    std::vector<std::unique_ptr<AdmissionPolicy>> admission_;
+    std::uint64_t shedAdmission_ = 0;
+    std::uint64_t shedSojourn_ = 0;
+    std::uint64_t shedDeadline_ = 0;
 };
 
 } // namespace nmapsim

@@ -123,6 +123,18 @@ TEST(DeterminismTest, NfvChainOutputByteIdenticalAcrossRuns)
     EXPECT_EQ(first, second);
 }
 
+/** Full resilience stack (admission + budgets + breakers + deadline
+ *  propagation) riding a mid-chain crash: every shed and breaker
+ *  transition must land on the same tick in a rerun. */
+TEST(DeterminismTest, ResilientCascadeOutputByteIdenticalAcrossRuns)
+{
+    const ClusterConfig cfg = golden::resilientCascade();
+    const std::string first = golden::renderCluster(cfg);
+    const std::string second = golden::renderCluster(cfg);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
 TEST(GoldenOutputTest, SingleHostMatchesGolden)
 {
     const std::string expected = readFile(goldenPath("single_host"));
@@ -175,6 +187,15 @@ TEST(GoldenOutputTest, NfvChainMatchesGolden)
     const std::string expected = readFile(goldenPath("nfv_chain"));
     ASSERT_FALSE(expected.empty());
     EXPECT_EQ(golden::renderCluster(golden::nfvChain()), expected);
+}
+
+TEST(GoldenOutputTest, ResilientCascadeMatchesGolden)
+{
+    const std::string expected =
+        readFile(goldenPath("resilient_cascade"));
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(golden::renderCluster(golden::resilientCascade()),
+              expected);
 }
 
 } // namespace

@@ -64,9 +64,35 @@ TEST(FaultPlanTest, ReadsEveryKey)
     EXPECT_EQ(plan.ringSize, 64u);
     EXPECT_EQ(plan.ringDegradeAt, milliseconds(1));
     EXPECT_EQ(plan.ringRestoreAt, milliseconds(20));
-    EXPECT_EQ(plan.crashHost, 1);
+    ASSERT_EQ(plan.crashHosts.size(), 1u);
+    EXPECT_EQ(plan.crashHosts[0], 1);
     EXPECT_EQ(plan.crashAt, milliseconds(4));
     EXPECT_EQ(plan.recoverAt, milliseconds(8));
+}
+
+TEST(FaultPlanTest, CrashHostListParsesAndValidates)
+{
+    PolicyParams params;
+    params.set("fault.crash_host", "1,3");
+    params.setTick("fault.crash_at", milliseconds(4));
+    const FaultPlan plan = FaultPlan::fromParams(params);
+    ASSERT_EQ(plan.crashHosts.size(), 2u);
+    EXPECT_EQ(plan.crashHosts[0], 1);
+    EXPECT_EQ(plan.crashHosts[1], 3);
+
+    PolicyParams none;
+    none.set("fault.crash_host", "-1");
+    EXPECT_FALSE(FaultPlan::fromParams(none).wantsCrash());
+
+    PolicyParams bad;
+    bad.set("fault.crash_host", "1,x");
+    bad.setTick("fault.crash_at", milliseconds(4));
+    EXPECT_THROW(FaultPlan::fromParams(bad), FatalError);
+
+    PolicyParams neg;
+    neg.set("fault.crash_host", "1,-1");
+    neg.setTick("fault.crash_at", milliseconds(4));
+    EXPECT_THROW(FaultPlan::fromParams(neg), FatalError);
 }
 
 TEST(FaultPlanTest, UnknownFaultKeyIsFatal)
@@ -278,7 +304,7 @@ TEST(FaultInjectorTest, CrashCallbacksFireAtPlanTimes)
 {
     EventQueue eq;
     FaultPlan plan;
-    plan.crashHost = 0;
+    plan.crashHosts = {0};
     plan.crashAt = milliseconds(3);
     plan.recoverAt = milliseconds(7);
     FaultInjector injector(eq, plan, Rng(1));

@@ -153,6 +153,41 @@ nfvChain()
     return cfg;
 }
 
+/** Cascading failure with the full resilience stack armed: a 3-tier
+ *  chain with a mid-chain client pool, a crashed-and-recovered middle
+ *  host, queue-deadline admission at every app queue, breakers in the
+ *  switch, a client retry budget and chain-wide deadline propagation.
+ *  Pins the shed/budget/breaker counters and the resilience record
+ *  columns byte for byte. */
+inline ClusterConfig
+resilientCascade()
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.dispatch = "round-robin";
+    cfg.numHosts = 4; // derived from the topology; pinned for records
+    cfg.fabric.healthInterval = milliseconds(1);
+    cfg.fabric.healthTimeout = milliseconds(3);
+    cfg.fabric.ejectDuration = milliseconds(5);
+    cfg.base.params.set("topology.tiers", 3);
+    cfg.base.params.set("topology.tier1.hosts", 2);
+    cfg.base.params.set("topology.tier1.clients", 1);
+    cfg.base.params.set("fault.crash_host", 1);
+    cfg.base.params.setTick("fault.crash_at", milliseconds(15));
+    cfg.base.params.setTick("fault.recover_at", milliseconds(30));
+    cfg.base.params.setTick("client.timeout", milliseconds(2));
+    cfg.base.params.set("client.retries", 3);
+    cfg.base.params.set("resilience.admission", "queue-deadline");
+    cfg.base.params.setTick("resilience.admit_target",
+                            microseconds(200));
+    cfg.base.params.setTick("resilience.admit_interval",
+                            milliseconds(1));
+    cfg.base.params.set("resilience.retry_budget", "0.2");
+    cfg.base.params.setTick("resilience.breaker_window",
+                            milliseconds(5));
+    cfg.base.params.setTick("resilience.deadline", milliseconds(4));
+    return cfg;
+}
+
 /** Serialised (JSON + CSV) ResultWriter output for one fresh run. */
 inline std::string
 renderSingleHost(const ExperimentConfig &cfg)

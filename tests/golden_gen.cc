@@ -59,7 +59,9 @@ main(int argc, char **argv)
                     golden::renderCluster(golden::tieredCluster()));
     rc |= writeFile(dir + "/nfv_chain.golden",
                     golden::renderCluster(golden::nfvChain()));
+    rc |= writeFile(dir + "/resilient_cascade.golden",
+                    golden::renderCluster(golden::resilientCascade()));
     if (rc == 0)
-        std::printf("golden_gen: wrote 7 goldens to %s\n", dir.c_str());
+        std::printf("golden_gen: wrote 8 goldens to %s\n", dir.c_str());
     return rc;
 }

@@ -1,0 +1,23 @@
+// Fixture: trips register-hygiene (REGISTER_ADMISSION_POLICY with a
+// non-literal name; only that rule).
+
+namespace nmapsim {
+namespace {
+
+struct Ctx
+{
+};
+
+int
+makeShedPolicy(const Ctx &)
+{
+    return 0;
+}
+
+const char *kPolicyName = "fixture-admission";
+
+REGISTER_ADMISSION_POLICY(kPolicyName, &makeShedPolicy,
+                          "admission-policy fixture");
+
+} // namespace
+} // namespace nmapsim

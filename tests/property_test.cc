@@ -573,5 +573,134 @@ TEST(ChainLossConservation, MidChainLossAccountsExactly)
     EXPECT_GT(r.availability, 0.5);
 }
 
+using AdmissionSeed = std::tuple<std::string, unsigned>;
+
+class ShedConservation
+    : public ::testing::TestWithParam<AdmissionSeed>
+{
+};
+
+/**
+ * With admission control shedding load, the conservation identity
+ * grows one term and stays exact: every request the client sent is
+ * answered, timed out, shed, or still in flight. A shed notice is
+ * terminal — it must never be retransmitted or double-counted as a
+ * timeout — so the four buckets partition `sent` exactly, whichever
+ * admission policy did the shedding.
+ */
+TEST_P(ShedConservation, SentEqualsAnsweredPlusTimedOutPlusShedPlusInFlight)
+{
+    auto [admission, seed] = GetParam();
+
+    ExperimentConfig cfg;
+    cfg.app = AppProfile::memcached();
+    cfg.freqPolicy = "ondemand";
+    cfg.load = LoadLevel::kHigh;
+    cfg.seed = seed;
+    cfg.warmup = milliseconds(10);
+    cfg.duration = milliseconds(80);
+    cfg.params.setTick("client.timeout", milliseconds(2));
+    cfg.params.set("client.retries", 2);
+    cfg.params.set("resilience.admission", admission);
+    if (admission == "queue-deadline") {
+        cfg.params.setTick("resilience.admit_target", microseconds(50));
+        cfg.params.setTick("resilience.admit_interval",
+                           microseconds(500));
+    } else {
+        cfg.params.set("resilience.admit_rate", "100e3");
+        cfg.params.set("resilience.admit_burst", "32");
+    }
+    cfg.params.set("resilience.retry_budget", "0.1");
+    ExperimentResult r = Experiment(cfg).run();
+
+    // The gate actually bit: overload at this rate must shed. The
+    // server counts shed *transmissions*, the client shed *requests*
+    // (a retried request can be shed more than once; later notices
+    // land as duplicates), so server-side >= client-side.
+    EXPECT_GT(r.requestsShed, 0u);
+    EXPECT_GE(r.shedAdmission + r.shedSojourn, r.requestsShed);
+
+    // Exact four-way partition of everything the client sent.
+    EXPECT_EQ(r.requestsSent, r.responsesReceived +
+                                  r.requestsTimedOut + r.requestsShed +
+                                  r.requestsInFlight);
+    // Budget exhaustions are a subset of the timeouts, never a fifth
+    // bucket.
+    EXPECT_LE(r.retryBudgetExhausted, r.requestsTimedOut);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdmissionSweep, ShedConservation,
+    ::testing::Combine(::testing::Values("queue-deadline",
+                                         "token-bucket"),
+                       ::testing::Values(31u, 32u)),
+    [](const ::testing::TestParamInfo<AdmissionSeed> &param_info) {
+        std::string name = std::get<0>(param_info.param) + "_s" +
+                           std::to_string(std::get<1>(param_info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/**
+ * Full resilience stack on a faulted 3-tier chain: admission at every
+ * tier, deadline propagation shedding past-deadline forwards, breakers
+ * short-circuiting the crashed host, and a client retry budget. The
+ * four-way identity must survive all of it at once — and a rerun must
+ * reproduce every counter exactly.
+ */
+TEST(ShedConservation, FaultedChainWithFullStackAccountsExactly)
+{
+    auto run = [] {
+        ClusterConfig cfg;
+        cfg.base.app = AppProfile::memcached();
+        cfg.base.load = LoadLevel::kHigh;
+        cfg.base.freqPolicy = "ondemand";
+        cfg.base.seed = 37;
+        cfg.base.warmup = milliseconds(5);
+        cfg.base.duration = milliseconds(60);
+        cfg.dispatch = "round-robin";
+        cfg.drain = milliseconds(20);
+        cfg.base.params.set("topology.tiers", 3);
+        cfg.base.params.set("topology.tier1.hosts", 2);
+        cfg.base.params.setTick("client.timeout", milliseconds(2));
+        cfg.base.params.set("client.retries", 3);
+        cfg.base.params.set("resilience.admission", "queue-deadline");
+        cfg.base.params.setTick("resilience.admit_target",
+                                microseconds(100));
+        cfg.base.params.setTick("resilience.admit_interval",
+                                milliseconds(1));
+        cfg.base.params.set("resilience.retry_budget", "0.2");
+        cfg.base.params.setTick("resilience.breaker_window",
+                                milliseconds(5));
+        cfg.base.params.setTick("resilience.deadline", milliseconds(4));
+        cfg.base.params.set("fault.crash_host", 1);
+        cfg.base.params.setTick("fault.crash_at", milliseconds(15));
+        cfg.base.params.setTick("fault.recover_at", milliseconds(40));
+        return ClusterExperiment(cfg).run();
+    };
+
+    ClusterResult r = run();
+    EXPECT_GT(r.requestsShed, 0u);
+    EXPECT_EQ(r.requestsSent, r.responsesReceived +
+                                  r.requestsTimedOut + r.requestsShed +
+                                  r.requestsInFlight);
+    EXPECT_LE(r.retryBudgetExhausted, r.requestsTimedOut);
+
+    ClusterResult again = run();
+    EXPECT_EQ(again.requestsSent, r.requestsSent);
+    EXPECT_EQ(again.responsesReceived, r.responsesReceived);
+    EXPECT_EQ(again.requestsTimedOut, r.requestsTimedOut);
+    EXPECT_EQ(again.requestsShed, r.requestsShed);
+    EXPECT_EQ(again.shedAdmission, r.shedAdmission);
+    EXPECT_EQ(again.shedSojourn, r.shedSojourn);
+    EXPECT_EQ(again.shedDeadline, r.shedDeadline);
+    EXPECT_EQ(again.switchDeadlineSheds, r.switchDeadlineSheds);
+    EXPECT_EQ(again.breakerShortCircuits, r.breakerShortCircuits);
+    EXPECT_EQ(again.breakerTransitions, r.breakerTransitions);
+    EXPECT_EQ(again.retryBudgetExhausted, r.retryBudgetExhausted);
+}
+
 } // namespace
 } // namespace nmapsim

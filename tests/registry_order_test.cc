@@ -19,6 +19,8 @@
 #include "dataplane/policy.hh"
 #include "harness/experiment.hh"
 #include "harness/policy_registry.hh"
+#include "resilience/admission.hh"
+#include "resilience/plan.hh"
 #include "sim/logging.hh"
 
 namespace nmapsim {
@@ -51,6 +53,12 @@ TEST(RegistryOrderTest, DataplaneListingIsSorted)
 {
     ensureBuiltinDataplanePolicies();
     expectSortedAndUnique(DataplanePolicyRegistry::instance().names());
+}
+
+TEST(RegistryOrderTest, AdmissionListingIsSorted)
+{
+    ensureBuiltinAdmissionPolicies();
+    expectSortedAndUnique(AdmissionPolicyRegistry::instance().names());
 }
 
 /** The "known: a, b, c" tail of unknown-name errors lists names in
@@ -114,6 +122,21 @@ TEST(RegistryOrderTest, UnknownDataplaneErrorListsSortedNames)
     } catch (const FatalError &e) {
         expectKnownNamesSorted(
             e.what(), DataplanePolicyRegistry::instance().names());
+    }
+}
+
+TEST(RegistryOrderTest, UnknownAdmissionErrorListsSortedNames)
+{
+    ensureBuiltinAdmissionPolicies();
+    ResiliencePlan plan;
+    AdmissionContext ctx{plan};
+    try {
+        (void)AdmissionPolicyRegistry::instance().make(
+            "no-such-admission", ctx);
+        FAIL() << "expected fatal()";
+    } catch (const FatalError &e) {
+        expectKnownNamesSorted(
+            e.what(), AdmissionPolicyRegistry::instance().names());
     }
 }
 

@@ -243,9 +243,17 @@ TEST_F(TopologySwitchTest, MidChainReplyAndBadTierPanic)
     Packet fwd;
     fwd.kind = Packet::Kind::kRequest;
     EXPECT_THROW(sw_->fromHost(1, fwd), PanicError);
-    // Clients cannot inject mid-chain.
+    // Mid-chain entry (topology.tier<i>.clients) is legal as long as
+    // the tier is declared; past-the-end tiers still panic.
+    Packet mid;
+    mid.kind = Packet::Kind::kRequest;
+    mid.requestId = 99;
+    mid.sizeBytes = kRequestBytes;
+    mid.tier = 1;
+    EXPECT_NO_THROW(sw_->fromClient(mid));
     Packet pkt;
-    pkt.tier = 1;
+    pkt.kind = Packet::Kind::kRequest;
+    pkt.tier = 2;
     EXPECT_THROW(sw_->fromClient(pkt), PanicError);
 }
 

@@ -37,8 +37,8 @@ fi
 REQUIRED_BASELINES="
 ablation_adaptive ablation_chipwide ablation_idle_governors
 ablation_retransition ablation_thresholds ablation_timer_itr
-ext_bypass ext_chaos ext_cluster ext_colocation ext_tiers
-ext_usec_slo
+ext_bypass ext_chaos ext_cluster ext_colocation ext_metastable
+ext_tiers ext_usec_slo
 fig02_napi_modes fig03_latency_trace fig04_latency_cdf
 fig07_cc6_trace fig08_sleep_policies fig09_nmap_trace
 fig10_nmap_latency_trace fig11_nmap_cdf fig12_p99_comparison

@@ -45,21 +45,23 @@ allowedDeps()
         {"net", {"sim"}},
         {"cpu", {"sim", "stats"}},
         {"os", {"sim", "net", "cpu"}},
-        {"workload", {"sim", "net", "os", "stats", "params"}},
+        {"workload",
+         {"sim", "net", "os", "stats", "resilience", "params"}},
         {"governors", {"sim", "cpu", "os", "params"}},
         {"nmap", {"sim", "cpu", "os", "governors", "params"}},
         {"baselines",
          {"sim", "net", "cpu", "os", "workload", "governors",
           "params"}},
         {"fault", {"sim", "net", "params"}},
+        {"resilience", {"sim", "net", "params"}},
         {"dataplane", {"sim", "net", "os", "stats", "params"}},
         {"cluster",
          {"sim", "net", "cpu", "os", "stats", "workload", "governors",
-          "dataplane", "fault", "params"}},
+          "dataplane", "fault", "resilience", "params"}},
         {"harness",
          {"sim", "net", "cpu", "os", "stats", "workload", "governors",
           "nmap", "baselines", "fault", "dataplane", "cluster",
-          "params"}},
+          "resilience", "params"}},
     };
     return kDeps;
 }

@@ -29,6 +29,7 @@ constexpr const char *kRegistrars[] = {
     "IdlePolicyRegistrar",
     "DispatchRegistrar",
     "DataplanePolicyRegistrar",
+    "AdmissionPolicyRegistrar",
     "LintRuleRegistrar",
 };
 

@@ -38,6 +38,8 @@
 #include "harness/config_io.hh"
 #include "harness/policy_registry.hh"
 #include "harness/result_io.hh"
+#include "resilience/admission.hh"
+#include "resilience/plan.hh"
 #include "stats/table.hh"
 
 using namespace nmapsim;
@@ -66,7 +68,9 @@ usage()
         "  --set KEY=VALUE    set any config key (repeatable); policy\n"
         "                     tunables pass through, e.g. nmap.ni_th=13;\n"
         "                     cluster keys (cluster.*, host<i>.*) switch\n"
-        "                     to cluster mode\n"
+        "                     to cluster mode; resilience.* keys arm\n"
+        "                     overload control (admission control,\n"
+        "                     retry budgets, circuit breakers)\n"
         "  --fault KEY=VALUE  fault-plan sugar: --fault wire_loss=0.01\n"
         "                     is --set fault.wire_loss=0.01\n"
         "  --config=FILE      load a key=value config file first\n"
@@ -101,6 +105,12 @@ listPolicies()
     std::printf("dataplane policies (--dataplane=bypass):\n");
     for (const std::string &name : preg.names()) {
         std::string help = preg.help(name);
+        std::printf("  %-16s %s\n", name.c_str(), help.c_str());
+    }
+    AdmissionPolicyRegistry &areg = AdmissionPolicyRegistry::instance();
+    std::printf("admission policies (resilience.admission):\n");
+    for (const std::string &name : areg.names()) {
+        std::string help = areg.help(name);
         std::printf("  %-16s %s\n", name.c_str(), help.c_str());
     }
 }
@@ -214,6 +224,25 @@ runCluster(const ClusterConfig &ccfg, const std::string &json_path,
                           Table::num(toMicroseconds(r.attemptP99),
                                      1)});
     }
+    // Resilience rows print only when a resilience.* plan is set, so
+    // pre-resilience stdout stays byte-identical.
+    if (ResiliencePlan::fromParams(cfg.params).enabled()) {
+        table.addRow(
+            {"requests shed", std::to_string(r.requestsShed)});
+        table.addRow({"retry budget exhausted",
+                      std::to_string(r.retryBudgetExhausted)});
+        table.addRow(
+            {"shed (admission)", std::to_string(r.shedAdmission)});
+        table.addRow(
+            {"shed (sojourn)", std::to_string(r.shedSojourn)});
+        table.addRow({"shed (deadline)",
+                      std::to_string(r.shedDeadline +
+                                     r.switchDeadlineSheds)});
+        table.addRow({"breaker short-circuits",
+                      std::to_string(r.breakerShortCircuits)});
+        table.addRow({"breaker transitions",
+                      std::to_string(r.breakerTransitions)});
+    }
     table.print(std::cout);
 
     if (!r.tiers.empty()) {
@@ -279,6 +308,7 @@ main(int argc, char **argv)
     ensureBuiltinPolicies();
     ensureBuiltinDispatchPolicies();
     ensureBuiltinDataplanePolicies();
+    ensureBuiltinAdmissionPolicies();
 
     ClusterConfig ccfg;
     ExperimentConfig &cfg = ccfg.base;
@@ -517,6 +547,18 @@ main(int argc, char **argv)
                 table.addRow(
                     {"attempt P99 (us)",
                      Table::num(toMicroseconds(r.attemptP99), 1)});
+        }
+        if (ResiliencePlan::fromParams(cfg.params).enabled()) {
+            table.addRow(
+                {"requests shed", std::to_string(r.requestsShed)});
+            table.addRow({"retry budget exhausted",
+                          std::to_string(r.retryBudgetExhausted)});
+            table.addRow({"shed (admission)",
+                          std::to_string(r.shedAdmission)});
+            table.addRow(
+                {"shed (sojourn)", std::to_string(r.shedSojourn)});
+            table.addRow(
+                {"shed (deadline)", std::to_string(r.shedDeadline)});
         }
         table.print(std::cout);
 
